@@ -1,0 +1,73 @@
+//! DECOD throughput: Viterbi (256-state UMTS codes) and turbo iterations —
+//! the cost of the decoder personalities the payload swaps between (E8).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsp_coding::bits::bits_to_llrs;
+use gsp_coding::{ConvCode, ConvEncoder, Crc, CrcKind, TurboCode, TurboDecoder, ViterbiDecoder};
+
+fn info_bits(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 29) % 3 == 0) as u8).collect()
+}
+
+fn bench_conv_encode(c: &mut Criterion) {
+    let bits = info_bits(1024);
+    let mut g = c.benchmark_group("conv_encode");
+    g.throughput(Throughput::Elements(1024));
+    for (label, code) in [("r1/2", ConvCode::umts_half()), ("r1/3", ConvCode::umts_third())] {
+        g.bench_function(label, |b| {
+            let mut enc = ConvEncoder::new(code.clone());
+            b.iter(|| enc.encode_block(&bits).len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_viterbi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("viterbi_decode");
+    for k in [256usize, 1024] {
+        let bits = info_bits(k);
+        for (label, code) in [("r1/2", ConvCode::umts_half()), ("r1/3", ConvCode::umts_third())] {
+            let coded = ConvEncoder::new(code.clone()).encode_block(&bits);
+            let llrs = bits_to_llrs(&coded, 1.0);
+            g.throughput(Throughput::Elements(k as u64));
+            g.bench_function(format!("{label}/K={k}"), |b| {
+                let mut dec = ViterbiDecoder::new(code.clone());
+                b.iter(|| dec.decode_block(&llrs).len());
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_turbo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("turbo_decode");
+    g.sample_size(20);
+    for k in [320usize, 1024] {
+        let code = TurboCode::new(k);
+        let bits = info_bits(k);
+        let coded = code.encode_block(&bits);
+        let llrs = bits_to_llrs(&coded, 1.0);
+        for iters in [2usize, 6] {
+            g.throughput(Throughput::Elements(k as u64));
+            g.bench_function(format!("K={k}/{iters}-iter"), |b| {
+                let mut dec = TurboDecoder::new(code.clone());
+                b.iter(|| dec.decode_block(&llrs, iters).len());
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let bits = info_bits(4096);
+    let crc = Crc::new(CrcKind::Crc16);
+    let mut g = c.benchmark_group("crc16");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("attach-4096-bit", |b| {
+        b.iter(|| crc.attach(&bits).len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv_encode, bench_viterbi, bench_turbo, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! DSP substrate throughput: FIR filtering, FFT, polyphase channelizer,
+//! half-band decimation — the per-sample cost floor of the Fig. 2 chain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gsp_dsp::beamform::{Dbfn, UniformLinearArray};
+use gsp_dsp::channelizer::PolyphaseChannelizer;
+use gsp_dsp::fft::Fft;
+use gsp_dsp::filter::{FirFilter, FirKernel};
+use gsp_dsp::halfband::{design_halfband, HalfBandDecimator};
+use gsp_dsp::window::Window;
+use gsp_dsp::Cpx;
+
+fn test_signal(n: usize) -> Vec<Cpx> {
+    (0..n)
+        .map(|i| Cpx::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()))
+        .collect()
+}
+
+fn bench_fir(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fir");
+    let x = test_signal(16_384);
+    for taps in [16usize, 33, 65] {
+        let kernel = FirKernel::lowpass(taps, 0.2, Window::Hamming);
+        g.throughput(Throughput::Elements(x.len() as u64));
+        g.bench_function(format!("{taps}-tap"), |b| {
+            let mut f = FirFilter::new(kernel.clone());
+            let mut out = Vec::with_capacity(x.len());
+            b.iter(|| {
+                out.clear();
+                f.process(&x, &mut out);
+                out.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [64usize, 256, 1024, 4096] {
+        let plan = Fft::new(n);
+        let x = test_signal(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("{n}-pt"), |b| {
+            b.iter_batched(
+                || x.clone(),
+                |mut buf| {
+                    plan.forward(&mut buf);
+                    buf[0]
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_channelizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channelizer");
+    let x = test_signal(16_384);
+    for m in [4usize, 8, 16] {
+        g.throughput(Throughput::Elements(x.len() as u64));
+        g.bench_function(format!("{m}-channel"), |b| {
+            let mut chan = PolyphaseChannelizer::new(m, 12);
+            let mut frame = vec![Cpx::ZERO; m];
+            b.iter(|| {
+                let mut frames = 0u32;
+                for &s in &x {
+                    if chan.push(s, &mut frame) {
+                        frames += 1;
+                    }
+                }
+                frames
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_halfband(c: &mut Criterion) {
+    let x = test_signal(16_384);
+    let kernel = design_halfband(23, Window::Hamming);
+    c.bench_function("halfband/decimate-by-2 (23-tap)", |b| {
+        let mut dec = HalfBandDecimator::new(&kernel);
+        let mut out = Vec::with_capacity(x.len() / 2 + 1);
+        b.iter(|| {
+            out.clear();
+            dec.process(&x, &mut out);
+            out.len()
+        });
+    });
+}
+
+fn bench_dbfn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbfn");
+    for (elements, beams) in [(8usize, 4usize), (16, 8)] {
+        let array = UniformLinearArray::half_wavelength(elements);
+        let angles: Vec<f64> = (0..beams).map(|b| -45.0 + 90.0 * b as f64 / beams as f64).collect();
+        let dbfn = Dbfn::conventional(array, &angles);
+        let snap: Vec<Cpx> = (0..elements)
+            .map(|n| Cpx::from_angle(n as f64 * 0.3))
+            .collect();
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("{elements}el-{beams}beam/snapshot"), |b| {
+            let mut out = vec![Cpx::ZERO; beams];
+            b.iter(|| {
+                dbfn.form(&snap, &mut out);
+                out[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fir,
+    bench_fft,
+    bench_channelizer,
+    bench_halfband,
+    bench_dbfn
+);
+criterion_main!(benches);

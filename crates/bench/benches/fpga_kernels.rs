@@ -1,0 +1,91 @@
+//! FPGA management kernels: full configuration, read-back CRC scan,
+//! detect-and-repair, and full scrubbing passes (E5/E6 cost model).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsp_fpga::bitstream::Bitstream;
+use gsp_fpga::device::FpgaDevice;
+use gsp_fpga::fabric::FpgaFabric;
+use gsp_fpga::mitigation::{detect_and_repair, ReadbackStrategy, Scrubber};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn loaded() -> (FpgaFabric, Bitstream) {
+    let dev = FpgaDevice::virtex_like_1m();
+    let bs = Bitstream::synthesise(1, &dev, dev.frames);
+    let mut fab = FpgaFabric::new(dev);
+    fab.configure_full(&bs).unwrap();
+    fab.power_on();
+    (fab, bs)
+}
+
+fn bench_configure(c: &mut Criterion) {
+    let dev = FpgaDevice::virtex_like_1m();
+    let bs = Bitstream::synthesise(1, &dev, dev.frames);
+    let bytes = bs.byte_len() as u64;
+    let mut g = c.benchmark_group("fabric");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("configure_full (96 KiB)", |b| {
+        let mut fab = FpgaFabric::new(dev.clone());
+        b.iter(|| {
+            fab.power_off();
+            fab.configure_full(&bs).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_readback_scan(c: &mut Criterion) {
+    let (fab, bs) = loaded();
+    let mut g = c.benchmark_group("readback_scan");
+    g.throughput(Throughput::Bytes(bs.byte_len() as u64));
+    g.bench_function("full-compare", |b| {
+        b.iter(|| ReadbackStrategy::FullCompare.detect(&fab, &bs).unwrap().len());
+    });
+    g.bench_function("crc-compare", |b| {
+        b.iter(|| ReadbackStrategy::CrcCompare.detect(&fab, &bs).unwrap().len());
+    });
+    g.finish();
+}
+
+fn bench_repair_and_scrub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair");
+    g.sample_size(30);
+    g.bench_function("detect_and_repair (10 upsets)", |b| {
+        b.iter(|| {
+            let (mut fab, bs) = loaded();
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..10 {
+                fab.inject_random_upset(&mut rng);
+            }
+            detect_and_repair(&mut fab, &bs, ReadbackStrategy::CrcCompare).unwrap()
+        });
+    });
+    g.bench_function("scrub_full pass", |b| {
+        let (mut fab, bs) = loaded();
+        let mut s = Scrubber::new(1);
+        b.iter(|| s.scrub_full(&mut fab, &bs).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_serialise(c: &mut Criterion) {
+    let dev = FpgaDevice::virtex_like_1m();
+    let bs = Bitstream::synthesise(2, &dev, dev.frames);
+    let wire = bs.serialise();
+    let mut g = c.benchmark_group("bitstream");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("serialise", |b| b.iter(|| bs.serialise().len()));
+    g.bench_function("deserialise+verify", |b| {
+        b.iter(|| Bitstream::deserialise(&wire).unwrap().design_id)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_configure,
+    bench_readback_scan,
+    bench_repair_and_scrub,
+    bench_serialise
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Modem inner loops: TDMA burst demodulation with both timing-recovery
+//! schemes (the Fig. 3 swap) and the CDMA acquisition/despreading path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsp_modem::cdma::{CdmaConfig, CdmaReceiver, CdmaTransmitter};
+use gsp_modem::framing::BurstFormat;
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
+
+fn payload(n: usize) -> Vec<u8> {
+    (0..n).map(|i| ((i * 11) % 5 < 2) as u8).collect()
+}
+
+fn bench_tdma_demod(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tdma_burst_demod");
+    let fmt = BurstFormat::standard(24, 24, 200);
+    for kind in [TimingRecoveryKind::Gardner, TimingRecoveryKind::OerderMeyr] {
+        let cfg = TdmaConfig::new(fmt.clone(), kind);
+        let modulator = TdmaBurstModulator::new(cfg.clone());
+        let bits = payload(fmt.payload_bits());
+        let wave = modulator.modulate(&bits);
+        g.throughput(Throughput::Elements(fmt.payload_bits() as u64));
+        g.bench_function(format!("{kind:?}"), |b| {
+            let mut demod = TdmaBurstDemodulator::new(cfg.clone());
+            b.iter(|| demod.demodulate(&wave).map(|r| r.bits.len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cdma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cdma");
+    g.sample_size(20);
+    let cfg = CdmaConfig::sumts(16, 3, 64);
+    let tx = CdmaTransmitter::new(cfg.clone());
+    let bits = payload(cfg.payload_bits());
+    let wave = tx.transmit(&bits);
+    g.throughput(Throughput::Elements(cfg.payload_bits() as u64));
+    g.bench_function("acquire-96", |b| {
+        let mut rx = CdmaReceiver::new(cfg.clone());
+        b.iter(|| rx.acquire(&wave, 96).map(|a| a.sample_offset));
+    });
+    g.bench_function("full-demod", |b| {
+        let mut rx = CdmaReceiver::new(cfg.clone());
+        b.iter(|| rx.demodulate(&wave, 96).map(|r| r.bits.len()));
+    });
+    g.bench_function("spread+shape (tx)", |b| {
+        b.iter(|| tx.transmit(&bits).len());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tdma_demod, bench_cdma);
+criterion_main!(benches);

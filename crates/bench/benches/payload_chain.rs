@@ -1,0 +1,70 @@
+//! F2 end-to-end: one full MF-TDMA frame through the Fig. 2 chain
+//! (composite synthesis → channelizer → 6 demods → Viterbi → switch).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gsp_payload::chain::{run_mf_tdma_frame, ChainConfig};
+use gsp_payload::transponder::{run_transponder, TransponderConfig};
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload_chain");
+    g.sample_size(10);
+    for (label, esn0) in [("noiseless", None), ("14dB", Some(14.0))] {
+        let cfg = ChainConfig {
+            esn0_db: esn0,
+            ..ChainConfig::default()
+        };
+        // Throughput in information bits per frame.
+        g.throughput(Throughput::Elements((cfg.info_bits * cfg.active_carriers) as u64));
+        g.bench_function(format!("frame/{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_mf_tdma_frame(&cfg, seed).packets_forwarded
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload_chain_carriers");
+    g.sample_size(10);
+    for carriers in [1usize, 3, 6] {
+        let cfg = ChainConfig {
+            active_carriers: carriers,
+            ..ChainConfig::default()
+        };
+        g.throughput(Throughput::Elements((cfg.info_bits * carriers) as u64));
+        g.bench_function(format!("{carriers}-carrier"), |b| {
+            b.iter(|| run_mf_tdma_frame(&cfg, 7).packets_forwarded);
+        });
+    }
+    g.finish();
+}
+
+fn bench_transponder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transponder");
+    g.sample_size(10);
+    let cfg = TransponderConfig {
+        uplink: ChainConfig {
+            esn0_db: Some(14.0),
+            ..ChainConfig::default()
+        },
+        downlink_esn0_db: Some(10.0),
+        ..TransponderConfig::default()
+    };
+    g.throughput(Throughput::Elements(
+        (cfg.uplink.info_bits * cfg.uplink.active_carriers) as u64,
+    ));
+    g.bench_function("full-regenerative-frame", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_transponder(&cfg, seed).end_to_end_exact
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_chain_scaling, bench_transponder);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates every experiment table (E1..E11, F2) in one run.
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    for t in gsp_core::exp::run_all(scale, seed) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Gardner-vs-Oerder-Meyr burst-length sweep (E10).
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    println!("{}", gsp_core::exp::e10_timing(scale, seed));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §4.4 partitioning comparison (E11).
+fn main() {
+    println!("{}", gsp_core::exp::e11_partition());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §2.1 transparent-vs-regenerative comparison (E12).
+fn main() {
+    let seed = gsp_bench::seed_from_env();
+    println!("{}", gsp_core::exp::e12_regeneration(seed));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1 (E1).
+fn main() {
+    println!("{}", gsp_core::exp::e1_table1());
+}

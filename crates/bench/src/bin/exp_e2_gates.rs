@@ -1,0 +1,4 @@
+//! Regenerates the §2.3 gate-complexity estimates (E2).
+fn main() {
+    println!("{}", gsp_core::exp::e2_gates());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig. 3 waveform-equivalence BER table (E3).
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    println!("{}", gsp_core::exp::e3_waveforms(scale, seed));
+}

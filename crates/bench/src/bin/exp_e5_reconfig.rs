@@ -1,0 +1,5 @@
+//! Regenerates e5_reconfig (see DESIGN.md §3).
+fn main() {
+    let seed = gsp_bench::seed_from_env();
+    println!("{}", gsp_core::exp::e5_reconfig(seed));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §4.3 SEU-mitigation tables (E6a/E6b/E6c).
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    println!("{}", gsp_core::exp::e6_tmr(scale, seed));
+    println!("{}", gsp_core::exp::e6_readback());
+    println!("{}", gsp_core::exp::e6_scrub(scale, seed));
+    println!("{}", gsp_core::exp::e6_maintenance(seed));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §4.2 radiation-environment table (E7).
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    println!("{}", gsp_core::exp::e7_environment());
+    println!("{}", gsp_core::exp::e7_latchup(scale, seed));
+}

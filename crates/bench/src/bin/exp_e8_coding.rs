@@ -1,0 +1,5 @@
+//! Regenerates the UMTS coding-scheme BER table (E8).
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    println!("{}", gsp_core::exp::e8_coding(scale, seed));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the CDMA acquisition/tracking table (E9).
+fn main() {
+    let (scale, seed) = (gsp_bench::scale_from_args(), gsp_bench::seed_from_env());
+    println!("{}", gsp_core::exp::e9_acquisition(scale, seed));
+}

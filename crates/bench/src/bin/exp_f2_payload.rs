@@ -1,0 +1,5 @@
+//! Regenerates f2_payload (see DESIGN.md §3).
+fn main() {
+    let seed = gsp_bench::seed_from_env();
+    println!("{}", gsp_core::exp::f2_payload(seed));
+}

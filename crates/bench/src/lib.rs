@@ -1,0 +1,32 @@
+//! # gsp-bench — benchmark & experiment harness
+//!
+//! Two kinds of targets:
+//!
+//! * **Experiment regenerators** (`src/bin/exp_*.rs`) — one binary per
+//!   paper table/figure/claim (DESIGN.md §3). Each prints the tables the
+//!   corresponding `gsp_core::exp` driver produces. Pass `--full` for the
+//!   full Monte-Carlo trial counts (the defaults keep runtimes in
+//!   seconds). `exp_all` runs the lot.
+//! * **Criterion benches** (`benches/`) — throughput of the hot kernels:
+//!   DSP primitives, Viterbi/turbo decoding, modem inner loops, FPGA
+//!   scrubbing/read-back, the Fig. 2 payload chain, and protocol
+//!   simulated-time per megabyte.
+
+use gsp_core::exp::Scale;
+
+/// Parses the common `--full` flag.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Smoke
+    }
+}
+
+/// The shared experiment seed (override with GSP_SEED).
+pub fn seed_from_env() -> u64 {
+    std::env::var("GSP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20030422) // IPDPS 2003 vintage
+}

@@ -1,0 +1,191 @@
+//! Deterministic front-end impairments: carrier phase/frequency offsets,
+//! static fractional timing offsets and slow sample-clock drift.
+//!
+//! These are the disturbances the reconfigurable demodulators of
+//! `gsp-modem` must estimate away — the timing offset in particular is what
+//! the Gardner/Oerder–Meyr recovery (TDMA) and the DLL (CDMA) exist for.
+
+use gsp_dsp::resample::FarrowInterpolator;
+use gsp_dsp::Cpx;
+
+/// Constant carrier-phase rotation.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseOffset {
+    rot: Cpx,
+}
+
+impl PhaseOffset {
+    /// Rotation by `theta` radians.
+    pub fn new(theta: f64) -> Self {
+        PhaseOffset {
+            rot: Cpx::from_angle(theta),
+        }
+    }
+
+    /// Applies the rotation in place.
+    pub fn apply(&self, data: &mut [Cpx]) {
+        for d in data.iter_mut() {
+            *d *= self.rot;
+        }
+    }
+}
+
+/// Carrier-frequency offset: progressive rotation `e^{j2π·Δf·n/fs}`.
+#[derive(Clone, Debug)]
+pub struct FrequencyOffset {
+    phase: f64,
+    step: f64,
+}
+
+impl FrequencyOffset {
+    /// Offset of `delta_hz` at sample rate `fs_hz`.
+    pub fn new(delta_hz: f64, fs_hz: f64) -> Self {
+        FrequencyOffset {
+            phase: 0.0,
+            step: std::f64::consts::TAU * delta_hz / fs_hz,
+        }
+    }
+
+    /// Applies the rotation to a block, advancing internal phase.
+    pub fn apply(&mut self, data: &mut [Cpx]) {
+        for d in data.iter_mut() {
+            *d *= Cpx::from_angle(self.phase);
+            self.phase = gsp_dsp::math::wrap_angle(self.phase + self.step);
+        }
+    }
+}
+
+/// Static fractional timing offset: delays the waveform by `µ` samples
+/// (`0 ≤ µ < 1`) using cubic interpolation.
+#[derive(Clone, Debug)]
+pub struct TimingOffset {
+    mu: f64,
+    farrow: FarrowInterpolator,
+}
+
+impl TimingOffset {
+    /// Fractional delay of `mu` samples.
+    pub fn new(mu: f64) -> Self {
+        assert!((0.0..1.0).contains(&mu), "mu must be in [0,1)");
+        TimingOffset {
+            mu,
+            farrow: FarrowInterpolator::new(),
+        }
+    }
+
+    /// Applies the delay to a block (output ~3 samples shorter: the
+    /// interpolator needs a 4-sample window). Appends to `out`.
+    pub fn apply(&mut self, data: &[Cpx], out: &mut Vec<Cpx>) {
+        for &x in data {
+            self.farrow.push(x);
+            if self.farrow.ready() {
+                // Evaluating at 1−µ between w[1] and w[2] delays by µ
+                // relative to the w[2] grid.
+                out.push(self.farrow.interpolate(1.0 - self.mu));
+            }
+        }
+    }
+}
+
+/// Slow sample-clock drift: resamples by `1 + ppm·1e−6` so the receiver's
+/// notion of the symbol instant slides over time.
+#[derive(Clone, Debug)]
+pub struct ClockDrift {
+    farrow: FarrowInterpolator,
+    pos: f64,
+    step: f64,
+}
+
+impl ClockDrift {
+    /// Drift of `ppm` parts-per-million (positive = receiver clock slow,
+    /// waveform appears stretched).
+    pub fn new(ppm: f64) -> Self {
+        ClockDrift {
+            farrow: FarrowInterpolator::new(),
+            pos: 0.0,
+            step: 1.0 + ppm * 1e-6,
+        }
+    }
+
+    /// Processes a block through the drifting resampler, appending to `out`.
+    pub fn apply(&mut self, data: &[Cpx], out: &mut Vec<Cpx>) {
+        for &x in data {
+            self.farrow.push(x);
+            if !self.farrow.ready() {
+                continue;
+            }
+            while self.pos < 1.0 {
+                out.push(self.farrow.interpolate(self.pos));
+                self.pos += self.step;
+            }
+            self.pos -= 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_offset_rotates_exactly() {
+        let off = PhaseOffset::new(std::f64::consts::FRAC_PI_4);
+        let mut data = vec![Cpx::ONE; 4];
+        off.apply(&mut data);
+        for d in &data {
+            assert!((d.arg() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn frequency_offset_accumulates() {
+        let mut off = FrequencyOffset::new(100.0, 1000.0); // 0.1 cycles/sample
+        let mut data = vec![Cpx::ONE; 11];
+        off.apply(&mut data);
+        // Sample 10 has accumulated exactly one full cycle.
+        assert!((data[10].arg() - 0.0).abs() < 1e-9);
+        assert!((data[5].arg().abs() - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_offset_delays_sine() {
+        let omega: f64 = 0.3;
+        let mut t_off = TimingOffset::new(0.4);
+        let data: Vec<Cpx> = (0..100).map(|n| Cpx::from_angle(omega * n as f64)).collect();
+        let mut out = Vec::new();
+        t_off.apply(&data, &mut out);
+        // out[k] ≈ wave(k + 2 − 0.4) given the window alignment.
+        for (k, s) in out.iter().enumerate().skip(5).take(80) {
+            let want = Cpx::from_angle(omega * (k as f64 + 2.0 - 0.4));
+            assert!((*s - want).abs() < 2e-3, "k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_drift_passes_through() {
+        let mut drift = ClockDrift::new(0.0);
+        let data: Vec<Cpx> = (0..50).map(|n| Cpx::new(n as f64, 0.0)).collect();
+        let mut out = Vec::new();
+        drift.apply(&data, &mut out);
+        // Output reproduces the (shifted) input grid exactly.
+        for (k, s) in out.iter().enumerate().skip(2).take(40) {
+            assert!((s.re - (k as f64 + 1.0)).abs() < 1e-9, "k={k} got {}", s.re);
+        }
+    }
+
+    #[test]
+    fn drift_changes_sample_count() {
+        let n = 100_000;
+        let data = vec![Cpx::ONE; n];
+        let mut pos = ClockDrift::new(100.0); // fewer output samples
+        let mut out_pos = Vec::new();
+        pos.apply(&data, &mut out_pos);
+        let mut neg = ClockDrift::new(-100.0);
+        let mut out_neg = Vec::new();
+        neg.apply(&data, &mut out_neg);
+        assert!(out_pos.len() < n && out_neg.len() > n - 10);
+        // 100 ppm over 100k samples ≈ 10 samples difference.
+        let diff = out_neg.len() as isize - out_pos.len() as isize;
+        assert!((diff - 20).abs() <= 4, "diff {diff}");
+    }
+}

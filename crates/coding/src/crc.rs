@@ -1,0 +1,230 @@
+//! CRC attachment per 3G TS 25.212 §4.2.1.
+//!
+//! The four UMTS generator polynomials. Besides transport-block protection,
+//! the payload reuses CRC-16/24 for FPGA-configuration validation (§3.2 of
+//! the paper: "at least one auto-test of the new configuration will be
+//! realized (e.g. CRC applied on the configuration)") and the read-back
+//! SEU detection of §4.3.
+
+/// The four 25.212 CRC lengths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrcKind {
+    /// gCRC8(D) = D⁸ + D⁷ + D⁴ + D³ + D + 1
+    Crc8,
+    /// gCRC12(D) = D¹² + D¹¹ + D³ + D² + D + 1
+    Crc12,
+    /// gCRC16(D) = D¹⁶ + D¹² + D⁵ + 1
+    Crc16,
+    /// gCRC24(D) = D²⁴ + D²³ + D⁶ + D⁵ + D + 1
+    Crc24,
+}
+
+impl CrcKind {
+    /// Number of parity bits.
+    pub fn len(self) -> usize {
+        match self {
+            CrcKind::Crc8 => 8,
+            CrcKind::Crc12 => 12,
+            CrcKind::Crc16 => 16,
+            CrcKind::Crc24 => 24,
+        }
+    }
+
+    /// Never zero.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Generator polynomial without the leading term, LSB = D⁰ coefficient.
+    fn poly(self) -> u32 {
+        match self {
+            CrcKind::Crc8 => 0b1001_1011,
+            CrcKind::Crc12 => 0b1000_0000_1111,
+            CrcKind::Crc16 => 0b0001_0000_0010_0001,
+            CrcKind::Crc24 => 0b1000_0000_0000_0000_0110_0011,
+        }
+    }
+}
+
+/// Bit-serial CRC engine over 0/1 bit slices.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc {
+    kind: CrcKind,
+}
+
+impl Crc {
+    /// Creates an engine for the given polynomial.
+    pub fn new(kind: CrcKind) -> Self {
+        Crc { kind }
+    }
+
+    /// The CRC length in bits.
+    pub fn parity_len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Computes the parity bits (MSB first, i.e. D^{L−1} coefficient first)
+    /// for the message bits, per the 25.212 systematic-division definition.
+    pub fn compute(&self, bits: &[u8]) -> Vec<u8> {
+        let l = self.kind.len();
+        let poly = self.kind.poly();
+        let mut reg: u32 = 0;
+        for &b in bits {
+            debug_assert!(b <= 1);
+            let fb = ((reg >> (l - 1)) as u8 ^ b) & 1;
+            reg <<= 1;
+            if fb == 1 {
+                reg ^= poly;
+            }
+            reg &= (1u32 << l) - 1;
+        }
+        (0..l).map(|i| ((reg >> (l - 1 - i)) & 1) as u8).collect()
+    }
+
+    /// Appends the parity to the message, returning `message ‖ crc`.
+    pub fn attach(&self, bits: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bits.len() + self.kind.len());
+        out.extend_from_slice(bits);
+        out.extend(self.compute(bits));
+        out
+    }
+
+    /// Checks a `message ‖ crc` block; returns `Some(message)` when the
+    /// parity verifies, `None` otherwise.
+    pub fn check<'a>(&self, block: &'a [u8]) -> Option<&'a [u8]> {
+        let l = self.kind.len();
+        if block.len() < l {
+            return None;
+        }
+        let (msg, parity) = block.split_at(block.len() - l);
+        if self.compute(msg) == parity {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+
+    /// Computes the CRC over a byte slice (MSB-first bit order) — the form
+    /// used on FPGA bitstream frames and protocol packets.
+    pub fn compute_bytes(&self, data: &[u8]) -> u32 {
+        let l = self.kind.len();
+        let poly = self.kind.poly();
+        let mut reg: u32 = 0;
+        for &byte in data {
+            for i in (0..8).rev() {
+                let b = (byte >> i) & 1;
+                let fb = ((reg >> (l - 1)) as u8 ^ b) & 1;
+                reg <<= 1;
+                if fb == 1 {
+                    reg ^= poly;
+                }
+                reg &= (1u32 << l) - 1;
+            }
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_check_roundtrip_all_kinds() {
+        for kind in [CrcKind::Crc8, CrcKind::Crc12, CrcKind::Crc16, CrcKind::Crc24] {
+            let crc = Crc::new(kind);
+            let msg: Vec<u8> = (0..100).map(|i| ((i * 5) % 7 < 3) as u8).collect();
+            let block = crc.attach(&msg);
+            assert_eq!(block.len(), msg.len() + kind.len());
+            assert_eq!(crc.check(&block), Some(&msg[..]));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_errors() {
+        for kind in [CrcKind::Crc8, CrcKind::Crc12, CrcKind::Crc16, CrcKind::Crc24] {
+            let crc = Crc::new(kind);
+            let msg: Vec<u8> = (0..64).map(|i| (i % 3 == 1) as u8).collect();
+            let block = crc.attach(&msg);
+            for pos in 0..block.len() {
+                let mut bad = block.clone();
+                bad[pos] ^= 1;
+                assert!(crc.check(&bad).is_none(), "{kind:?} missed flip at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_all_double_bit_errors_crc16() {
+        let crc = Crc::new(CrcKind::Crc16);
+        let msg: Vec<u8> = (0..40).map(|i| (i % 2) as u8).collect();
+        let block = crc.attach(&msg);
+        for i in 0..block.len() {
+            for j in (i + 1)..block.len() {
+                let mut bad = block.clone();
+                bad[i] ^= 1;
+                bad[j] ^= 1;
+                assert!(crc.check(&bad).is_none(), "missed double flip {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_errors_within_crc_length_are_detected() {
+        // A CRC of length L detects all bursts of length ≤ L.
+        let crc = Crc::new(CrcKind::Crc12);
+        let msg: Vec<u8> = (0..80).map(|i| ((i * 11) % 5 == 0) as u8).collect();
+        let block = crc.attach(&msg);
+        for start in 0..(block.len() - 12) {
+            let mut bad = block.clone();
+            for k in 0..12 {
+                bad[start + k] ^= 1;
+            }
+            assert!(crc.check(&bad).is_none(), "missed burst at {start}");
+        }
+    }
+
+    #[test]
+    fn zero_message_yields_zero_parity() {
+        // Systematic division of the all-zero message gives all-zero parity.
+        let crc = Crc::new(CrcKind::Crc24);
+        assert!(crc.compute(&[0u8; 50]).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_message_is_supported() {
+        let crc = Crc::new(CrcKind::Crc8);
+        let block = crc.attach(&[]);
+        assert_eq!(block.len(), 8);
+        assert!(crc.check(&block).is_some());
+    }
+
+    #[test]
+    fn short_block_fails_check() {
+        let crc = Crc::new(CrcKind::Crc16);
+        assert!(crc.check(&[1, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn byte_crc_differs_on_different_data() {
+        let crc = Crc::new(CrcKind::Crc24);
+        let a = crc.compute_bytes(b"configuration frame A");
+        let b = crc.compute_bytes(b"configuration frame B");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn byte_crc_matches_bit_crc() {
+        let crc = Crc::new(CrcKind::Crc16);
+        let data = [0xA5u8, 0x3C, 0x77];
+        let bits: Vec<u8> = data
+            .iter()
+            .flat_map(|&byte| (0..8).rev().map(move |i| (byte >> i) & 1))
+            .collect();
+        let from_bits = crc
+            .compute(&bits)
+            .iter()
+            .fold(0u32, |acc, &b| (acc << 1) | b as u32);
+        assert_eq!(from_bits, crc.compute_bytes(&data));
+    }
+}

@@ -1,0 +1,454 @@
+//! UMTS turbo coding (3G TS 25.212 §4.2.3.2): a parallel concatenation of
+//! two 8-state RSC encoders (feedback g0 = 13₈ = 1+D²+D³, feed-forward
+//! g1 = 15₈ = 1+D+D³) joined by the prime internal interleaver, with
+//! independent trellis termination — decoded by iterative max-log-MAP.
+//!
+//! Coded output for K information bits is `3K + 12` bits in the spec's
+//! order: `x₁ z₁ z'₁ … x_K z_K z'_K`, then the six termination bits of
+//! encoder 1 (`x z` pairs) and the six of encoder 2.
+
+use crate::bits::llr_to_bit;
+use crate::interleave::{prime_interleaver, Interleaver};
+
+/// Number of trellis states of each constituent encoder.
+const STATES: usize = 8;
+/// Tail steps per constituent.
+const TAIL: usize = 3;
+
+/// The 8-state RSC constituent trellis (g0 = 13₈, g1 = 15₈).
+///
+/// State is `(a_{k-1}, a_{k-2}, a_{k-3})` in bits (2, 1, 0) of the state
+/// index, where `a` is the feedback-register sequence.
+#[derive(Clone, Copy, Debug, Default)]
+struct RscTrellis;
+
+impl RscTrellis {
+    /// (next_state, parity_bit) for input `d` in state `s`.
+    #[inline]
+    fn step(s: usize, d: u8) -> (usize, u8) {
+        let s2 = ((s >> 1) & 1) as u8; // a_{k-2}
+        let s3 = (s & 1) as u8; // a_{k-3}
+        let s1 = ((s >> 2) & 1) as u8; // a_{k-1}
+        let a = d ^ s2 ^ s3; // feedback 1 + D² + D³
+        let z = a ^ s1 ^ s3; // feed-forward 1 + D + D³
+        let ns = ((a as usize) << 2) | (s >> 1);
+        (ns, z)
+    }
+
+    /// The input that drives the feedback to zero (termination input).
+    #[inline]
+    fn term_input(s: usize) -> u8 {
+        (((s >> 1) & 1) ^ (s & 1)) as u8
+    }
+}
+
+/// A configured UMTS turbo code for a fixed information-block size.
+#[derive(Clone, Debug)]
+pub struct TurboCode {
+    k: usize,
+    interleaver: Interleaver,
+}
+
+impl TurboCode {
+    /// Creates the code for `k` information bits (40 ≤ k ≤ 5114).
+    pub fn new(k: usize) -> Self {
+        TurboCode {
+            k,
+            interleaver: prime_interleaver(k),
+        }
+    }
+
+    /// Information block length.
+    pub fn info_len(&self) -> usize {
+        self.k
+    }
+
+    /// Coded block length `3K + 12`.
+    pub fn coded_len(&self) -> usize {
+        3 * self.k + 4 * TAIL
+    }
+
+    /// The internal interleaver.
+    pub fn interleaver(&self) -> &Interleaver {
+        &self.interleaver
+    }
+
+    fn encode_constituent(&self, bits: &[u8], parity: &mut Vec<u8>, tail: &mut Vec<u8>) {
+        let mut s = 0usize;
+        parity.clear();
+        parity.reserve(self.k);
+        for &d in bits {
+            let (ns, z) = RscTrellis::step(s, d);
+            parity.push(z);
+            s = ns;
+        }
+        tail.clear();
+        for _ in 0..TAIL {
+            let d = RscTrellis::term_input(s);
+            let (ns, z) = RscTrellis::step(s, d);
+            tail.push(d); // transmitted systematic tail bit
+            tail.push(z); // transmitted parity tail bit
+            s = ns;
+        }
+        debug_assert_eq!(s, 0, "termination must reach state 0");
+    }
+
+    /// Encodes a block of exactly `k` bits into `3K + 12` coded bits.
+    pub fn encode_block(&self, bits: &[u8]) -> Vec<u8> {
+        assert_eq!(bits.len(), self.k, "block length mismatch");
+        let mut interleaved = Vec::new();
+        self.interleaver.interleave(bits, &mut interleaved);
+        let (mut p1, mut t1) = (Vec::new(), Vec::new());
+        let (mut p2, mut t2) = (Vec::new(), Vec::new());
+        self.encode_constituent(bits, &mut p1, &mut t1);
+        self.encode_constituent(&interleaved, &mut p2, &mut t2);
+        let mut out = Vec::with_capacity(self.coded_len());
+        for i in 0..self.k {
+            out.push(bits[i]);
+            out.push(p1[i]);
+            out.push(p2[i]);
+        }
+        out.extend_from_slice(&t1);
+        out.extend_from_slice(&t2);
+        out
+    }
+}
+
+/// Iterative max-log-MAP turbo decoder with preallocated trellis buffers.
+#[derive(Clone, Debug)]
+pub struct TurboDecoder {
+    code: TurboCode,
+    // Preallocated working storage, reused across blocks.
+    alpha: Vec<[f64; STATES]>,
+    beta: Vec<[f64; STATES]>,
+    ext1: Vec<f64>,
+    ext2: Vec<f64>,
+    apriori: Vec<f64>,
+    sys_il: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl TurboDecoder {
+    /// Builds a decoder for `code`.
+    pub fn new(code: TurboCode) -> Self {
+        let k = code.info_len();
+        let steps = k + TAIL;
+        TurboDecoder {
+            code,
+            alpha: vec![[0.0; STATES]; steps + 1],
+            beta: vec![[0.0; STATES]; steps + 1],
+            ext1: vec![0.0; k],
+            ext2: vec![0.0; k],
+            apriori: vec![0.0; k],
+            sys_il: vec![0.0; k],
+            scratch: vec![0.0; k],
+        }
+    }
+
+    /// The code this decoder targets.
+    pub fn code(&self) -> &TurboCode {
+        &self.code
+    }
+
+    /// Max-log-MAP over one constituent. Writes per-bit extrinsic LLRs to
+    /// `ext`. `sys`/`par`/`apriori` have length K; tails length 3 each.
+    /// (State-indexed trellis loops are the natural idiom here.)
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn bcjr(
+        alpha: &mut [[f64; STATES]],
+        beta: &mut [[f64; STATES]],
+        sys: &[f64],
+        par: &[f64],
+        apriori: &[f64],
+        tail_sys: &[f64; TAIL],
+        tail_par: &[f64; TAIL],
+        ext: &mut [f64],
+    ) {
+        let k = sys.len();
+        let steps = k + TAIL;
+        const NEG: f64 = -1e300;
+
+        // Branch metric of (state, input) at step t.
+        let gamma = |t: usize, s: usize, d: u8| -> (f64, usize) {
+            let (ns, z) = RscTrellis::step(s, d);
+            let x = 1.0 - 2.0 * d as f64;
+            let zz = 1.0 - 2.0 * z as f64;
+            let g = if t < k {
+                0.5 * (sys[t] + apriori[t]) * x + 0.5 * par[t] * zz
+            } else {
+                0.5 * tail_sys[t - k] * x + 0.5 * tail_par[t - k] * zz
+            };
+            (g, ns)
+        };
+
+        // Forward recursion (encoder starts in state 0).
+        alpha[0] = [NEG; STATES];
+        alpha[0][0] = 0.0;
+        for t in 0..steps {
+            let mut next = [NEG; STATES];
+            for s in 0..STATES {
+                let a = alpha[t][s];
+                if a <= NEG {
+                    continue;
+                }
+                let inputs: &[u8] = if t < k { &[0, 1] } else { &[RscTrellis::term_input(s)] };
+                for &d in inputs {
+                    let (g, ns) = gamma(t, s, d);
+                    let m = a + g;
+                    if m > next[ns] {
+                        next[ns] = m;
+                    }
+                }
+            }
+            alpha[t + 1] = next;
+        }
+
+        // Backward recursion (termination ends in state 0).
+        beta[steps] = [NEG; STATES];
+        beta[steps][0] = 0.0;
+        for t in (0..steps).rev() {
+            let mut prev = [NEG; STATES];
+            for s in 0..STATES {
+                let inputs: &[u8] = if t < k { &[0, 1] } else { &[RscTrellis::term_input(s)] };
+                for &d in inputs {
+                    let (g, ns) = gamma(t, s, d);
+                    let m = g + beta[t + 1][ns];
+                    if m > prev[s] {
+                        prev[s] = m;
+                    }
+                }
+            }
+            beta[t] = prev;
+        }
+
+        // Per-bit LLR and extrinsic extraction over the information steps.
+        for t in 0..k {
+            let mut m0 = NEG;
+            let mut m1 = NEG;
+            for s in 0..STATES {
+                let a = alpha[t][s];
+                if a <= NEG {
+                    continue;
+                }
+                for d in 0..2u8 {
+                    let (g, ns) = gamma(t, s, d);
+                    let m = a + g + beta[t + 1][ns];
+                    if d == 0 {
+                        if m > m0 {
+                            m0 = m;
+                        }
+                    } else if m > m1 {
+                        m1 = m;
+                    }
+                }
+            }
+            let llr = m0 - m1; // positive ⇔ bit 0
+            ext[t] = llr - sys[t] - apriori[t];
+        }
+    }
+
+    /// Decodes a received block of `3K + 12` channel LLRs (same ordering as
+    /// [`TurboCode::encode_block`]) with `iterations` full decoder passes,
+    /// returning the K hard-decided information bits.
+    pub fn decode_block(&mut self, llrs: &[f64], iterations: usize) -> Vec<u8> {
+        let k = self.code.info_len();
+        assert_eq!(llrs.len(), self.code.coded_len(), "LLR block length mismatch");
+        assert!(iterations >= 1);
+
+        // De-multiplex the streams.
+        let mut sys = vec![0.0; k];
+        let mut par1 = vec![0.0; k];
+        let mut par2 = vec![0.0; k];
+        for i in 0..k {
+            sys[i] = llrs[3 * i];
+            par1[i] = llrs[3 * i + 1];
+            par2[i] = llrs[3 * i + 2];
+        }
+        let t = &llrs[3 * k..];
+        let tail1_sys = [t[0], t[2], t[4]];
+        let tail1_par = [t[1], t[3], t[5]];
+        let tail2_sys = [t[6], t[8], t[10]];
+        let tail2_par = [t[7], t[9], t[11]];
+
+        let il = self.code.interleaver.clone();
+        il.interleave(&sys, &mut self.sys_il);
+
+        self.ext2.fill(0.0);
+        for _ in 0..iterations {
+            // DEC1: a-priori = deinterleaved extrinsic of DEC2.
+            il.deinterleave(&self.ext2, &mut self.apriori);
+            Self::bcjr(
+                &mut self.alpha,
+                &mut self.beta,
+                &sys,
+                &par1,
+                &self.apriori,
+                &tail1_sys,
+                &tail1_par,
+                &mut self.ext1,
+            );
+            // DEC2: a-priori = interleaved extrinsic of DEC1.
+            il.interleave(&self.ext1, &mut self.scratch);
+            self.apriori.copy_from_slice(&self.scratch);
+            Self::bcjr(
+                &mut self.alpha,
+                &mut self.beta,
+                &self.sys_il,
+                &par2,
+                &self.apriori,
+                &tail2_sys,
+                &tail2_par,
+                &mut self.ext2,
+            );
+        }
+
+        // Final decision: systematic + both extrinsics.
+        il.deinterleave(&self.ext2, &mut self.scratch);
+        (0..k)
+            .map(|i| llr_to_bit(sys[i] + self.ext1[i] + self.scratch[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_to_llrs;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rsc_termination_reaches_zero_from_every_state() {
+        for s in 0..STATES {
+            let mut st = s;
+            for _ in 0..TAIL {
+                let d = RscTrellis::term_input(st);
+                let (ns, _) = RscTrellis::step(st, d);
+                st = ns;
+            }
+            assert_eq!(st, 0, "state {s} did not terminate");
+        }
+    }
+
+    #[test]
+    fn rsc_trellis_is_fully_connected_in_two_steps_pairs() {
+        // Each state has exactly two successors and two predecessors.
+        let mut preds = [0usize; STATES];
+        for s in 0..STATES {
+            let (n0, _) = RscTrellis::step(s, 0);
+            let (n1, _) = RscTrellis::step(s, 1);
+            assert_ne!(n0, n1);
+            preds[n0] += 1;
+            preds[n1] += 1;
+        }
+        assert!(preds.iter().all(|&p| p == 2));
+    }
+
+    #[test]
+    fn encode_length_is_3k_plus_12() {
+        let code = TurboCode::new(40);
+        let coded = code.encode_block(&[0u8; 40]);
+        assert_eq!(coded.len(), 132);
+    }
+
+    #[test]
+    fn systematic_bits_pass_through() {
+        let code = TurboCode::new(100);
+        let bits: Vec<u8> = (0..100).map(|i| (i % 3 == 0) as u8).collect();
+        let coded = code.encode_block(&bits);
+        for i in 0..100 {
+            assert_eq!(coded[3 * i], bits[i]);
+        }
+    }
+
+    #[test]
+    fn zero_block_encodes_to_zero_plus_zero_tail() {
+        // All-zero input keeps both RSCs in state 0; tails are zero too.
+        let code = TurboCode::new(64);
+        let coded = code.encode_block(&[0u8; 64]);
+        assert!(coded.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn noiseless_roundtrip() {
+        let code = TurboCode::new(320);
+        let mut dec = TurboDecoder::new(code.clone());
+        let bits: Vec<u8> = (0..320).map(|i| ((i * 13) % 7 < 3) as u8).collect();
+        let coded = code.encode_block(&bits);
+        let llrs = bits_to_llrs(&coded, 2.0);
+        assert_eq!(dec.decode_block(&llrs, 2), bits);
+    }
+
+    #[test]
+    fn decodes_awgn_at_low_snr() {
+        // Turbo at Eb/N0 = 2 dB, K = 640: expect very few errors (waterfall
+        // region is ~1 dB for this size).
+        let code = TurboCode::new(640);
+        let mut dec = TurboDecoder::new(code.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let rate = 640.0 / code.coded_len() as f64;
+        let ebn0 = 10f64.powf(2.0 / 10.0);
+        let sigma2 = 1.0 / (2.0 * rate * ebn0);
+        let sigma = sigma2.sqrt();
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for _ in 0..10 {
+            let bits: Vec<u8> = (0..640).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded = code.encode_block(&bits);
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| {
+                    let x = 1.0 - 2.0 * b as f64;
+                    let u1: f64 = rng.gen_range(1e-12..1.0f64);
+                    let u2: f64 = rng.gen_range(0.0..1.0f64);
+                    let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    2.0 * (x + sigma * n) / sigma2
+                })
+                .collect();
+            let out = dec.decode_block(&llrs, 6);
+            errors += out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+            total += bits.len();
+        }
+        let ber = errors as f64 / total as f64;
+        assert!(ber < 1e-3, "turbo BER {ber} at 2 dB too high");
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let code = TurboCode::new(320);
+        let mut dec = TurboDecoder::new(code.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let rate = 320.0 / code.coded_len() as f64;
+        let ebn0 = 10f64.powf(1.5 / 10.0);
+        let sigma2 = 1.0 / (2.0 * rate * ebn0);
+        let sigma = sigma2.sqrt();
+        let mut err_by_iter = Vec::new();
+        let bits: Vec<u8> = (0..320).map(|_| rng.gen_range(0..2u8)).collect();
+        let coded = code.encode_block(&bits);
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| {
+                let x = 1.0 - 2.0 * b as f64;
+                let u1: f64 = rng.gen_range(1e-12..1.0f64);
+                let u2: f64 = rng.gen_range(0.0..1.0f64);
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                2.0 * (x + sigma * n) / sigma2
+            })
+            .collect();
+        for iters in [1usize, 4, 8] {
+            let out = dec.decode_block(&llrs, iters);
+            err_by_iter.push(out.iter().zip(&bits).filter(|(a, b)| a != b).count());
+        }
+        assert!(
+            err_by_iter[2] <= err_by_iter[0],
+            "errors by iteration {err_by_iter:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "block length mismatch")]
+    fn encode_rejects_wrong_length() {
+        let code = TurboCode::new(40);
+        let _ = code.encode_block(&[0u8; 39]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Soft-decision Viterbi decoder for the 25.212 convolutional codes.
+//!
+//! Block decoder with zero-tail termination (matching
+//! [`crate::conv::ConvEncoder::encode_block`]): the survivor path is traced
+//! back from state 0. Metrics are additive correlation metrics over input
+//! LLRs (positive LLR ⇔ bit 0 more likely), so the decoder is
+//! max-likelihood for BPSK/QPSK over AWGN.
+
+use crate::conv::ConvCode;
+
+/// Reusable Viterbi decoder: the trellis tables are precomputed once per
+/// code, the path-metric arrays are reused across blocks.
+#[derive(Clone, Debug)]
+pub struct ViterbiDecoder {
+    code: ConvCode,
+    /// `outputs[state*2 + bit]` = packed coded bits for that transition.
+    outputs: Vec<u32>,
+    /// `next[state*2 + bit]` = successor state.
+    next: Vec<u32>,
+    /// Path metrics, double-buffered.
+    metrics: Vec<f64>,
+    metrics_next: Vec<f64>,
+}
+
+impl ViterbiDecoder {
+    /// Builds a decoder for `code`.
+    pub fn new(code: ConvCode) -> Self {
+        let n_states = code.n_states();
+        let mut outputs = Vec::with_capacity(n_states * 2);
+        let mut next = Vec::with_capacity(n_states * 2);
+        for s in 0..n_states as u32 {
+            for bit in 0..2u8 {
+                outputs.push(code.outputs(s, bit));
+                next.push(code.next_state(s, bit));
+            }
+        }
+        ViterbiDecoder {
+            code,
+            outputs,
+            next,
+            metrics: vec![0.0; n_states],
+            metrics_next: vec![0.0; n_states],
+        }
+    }
+
+    /// The code this decoder was built for.
+    pub fn code(&self) -> &ConvCode {
+        &self.code
+    }
+
+    /// Decodes a terminated block of LLRs (length must be a multiple of the
+    /// code's output count and cover `k + memory` trellis steps), returning
+    /// the `k` information bits.
+    ///
+    /// `llrs.len() == (k + memory) * n_outputs`.
+    pub fn decode_block(&mut self, llrs: &[f64]) -> Vec<u8> {
+        let n_out = self.code.n_outputs();
+        assert_eq!(llrs.len() % n_out, 0, "LLR length not a multiple of code outputs");
+        let steps = llrs.len() / n_out;
+        let memory = self.code.memory() as usize;
+        assert!(steps > memory, "block too short to contain the tail");
+        let k = steps - memory;
+        let n_states = self.code.n_states();
+
+        // Survivor decisions: decisions[t][s] stores the *oldest register
+        // bit of the winning predecessor* of state s at step t. The input
+        // bit itself needs no storage — shifting in the input makes it the
+        // successor state's MSB, so traceback reads it off the state.
+        // (256 B/step for the K=9 codes.)
+        let mut decisions = vec![0u8; steps * n_states];
+
+        const NEG: f64 = f64::NEG_INFINITY;
+        self.metrics.fill(NEG);
+        self.metrics[0] = 0.0; // encoder starts in state 0
+        for t in 0..steps {
+            let step_llrs = &llrs[t * n_out..(t + 1) * n_out];
+            self.metrics_next.fill(NEG);
+            let dec = &mut decisions[t * n_states..(t + 1) * n_states];
+            for s in 0..n_states {
+                let pm = self.metrics[s];
+                if pm == NEG {
+                    continue;
+                }
+                // During the tail only bit 0 is transmitted.
+                let bit_range = if t >= k { 0..1u8 } else { 0..2u8 };
+                for bit in bit_range {
+                    let idx = s * 2 + bit as usize;
+                    let out = self.outputs[idx];
+                    let mut bm = pm;
+                    for (i, &l) in step_llrs.iter().enumerate() {
+                        let coded = (out >> (n_out - 1 - i)) & 1;
+                        bm += if coded == 0 { l } else { -l };
+                    }
+                    let ns = self.next[idx] as usize;
+                    if bm > self.metrics_next[ns] {
+                        self.metrics_next[ns] = bm;
+                        dec[ns] = (s & 1) as u8;
+                    }
+                }
+            }
+            std::mem::swap(&mut self.metrics, &mut self.metrics_next);
+        }
+
+        // Trace back from the terminated state 0. At each step the input
+        // bit that produced the current state is its MSB, and the stored
+        // decision restores the predecessor's discarded oldest bit.
+        let mem = self.code.memory();
+        let mask = n_states as u32 - 1;
+        let mut bits = vec![0u8; steps];
+        let mut state = 0u32;
+        for t in (0..steps).rev() {
+            bits[t] = ((state >> (mem - 1)) & 1) as u8;
+            let oldest = decisions[t * n_states + state as usize];
+            state = ((state << 1) & mask) | oldest as u32;
+        }
+        bits.truncate(k);
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::bits_to_llrs;
+    use crate::conv::ConvEncoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn awgn_llrs(coded: &[u8], ebn0_db: f64, rate: f64, rng: &mut StdRng) -> Vec<f64> {
+        // BPSK: y = x + n, LLR = 2y/σ² with Es = 1, σ² = 1/(2·rate·Eb/N0).
+        let ebn0 = 10f64.powf(ebn0_db / 10.0);
+        let sigma2 = 1.0 / (2.0 * rate * ebn0);
+        let sigma = sigma2.sqrt();
+        coded
+            .iter()
+            .map(|&b| {
+                let x = 1.0 - 2.0 * b as f64;
+                let u1: f64 = rng.gen_range(1e-12..1.0f64);
+                let u2: f64 = rng.gen_range(0.0..1.0f64);
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                2.0 * (x + sigma * n) / sigma2
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noiseless_roundtrip_k3() {
+        let code = ConvCode::k3_test();
+        let mut enc = ConvEncoder::new(code.clone());
+        let mut dec = ViterbiDecoder::new(code);
+        let bits: Vec<u8> = (0..64).map(|i| ((i * 3) % 5 < 2) as u8).collect();
+        let coded = enc.encode_block(&bits);
+        let llrs = bits_to_llrs(&coded, 4.0);
+        assert_eq!(dec.decode_block(&llrs), bits);
+    }
+
+    #[test]
+    fn noiseless_roundtrip_umts_codes() {
+        for code in [ConvCode::umts_half(), ConvCode::umts_third()] {
+            let mut enc = ConvEncoder::new(code.clone());
+            let mut dec = ViterbiDecoder::new(code);
+            let bits: Vec<u8> = (0..200).map(|i| ((i * 7) % 11 < 5) as u8).collect();
+            let coded = enc.encode_block(&bits);
+            let llrs = bits_to_llrs(&coded, 1.0);
+            assert_eq!(dec.decode_block(&llrs), bits);
+        }
+    }
+
+    #[test]
+    fn corrects_isolated_hard_errors() {
+        // dfree = 12 for the UMTS rate-1/2 code: 5 scattered flips correct.
+        let code = ConvCode::umts_half();
+        let mut enc = ConvEncoder::new(code.clone());
+        let mut dec = ViterbiDecoder::new(code);
+        let bits: Vec<u8> = (0..100).map(|i| (i % 4 == 1) as u8).collect();
+        let mut coded = enc.encode_block(&bits);
+        for &pos in &[5usize, 40, 90, 130, 180] {
+            coded[pos] ^= 1;
+        }
+        let llrs = bits_to_llrs(&coded, 1.0);
+        assert_eq!(dec.decode_block(&llrs), bits);
+    }
+
+    #[test]
+    fn soft_decisions_beat_erasures() {
+        // Erased positions (LLR 0) do not break decoding.
+        let code = ConvCode::umts_third();
+        let mut enc = ConvEncoder::new(code.clone());
+        let mut dec = ViterbiDecoder::new(code);
+        let bits: Vec<u8> = (0..80).map(|i| (i % 5 == 0) as u8).collect();
+        let coded = enc.encode_block(&bits);
+        let mut llrs = bits_to_llrs(&coded, 1.0);
+        for i in (0..llrs.len()).step_by(7) {
+            llrs[i] = 0.0;
+        }
+        assert_eq!(dec.decode_block(&llrs), bits);
+    }
+
+    #[test]
+    fn umts_half_corrects_awgn_at_moderate_snr() {
+        let code = ConvCode::umts_half();
+        let mut enc = ConvEncoder::new(code.clone());
+        let mut dec = ViterbiDecoder::new(code);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for _ in 0..30 {
+            let bits: Vec<u8> = (0..200).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded = enc.encode_block(&bits);
+            let llrs = awgn_llrs(&coded, 4.0, 0.5, &mut rng);
+            let out = dec.decode_block(&llrs);
+            errors += out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+            total += bits.len();
+        }
+        // At Eb/N0 = 4 dB the K=9 r=1/2 code is far below 1e-3.
+        assert!(
+            errors as f64 / total as f64 <= 1e-3,
+            "BER {} too high",
+            errors as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn rate_third_outperforms_rate_half_at_low_snr() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ber = |code: ConvCode, rate: f64| -> f64 {
+            let mut enc = ConvEncoder::new(code.clone());
+            let mut dec = ViterbiDecoder::new(code);
+            let mut errors = 0usize;
+            let mut total = 0usize;
+            for _ in 0..40 {
+                let bits: Vec<u8> = (0..150).map(|_| rng.gen_range(0..2u8)).collect();
+                let coded = enc.encode_block(&bits);
+                let llrs = awgn_llrs(&coded, 1.5, rate, &mut rng);
+                let out = dec.decode_block(&llrs);
+                errors += out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+                total += bits.len();
+            }
+            (errors.max(1)) as f64 / total as f64
+        };
+        let b_half = ber(ConvCode::umts_half(), 0.5);
+        let b_third = ber(ConvCode::umts_third(), 1.0 / 3.0);
+        assert!(
+            b_third <= b_half,
+            "r=1/3 ({b_third}) should beat r=1/2 ({b_half}) at same Eb/N0"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_misaligned_llrs() {
+        let mut dec = ViterbiDecoder::new(ConvCode::umts_half());
+        let _ = dec.decode_block(&[0.5; 33]);
+    }
+}

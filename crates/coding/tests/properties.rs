@@ -1,0 +1,111 @@
+//! Property tests for the coding stack: linearity, systematicness, and
+//! decode-inverts-encode invariants.
+
+use gsp_coding::bits::bits_to_llrs;
+use gsp_coding::{Crc, CrcKind};
+use gsp_coding::{ConvCode, ConvEncoder, TurboCode, TurboDecoder, ViterbiDecoder};
+use proptest::prelude::*;
+
+fn bitvec(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..2, range)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn conv_encoding_is_linear(a in bitvec(1..120), b_seed in any::<u64>()) {
+        // Generate b of the same length from the seed.
+        let b: Vec<u8> = (0..a.len())
+            .map(|i| ((b_seed >> (i % 64)) & 1) as u8)
+            .collect();
+        let xor: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        for code in [ConvCode::umts_half(), ConvCode::umts_third()] {
+            let ea = ConvEncoder::new(code.clone()).encode_block(&a);
+            let eb = ConvEncoder::new(code.clone()).encode_block(&b);
+            let ex = ConvEncoder::new(code.clone()).encode_block(&xor);
+            for i in 0..ea.len() {
+                prop_assert_eq!(ex[i], ea[i] ^ eb[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn viterbi_inverts_both_umts_codes(bits in bitvec(1..200)) {
+        for code in [ConvCode::umts_half(), ConvCode::umts_third()] {
+            let coded = ConvEncoder::new(code.clone()).encode_block(&bits);
+            let mut dec = ViterbiDecoder::new(code);
+            prop_assert_eq!(dec.decode_block(&bits_to_llrs(&coded, 1.0)), bits.clone());
+        }
+    }
+
+    #[test]
+    fn viterbi_tolerates_dfree_half_hard_errors(
+        bits in bitvec(40..120),
+        err_seed in any::<u64>(),
+    ) {
+        // dfree = 12 for the UMTS r=1/2 code: any 5 well-separated flips
+        // must be corrected. Place 5 flips at least 30 positions apart.
+        let code = ConvCode::umts_half();
+        let mut coded = ConvEncoder::new(code.clone()).encode_block(&bits);
+        let span = coded.len() / 5;
+        if span >= 2 {
+            for k in 0..5 {
+                let pos = k * span + (err_seed.wrapping_mul(k as u64 + 1) as usize) % (span.min(30));
+                let idx = pos.min(coded.len() - 1);
+                coded[idx] ^= 1;
+            }
+        }
+        let mut dec = ViterbiDecoder::new(code);
+        prop_assert_eq!(dec.decode_block(&bits_to_llrs(&coded, 1.0)), bits);
+    }
+
+    #[test]
+    fn turbo_is_systematic_and_invertible(seed in any::<u64>(), k in 40usize..140) {
+        let bits: Vec<u8> = (0..k).map(|i| ((seed >> (i % 64)) & 1) as u8).collect();
+        let code = TurboCode::new(k);
+        let coded = code.encode_block(&bits);
+        // Systematic: every third bit is the information bit.
+        for i in 0..k {
+            prop_assert_eq!(coded[3 * i], bits[i]);
+        }
+        let mut dec = TurboDecoder::new(code);
+        prop_assert_eq!(dec.decode_block(&bits_to_llrs(&coded, 1.5), 2), bits);
+    }
+
+    #[test]
+    fn crc_is_linear_over_gf2(a in bitvec(8..100), b_seed in any::<u64>()) {
+        // CRC of a linear code: crc(a ⊕ b) = crc(a) ⊕ crc(b) for equal
+        // lengths (systematic division is linear).
+        let b: Vec<u8> = (0..a.len())
+            .map(|i| ((b_seed >> (i % 61)) & 1) as u8)
+            .collect();
+        let xor: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        for kind in [CrcKind::Crc8, CrcKind::Crc16, CrcKind::Crc24] {
+            let crc = Crc::new(kind);
+            let ca = crc.compute(&a);
+            let cb = crc.compute(&b);
+            let cx = crc.compute(&xor);
+            for i in 0..ca.len() {
+                prop_assert_eq!(cx[i], ca[i] ^ cb[i], "{:?} bit {}", kind, i);
+            }
+        }
+    }
+
+    #[test]
+    fn crc_attach_always_verifies_and_burst_errors_fail(
+        bits in bitvec(0..150),
+        burst_start_frac in 0.0f64..1.0,
+        burst_len in 1usize..12,
+    ) {
+        let crc = Crc::new(CrcKind::Crc16);
+        let block = crc.attach(&bits);
+        prop_assert!(crc.check(&block).is_some());
+        let start = ((block.len() - burst_len.min(block.len())) as f64 * burst_start_frac) as usize;
+        let mut bad = block.clone();
+        for k in 0..burst_len.min(block.len() - start) {
+            bad[start + k] ^= 1;
+        }
+        prop_assert!(crc.check(&bad).is_none(), "burst at {start} len {burst_len}");
+    }
+}

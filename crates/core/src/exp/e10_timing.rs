@@ -1,0 +1,147 @@
+//! E10 — the §2.3 timing-recovery choice: "either the detector detailed in
+//! \[5\] (Gardner) or the estimator of \[6\] (Oerder–Meyr) depending on …
+//! length of the bursts in the TDMA frame".
+//!
+//! Burst-length sweep of both schemes under a random fractional timing
+//! offset **plus 500 ppm sample-clock drift**. The drift is what separates
+//! them: the feed-forward estimator computes one timing value for the
+//! whole burst, which goes stale as the clock slides (bad for long
+//! bursts); the feedback loop needs the preamble to converge (risky for
+//! very short bursts) but then tracks the drift indefinitely.
+
+use crate::exp::{par_trials, Scale};
+use crate::table::ExpTable;
+use gsp_channel::awgn::AwgnChannel;
+use gsp_channel::impairments::{ClockDrift, TimingOffset};
+use gsp_modem::framing::BurstFormat;
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct TimingTrial {
+    success: bool,
+    bit_errors: usize,
+    bits: usize,
+}
+
+fn trial(
+    kind: TimingRecoveryKind,
+    payload: usize,
+    esn0_db: f64,
+    drift_ppm: f64,
+    seed: u64,
+) -> TimingTrial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fmt = BurstFormat::standard(16, 24, payload);
+    let mut cfg = TdmaConfig::new(fmt.clone(), kind);
+    // Faster loop so the Gardner convergence cost is the 16-symbol
+    // preamble's to pay, not the payload's.
+    cfg.loop_bw = 0.05;
+    let modulator = TdmaBurstModulator::new(cfg.clone());
+    let mut demod = TdmaBurstDemodulator::new(cfg);
+    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let wave = modulator.modulate(&bits);
+    // Random fractional timing offset, then sample-clock drift, then noise.
+    let mu = rng.gen_range(0.05..0.95);
+    let mut t_off = TimingOffset::new(mu);
+    let mut shifted = Vec::new();
+    t_off.apply(&wave, &mut shifted);
+    let mut rx = Vec::new();
+    if drift_ppm != 0.0 {
+        let mut drift = ClockDrift::new(drift_ppm);
+        drift.apply(&shifted, &mut rx);
+    } else {
+        rx = shifted;
+    }
+    let mut ch = AwgnChannel::from_esn0_db(esn0_db);
+    ch.apply(&mut rx, &mut rng);
+    match demod.demodulate(&rx) {
+        Some(res) => TimingTrial {
+            success: true,
+            bit_errors: res.bits.iter().zip(&bits).filter(|(a, b)| a != b).count(),
+            bits: bits.len(),
+        },
+        None => TimingTrial {
+            success: false,
+            bit_errors: bits.len(),
+            bits: bits.len(),
+        },
+    }
+}
+
+/// Regenerates the burst-length sweep (with 500 ppm clock drift).
+pub fn e10_timing(scale: Scale, seed: u64) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E10 — Gardner [5] vs Oerder-Meyr [6] vs burst length (Es/N0 = 12 dB, 500 ppm clock drift)",
+        &["Payload (sym)", "Scheme", "Burst success", "BER (detected bursts)"],
+    );
+    let trials = scale.trials(30, 400);
+    let esn0 = 12.0;
+    let drift_ppm = 500.0;
+    let lengths: &[usize] = match scale {
+        Scale::Smoke => &[32, 2048],
+        Scale::Full => &[32, 64, 128, 256, 512, 1024, 2048, 4096],
+    };
+    for &len in lengths {
+        for kind in [TimingRecoveryKind::Gardner, TimingRecoveryKind::OerderMeyr] {
+            let results = par_trials(trials, seed, |s| trial(kind, len, esn0, drift_ppm, s));
+            let ok = results.iter().filter(|r| r.success).count();
+            let (errs, bits): (usize, usize) = results
+                .iter()
+                .filter(|r| r.success)
+                .fold((0, 0), |(e, b), r| (e + r.bit_errors, b + r.bits));
+            t.row(vec![
+                len.to_string(),
+                format!("{kind:?}"),
+                format!("{:.2}", ok as f64 / trials as f64),
+                if bits > 0 {
+                    format!("{:.2e}", errs as f64 / bits as f64)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    t.note("paper: the choice 'depend[s] on the ... length of the bursts in the TDMA frame'");
+    t.note("feed-forward one-shot estimate goes stale over a long drifting burst; the feedback loop tracks it");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parses a BER cell, treating "-" (no bursts detected) as total loss.
+    fn ber_cell(t: &ExpTable, row: usize) -> f64 {
+        t.cell(row, 3).parse().unwrap_or(1.0)
+    }
+
+    #[test]
+    fn scheme_choice_depends_on_burst_length() {
+        let t = e10_timing(Scale::Smoke, 31);
+        // Rows: [32/Gardner, 32/OM, 2048/Gardner, 2048/OM].
+        let om32_ok: f64 = t.cell(1, 2).parse().unwrap();
+        let g2048_ok: f64 = t.cell(2, 2).parse().unwrap();
+        let g32_ber = ber_cell(&t, 0);
+        let om32_ber = ber_cell(&t, 1);
+        let g2048_ber = ber_cell(&t, 2);
+        let om2048_ber = ber_cell(&t, 3);
+        // Short bursts: the feed-forward estimator wins (the loop is still
+        // converging when the payload arrives).
+        assert!(om32_ok > 0.9, "O&M short-burst success {om32_ok}");
+        assert!(
+            om32_ber < g32_ber,
+            "O&M {om32_ber} should beat Gardner {g32_ber} on 32-sym bursts"
+        );
+        // Long drifting bursts: the feedback loop tracks the drift while
+        // the stale one-shot estimate degrades badly.
+        assert!(g2048_ok > 0.9, "Gardner long-burst success {g2048_ok}");
+        // (Occasional Gardner cycle slips keep its long-burst BER above the
+        // tracking floor, so require a ×3 rather than order-of-magnitude
+        // separation at smoke trial counts.)
+        assert!(
+            g2048_ber * 3.0 < om2048_ber,
+            "Gardner {g2048_ber} vs O&M {om2048_ber} on drifting 2048-sym bursts"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! E11 — §4.4's payload structuring strategies: single chip vs chip per
+//! equipment vs chip per function, evaluated for the waveform-swap
+//! scenario.
+
+use crate::table::ExpTable;
+use gsp_fpga::device::FpgaDevice;
+use gsp_payload::partition::{evaluate, waveform_swap_blocks, PartitionStrategy};
+
+/// Regenerates the partition-strategy comparison.
+pub fn e11_partition() -> ExpTable {
+    let mut t = ExpTable::new(
+        "E11 — payload partitioning for the CDMA->TDMA swap (paper §4.4)",
+        &[
+            "Strategy",
+            "Chips",
+            "Reload gates",
+            "Functions interrupted",
+            "Reload time (ms)",
+            "Fixed interfaces",
+        ],
+    );
+    let blocks = waveform_swap_blocks();
+    let dev = FpgaDevice::virtex_like_1m();
+    for (s, label) in [
+        (PartitionStrategy::SingleChip, "single chip"),
+        (PartitionStrategy::ChipPerEquipment, "chip per equipment"),
+        (PartitionStrategy::ChipPerFunction, "chip per function"),
+    ] {
+        let o = evaluate(s, &blocks, &dev);
+        t.row(vec![
+            label.to_string(),
+            o.chips.to_string(),
+            o.reload_gates.to_string(),
+            o.interrupted_functions.to_string(),
+            format!("{:.2}", o.reload_time_ns as f64 / 1e6),
+            o.fixed_interfaces.to_string(),
+        ]);
+    }
+    t.note("paper: 'major FPGAs are not partially configurable and only a global reload is possible' — the chip boundary is the reconfiguration boundary");
+    t.note("paper: reconfigured function must keep 'common interfaces with the chips located before and after'");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_partitioning_shrinks_interruption() {
+        let t = e11_partition();
+        let interrupted: Vec<usize> = (0..3).map(|r| t.cell(r, 3).parse().unwrap()).collect();
+        assert_eq!(interrupted, vec![5, 3, 1]);
+        let reload: Vec<u64> = (0..3).map(|r| t.cell(r, 2).parse().unwrap()).collect();
+        assert!(reload[0] > reload[1] && reload[1] > reload[2]);
+    }
+}

@@ -1,0 +1,48 @@
+//! E1 — the paper's **Table 1**: MH1RT characteristics, plus the §4.1
+//! projection for the 0.25/0.18 µm nodes.
+
+use crate::table::ExpTable;
+use gsp_radiation::device::Mh1rtDevice;
+
+/// Regenerates Table 1 (and the projected columns).
+pub fn e1_table1() -> ExpTable {
+    let mut t = ExpTable::new(
+        "E1 / Table 1 — MH1RT characteristics (paper §4.1)",
+        &["Characteristic", "MH1RT", "0.25 um (proj.)", "0.18 um (proj.)"],
+    );
+    let devs = [
+        Mh1rtDevice::mh1rt(),
+        Mh1rtDevice::future_025um(),
+        Mh1rtDevice::future_018um(),
+    ];
+    let rows: Vec<Vec<(String, String)>> = devs.iter().map(|d| d.table1_rows()).collect();
+    #[allow(clippy::needless_range_loop)] // i indexes all three device columns
+    for i in 0..rows[0].len() {
+        t.row(vec![
+            rows[0][i].0.clone(),
+            rows[0][i].1.clone(),
+            rows[1][i].1.clone(),
+            rows[2][i].1.clone(),
+        ]);
+    }
+    t.note("paper Table 1: 1.2 Mgate, 2.5–5 V, 200 Krad, 1e-7 err/bit/day (GEO)");
+    t.note("paper §4.1: future nodes reach 300 Krad, SEU rate constant");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_values() {
+        let t = e1_table1();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.cell(0, 1), "1.2 million");
+        assert_eq!(t.cell(1, 1), "2.5 to 5V");
+        assert_eq!(t.cell(2, 1), "200 Krads");
+        assert_eq!(t.cell(2, 2), "300 Krads");
+        assert_eq!(t.cell(3, 1), "1e-7 err/bit/day");
+        assert_eq!(t.cell(3, 3), "1e-7 err/bit/day");
+    }
+}

@@ -1,0 +1,71 @@
+//! E2 — the §2.3 gate-complexity estimates: "timing recovery for MF-TDMA
+//! with 6 carriers: 200000 gates; CDMA with one user: 200000 gates <
+//! complexity with several users."
+
+use crate::table::ExpTable;
+use gsp_fpga::device::FpgaDevice;
+use gsp_fpga::resources::place;
+use gsp_modem::complexity::{cdma_demodulator, tdma_timing_recovery};
+
+/// Regenerates the complexity comparison with device-fit columns.
+pub fn e2_gates() -> ExpTable {
+    let dev = FpgaDevice::virtex_like_1m();
+    let mut t = ExpTable::new(
+        "E2 — modem gate complexity (paper §2.3)",
+        &["Personality", "Gates", "Paper anchor", "CLB frames", "Fits 1 Mgate device"],
+    );
+    let mut push = |label: String, gates: u64, anchor: &str| {
+        let placed = place(gates, &dev);
+        t.row(vec![
+            label,
+            format!("{gates}"),
+            anchor.to_string(),
+            placed.map(|p| p.frames_used.to_string()).unwrap_or_else(|_| "-".into()),
+            placed.map(|_| "yes".to_string()).unwrap_or_else(|_| "NO".into()),
+        ]);
+    };
+    push(
+        "MF-TDMA timing recovery, 6 carriers".into(),
+        tdma_timing_recovery(6).total(),
+        "≈200 000",
+    );
+    for users in [1usize, 2, 4, 8] {
+        let anchor = if users == 1 { "≈200 000" } else { "> 1-user case" };
+        push(
+            format!("CDMA demodulator, {users} user(s)"),
+            cdma_demodulator(users).total(),
+            anchor,
+        );
+    }
+    t.note("paper: 'a change to a TDMA demodulator is compatible with the existing hardware profile'");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsp_modem::complexity::ModemPersonality;
+
+    #[test]
+    fn anchors_hold_in_the_table() {
+        let t = e2_gates();
+        let tdma: u64 = t.cell(0, 1).parse().unwrap();
+        let cdma1: u64 = t.cell(1, 1).parse().unwrap();
+        assert!((150_000..=250_000).contains(&tdma));
+        assert!((150_000..=250_000).contains(&cdma1));
+        // Monotone growth over users.
+        let users: Vec<u64> = (1..5).map(|r| t.cell(r, 1).parse().unwrap()).collect();
+        assert!(users.windows(2).all(|w| w[0] < w[1]));
+        // Everything fits the paper's 1 Mgate-class device.
+        for r in 0..t.rows.len() {
+            assert_eq!(t.cell(r, 4), "yes", "row {r}");
+        }
+    }
+
+    #[test]
+    fn personality_shortcut_consistent() {
+        let t = e2_gates();
+        let tdma: u64 = t.cell(0, 1).parse().unwrap();
+        assert_eq!(tdma, ModemPersonality::Tdma { carriers: 6 }.gates());
+    }
+}

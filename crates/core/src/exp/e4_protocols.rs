@@ -1,0 +1,79 @@
+//! E4 — §3.3 quantified: TFTP's 512-byte stop-and-wait versus the
+//! FTP/SCPS-FP-class bulk transfer over the GEO link, across file sizes;
+//! plus the crossover point.
+
+use crate::table::ExpTable;
+use gsp_netproto::link::LinkConfig;
+use gsp_netproto::scenarios::{simulate_transfer, tftp_bulk_crossover, TransferProtocol};
+
+/// Regenerates the protocol-comparison table.
+pub fn e4_protocols(seed: u64) -> ExpTable {
+    let link = LinkConfig::geo_default();
+    let mut t = ExpTable::new(
+        "E4 / Fig. 4 (N3) — transfer protocols over the GEO link (250 ms RTT, 256 kbps up)",
+        &["File size", "Protocol", "Time (s)", "Goodput (kbps)", "Delivered"],
+    );
+    let sizes: &[(usize, &str)] = &[
+        (512, "512 B (small test)"),
+        (8 * 1024, "8 kB"),
+        (96 * 1024, "96 kB (bitstream)"),
+        (512 * 1024, "512 kB"),
+    ];
+    let protocols = [
+        TransferProtocol::Tftp,
+        TransferProtocol::Bulk { window: 8 * 1024 },
+        TransferProtocol::Bulk { window: 32 * 1024 },
+        TransferProtocol::ScpsFp,
+    ];
+    for &(size, label) in sizes {
+        for proto in protocols {
+            let st = simulate_transfer(proto, size, link, seed);
+            t.row(vec![
+                label.to_string(),
+                proto.label(),
+                format!("{:.2}", st.duration_s),
+                format!("{:.1}", st.goodput_bps / 1000.0),
+                if st.delivered { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    if let Some(c) = tftp_bulk_crossover(link, 32 * 1024, seed) {
+        t.note(&format!(
+            "bulk (32 kB window) overtakes TFTP from ≈{c} bytes upward"
+        ));
+    }
+    t.note("paper: TFTP 'has to be used only for small transfer for efficiency reason'; FTP/SCPS-FP 'for large transfer'");
+    t.note("SCPS-FP is rate-based with NAK repair — no window stall on the 250 ms RTT (CCSDS's 'efficient transfer across the space link')");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shows_tftp_losing_on_large_files() {
+        let t = e4_protocols(5);
+        // Rows for 96 kB: TFTP (row 8), bulk-32k (row 10), SCPS-FP (row 11).
+        let tftp_96k: f64 = t.cell(8, 2).parse().unwrap();
+        let bulk_96k: f64 = t.cell(10, 2).parse().unwrap();
+        let scps_96k: f64 = t.cell(11, 2).parse().unwrap();
+        assert!(scps_96k <= bulk_96k * 1.2, "SCPS-FP {scps_96k} vs TCP {bulk_96k}");
+        assert!(
+            tftp_96k > 4.0 * bulk_96k,
+            "TFTP {tftp_96k}s vs bulk {bulk_96k}s"
+        );
+        // Everything delivered.
+        for r in 0..t.rows.len() {
+            assert_eq!(t.cell(r, 4), "yes", "row {r}");
+        }
+        // TFTP on a bitstream-sized file takes tens of seconds.
+        assert!(tftp_96k > 40.0, "TFTP should pay ~1 RTT per 512 B block");
+    }
+
+    #[test]
+    fn crossover_note_present() {
+        let t = e4_protocols(6);
+        assert!(t.notes.iter().any(|n| n.contains("overtakes TFTP")));
+    }
+}

@@ -1,0 +1,127 @@
+//! E7 — §4.2's radiation environment: SEU rates per regime for a
+//! bitstream-sized design, and TID lifetime against the Table 1 tolerance.
+
+use crate::exp::{par_trials, Scale};
+use crate::table::ExpTable;
+use gsp_fpga::device::FpgaDevice;
+use gsp_radiation::device::Mh1rtDevice;
+use gsp_radiation::environment::RadiationEnvironment;
+use gsp_radiation::latchup::{simulate_mission, LatchupModel};
+use gsp_radiation::tid::TidAccumulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates the environment table.
+pub fn e7_environment() -> ExpTable {
+    let mut t = ExpTable::new(
+        "E7 — radiation regimes (paper §4.2) for the 1 Mgate payload FPGA",
+        &[
+            "Regime",
+            "SEU multiplier",
+            "Upsets/day (786 kbit cfg)",
+            "Mean days between upsets",
+            "TID lifetime MH1RT (y)",
+            "TID lifetime 0.25um (y)",
+        ],
+    );
+    let fpga = FpgaDevice::virtex_like_1m();
+    let bits = fpga.config_bits();
+    let dev_now = Mh1rtDevice::mh1rt();
+    let dev_fut = Mh1rtDevice::future_025um();
+    for env in [
+        RadiationEnvironment::geo_quiet(),
+        RadiationEnvironment::cosmic_ray_enhanced(),
+        RadiationEnvironment::solar_flare(),
+    ] {
+        let per_day = env.seu_rate_per_second(dev_now.seu_per_bit_day, bits) * 86_400.0;
+        t.row(vec![
+            env.name.to_string(),
+            format!("{}x", env.seu_multiplier),
+            format!("{per_day:.3}"),
+            format!("{:.1}", 1.0 / per_day),
+            format!("{:.0}", TidAccumulator::lifetime_years(&dev_now, &env)),
+            format!("{:.0}", TidAccumulator::lifetime_years(&dev_fut, &env)),
+        ]);
+    }
+    t.note("baseline rate: Table 1's 1e-7 err/bit/day (GEO)");
+    t.note("paper §4.2: flares raise fluxes 'over time periods from few hours to several days'");
+    t
+}
+
+/// E7b — §4.2's "other effects": latch-up and burnout over a 15-year GEO
+/// mission, qualified part vs unprotected commercial part.
+pub fn e7_latchup(scale: Scale, seed: u64) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E7b — latch-up & burnout over a 15-year GEO mission (paper §4.2)",
+        &[
+            "Part",
+            "Latch-ups/mission (mean)",
+            "Downtime (mean)",
+            "P(burnout)",
+        ],
+    );
+    let trials = scale.trials(200, 2000);
+    for (model, label) in [
+        (LatchupModel::qualified(), "space-qualified + current limiting"),
+        (LatchupModel::commercial_unprotected(), "commercial, unprotected"),
+    ] {
+        let results = par_trials(trials, seed, |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            simulate_mission(&model, &RadiationEnvironment::geo_quiet(), 15.0 * 365.0, &mut rng)
+        });
+        let events: f64 =
+            results.iter().map(|r| r.events as f64).sum::<f64>() / trials as f64;
+        let downtime: f64 =
+            results.iter().map(|r| r.downtime_s).sum::<f64>() / trials as f64;
+        let burned = results.iter().filter(|r| r.burned_out).count();
+        t.row(vec![
+            label.to_string(),
+            format!("{events:.2}"),
+            format!("{downtime:.0} s"),
+            format!("{:.3}", burned as f64 / trials as f64),
+        ]);
+    }
+    t.note("paper §4.2: latch-up/burnout 'are more difficult to recover from or impossible' — why the payload silicon must be space-qualified");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_geo_upset_interval_is_weeks() {
+        let t = e7_environment();
+        let per_day: f64 = t.cell(0, 2).parse().unwrap();
+        // 786 432 bits x 1e-7 = 0.0786/day -> ~12.7 days between upsets.
+        assert!((per_day - 0.0786).abs() < 0.002, "{per_day}");
+        let days: f64 = t.cell(0, 3).parse().unwrap();
+        assert!((days - 12.7).abs() < 0.2);
+    }
+
+    #[test]
+    fn flare_rate_is_100x() {
+        let t = e7_environment();
+        let quiet: f64 = t.cell(0, 2).parse().unwrap();
+        let flare: f64 = t.cell(2, 2).parse().unwrap();
+        assert!((flare / quiet - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn latchup_table_separates_part_classes() {
+        let t = e7_latchup(Scale::Smoke, 3);
+        let p_qual: f64 = t.cell(0, 3).parse().unwrap();
+        let p_com: f64 = t.cell(1, 3).parse().unwrap();
+        assert!(p_qual < 0.05, "qualified burnout {p_qual}");
+        assert!(p_com > 0.9, "commercial burnout {p_com}");
+    }
+
+    #[test]
+    fn future_node_gains_tid_lifetime() {
+        let t = e7_environment();
+        let now: f64 = t.cell(0, 4).parse().unwrap();
+        let fut: f64 = t.cell(0, 5).parse().unwrap();
+        assert_eq!(now, 20.0);
+        assert_eq!(fut, 30.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! E8 — the §2.3 decoder-reconfiguration motivation: "some transmissions
+//! can accept a non-coded mode while other ones require a convolutional
+//! code or a turbo-code". BER of the four UMTS schemes over AWGN at equal
+//! Eb/N0 — the QoS ladder that justifies swapping the on-board decoder.
+
+use crate::exp::{par_trials, Scale};
+use crate::table::ExpTable;
+use gsp_channel::awgn::GaussianSampler;
+use gsp_coding::{CodingScheme, ConvCode, ConvEncoder, TurboCode, TurboDecoder, ViterbiDecoder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BLOCK: usize = 320;
+
+/// (errors, bits) for one coded block of the scheme at Eb/N0.
+fn trial(scheme: CodingScheme, ebn0_db: f64, seed: u64) -> (usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = GaussianSampler::new();
+    let bits: Vec<u8> = (0..BLOCK).map(|_| rng.gen_range(0..2u8)).collect();
+    let coded: Vec<u8> = match scheme {
+        CodingScheme::Uncoded => bits.clone(),
+        CodingScheme::ConvHalf => ConvEncoder::new(ConvCode::umts_half()).encode_block(&bits),
+        CodingScheme::ConvThird => ConvEncoder::new(ConvCode::umts_third()).encode_block(&bits),
+        CodingScheme::Turbo { .. } => TurboCode::new(BLOCK).encode_block(&bits),
+    };
+    // Exact rate including tails.
+    let rate = BLOCK as f64 / coded.len() as f64;
+    let ebn0 = 10f64.powf(ebn0_db / 10.0);
+    let sigma2 = 1.0 / (2.0 * rate * ebn0);
+    let sigma = sigma2.sqrt();
+    let llrs: Vec<f64> = coded
+        .iter()
+        .map(|&b| {
+            let x = 1.0 - 2.0 * b as f64;
+            2.0 * (x + sigma * g.next(&mut rng)) / sigma2
+        })
+        .collect();
+    let decoded: Vec<u8> = match scheme {
+        CodingScheme::Uncoded => llrs.iter().map(|&l| (l < 0.0) as u8).collect(),
+        CodingScheme::ConvHalf => ViterbiDecoder::new(ConvCode::umts_half()).decode_block(&llrs),
+        CodingScheme::ConvThird => ViterbiDecoder::new(ConvCode::umts_third()).decode_block(&llrs),
+        CodingScheme::Turbo { iterations } => {
+            TurboDecoder::new(TurboCode::new(BLOCK)).decode_block(&llrs, iterations)
+        }
+    };
+    (
+        decoded.iter().zip(&bits).filter(|(a, b)| a != b).count(),
+        BLOCK,
+    )
+}
+
+/// Regenerates the coding-scheme BER table.
+pub fn e8_coding(scale: Scale, seed: u64) -> ExpTable {
+    let mut t = ExpTable::new(
+        "E8 — UMTS coding schemes over AWGN (paper §2.3, ref [4] = TS 25.212)",
+        &["Eb/N0 (dB)", "Scheme", "BER", "Blocks"],
+    );
+    let points: &[f64] = match scale {
+        Scale::Smoke => &[2.0],
+        Scale::Full => &[0.5, 1.0, 1.5, 2.0, 3.0, 4.0],
+    };
+    let blocks = scale.trials(40, 600);
+    let schemes = [
+        CodingScheme::Uncoded,
+        CodingScheme::ConvHalf,
+        CodingScheme::ConvThird,
+        CodingScheme::Turbo { iterations: 6 },
+    ];
+    for &e in points {
+        for scheme in schemes {
+            let results = par_trials(blocks, seed, |s| trial(scheme, e, s));
+            let errors: usize = results.iter().map(|r| r.0).sum();
+            let bits: usize = results.iter().map(|r| r.1).sum();
+            t.row(vec![
+                format!("{e:.1}"),
+                scheme.label().to_string(),
+                format!("{:.2e}", errors as f64 / bits as f64),
+                blocks.to_string(),
+            ]);
+        }
+    }
+    t.note("QoS ladder: each scheme swap is a §3.1 decoder reconfiguration on the DECOD FPGA");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coding_gain_ordering_at_2db() {
+        let t = e8_coding(Scale::Smoke, 17);
+        let ber: Vec<f64> = (0..4).map(|r| t.cell(r, 2).parse().unwrap()).collect();
+        let uncoded = ber[0];
+        let conv_half = ber[1];
+        let conv_third = ber[2];
+        let turbo = ber[3];
+        // At 2 dB: uncoded ≈ 3.8e-2; the coded schemes are far below it.
+        assert!((uncoded - 3.8e-2).abs() < 1.5e-2, "uncoded {uncoded}");
+        assert!(conv_half < uncoded / 5.0, "conv1/2 {conv_half}");
+        assert!(conv_third <= conv_half * 1.5, "conv1/3 {conv_third}");
+        assert!(turbo <= conv_half, "turbo {turbo} vs conv1/2 {conv_half}");
+    }
+}

@@ -1,0 +1,127 @@
+//! The ground network control centre (NCC): the authority the paper puts
+//! in charge of reconfiguration ("the independence of the satellite
+//! operator they offer is not required since the satellite operator is
+//! equally in charge of the reconfiguration", §3.3).
+
+use crate::waveform::{DecoderPersonality, ModemWaveform};
+use gsp_fpga::bitstream::Bitstream;
+use gsp_fpga::device::FpgaDevice;
+use gsp_netproto::link::LinkConfig;
+use gsp_netproto::scenarios::{simulate_transfer, TransferProtocol, TransferStats};
+use std::collections::HashMap;
+
+/// The NCC's design catalogue and link bookkeeping.
+#[derive(Debug)]
+pub struct Ncc {
+    /// Serialised bitstreams by name.
+    catalogue: HashMap<String, Vec<u8>>,
+    /// The TC/TM link used for uploads.
+    pub link: LinkConfig,
+    uploads: u64,
+    upload_seconds: f64,
+}
+
+impl Ncc {
+    /// New NCC over `link`.
+    pub fn new(link: LinkConfig) -> Self {
+        Ncc {
+            catalogue: HashMap::new(),
+            link,
+            uploads: 0,
+            upload_seconds: 0.0,
+        }
+    }
+
+    /// Registers a modem personality's bitstream for a target device.
+    pub fn register_waveform(&mut self, name: &str, wf: &ModemWaveform, device: &FpgaDevice) {
+        let bs = wf.bitstream_for(device);
+        self.catalogue.insert(name.to_string(), bs.serialise().to_vec());
+    }
+
+    /// Registers a decoder personality's bitstream.
+    pub fn register_decoder(&mut self, name: &str, dec: &DecoderPersonality, device: &FpgaDevice) {
+        let bs = dec.bitstream_for(device);
+        self.catalogue.insert(name.to_string(), bs.serialise().to_vec());
+    }
+
+    /// Registers a raw bitstream.
+    pub fn register_bitstream(&mut self, name: &str, bs: &Bitstream) {
+        self.catalogue.insert(name.to_string(), bs.serialise().to_vec());
+    }
+
+    /// Catalogue lookup.
+    pub fn design_bytes(&self, name: &str) -> Option<&[u8]> {
+        self.catalogue.get(name).map(|v| v.as_slice())
+    }
+
+    /// Simulates uploading a catalogued design over the link with the
+    /// given protocol; returns the transfer statistics.
+    pub fn upload(&mut self, name: &str, proto: TransferProtocol, seed: u64) -> Option<TransferStats> {
+        let size = self.catalogue.get(name)?.len();
+        let st = simulate_transfer(proto, size, self.link, seed);
+        self.uploads += 1;
+        self.upload_seconds += st.duration_s;
+        Some(st)
+    }
+
+    /// (uploads performed, cumulative upload seconds).
+    pub fn upload_stats(&self) -> (u64, f64) {
+        (self.uploads, self.upload_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_roundtrip() {
+        let mut ncc = Ncc::new(LinkConfig::geo_default());
+        let dev = FpgaDevice::virtex_like_1m();
+        ncc.register_waveform("tdma", &ModemWaveform::mf_tdma(), &dev);
+        let bytes = ncc.design_bytes("tdma").expect("registered");
+        let bs = Bitstream::deserialise(bytes).expect("valid");
+        assert_eq!(bs.design_id, ModemWaveform::mf_tdma().design_id());
+    }
+
+    #[test]
+    fn upload_accounts_time() {
+        let mut ncc = Ncc::new(LinkConfig::geo_default());
+        let dev = FpgaDevice::small_100k();
+        ncc.register_waveform("x", &ModemWaveform::mf_tdma(), &dev);
+        let st = ncc
+            .upload("x", TransferProtocol::Bulk { window: 32 * 1024 }, 1)
+            .expect("upload");
+        assert!(st.delivered);
+        let (n, secs) = ncc.upload_stats();
+        assert_eq!(n, 1);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn all_three_protocols_upload_the_same_design() {
+        let mut ncc = Ncc::new(LinkConfig::geo_default());
+        let dev = FpgaDevice::small_100k();
+        ncc.register_waveform("w", &ModemWaveform::sumts_cdma(), &dev);
+        let mut times = Vec::new();
+        for proto in [
+            TransferProtocol::Tftp,
+            TransferProtocol::Bulk { window: 32 * 1024 },
+            TransferProtocol::ScpsFp,
+        ] {
+            let st = ncc.upload("w", proto, 2).expect("upload");
+            assert!(st.delivered, "{proto:?}");
+            times.push(st.duration_s);
+        }
+        // TFTP slowest, SCPS-FP fastest on the clean GEO link.
+        assert!(times[0] > times[1] && times[1] > times[2], "{times:?}");
+        assert_eq!(ncc.upload_stats().0, 3);
+    }
+
+    #[test]
+    fn unknown_design_yields_none() {
+        let mut ncc = Ncc::new(LinkConfig::geo_default());
+        assert!(ncc.upload("ghost", TransferProtocol::Tftp, 1).is_none());
+        assert!(ncc.design_bytes("ghost").is_none());
+    }
+}

@@ -1,0 +1,309 @@
+//! End-to-end scenarios: the paper's §2.3 stories run against the full
+//! system — protocol upload, five-step reconfiguration, validation,
+//! rollback, and signal-level proof that the new personality works.
+
+use crate::ncc::Ncc;
+use crate::waveform::{DecoderPersonality, ModemWaveform, SelfTest};
+use gsp_fpga::device::FpgaDevice;
+use gsp_netproto::link::LinkConfig;
+use gsp_netproto::scenarios::TransferProtocol;
+use gsp_payload::equipment::standard_payload;
+use gsp_payload::memory::OnboardMemory;
+use gsp_payload::obpc::{FaultInjection, Obpc, ReconfigReport};
+
+/// Configuration of the flagship CDMA→TDMA waveform-change scenario.
+#[derive(Clone, Debug)]
+pub struct WaveformSwitchConfig {
+    /// Is the TDMA bitstream already in the on-board library (§3.2)?
+    pub library_hit: bool,
+    /// Upload protocol when not a library hit.
+    pub upload_protocol: TransferProtocol,
+    /// The TC/TM link.
+    pub link: LinkConfig,
+    /// Inject a configuration fault to exercise rollback.
+    pub fault: Option<FaultInjection>,
+}
+
+impl Default for WaveformSwitchConfig {
+    fn default() -> Self {
+        WaveformSwitchConfig {
+            library_hit: false,
+            upload_protocol: TransferProtocol::Bulk { window: 32 * 1024 },
+            link: LinkConfig::geo_default(),
+            fault: None,
+        }
+    }
+}
+
+/// Everything the scenario produces.
+#[derive(Clone, Debug)]
+pub struct WaveformSwitchOutcome {
+    /// New personality in service?
+    pub success: bool,
+    /// Previous personality restored after a failure?
+    pub rolled_back: bool,
+    /// Bitstream upload time, seconds (0 on library hit).
+    pub upload_s: f64,
+    /// Command + telemetry round trip, seconds.
+    pub command_rtt_s: f64,
+    /// Service interruption, milliseconds.
+    pub interruption_ms: f64,
+    /// Total ground-initiated change latency, seconds.
+    pub total_s: f64,
+    /// CDMA self-test before the change.
+    pub cdma_verified: SelfTest,
+    /// TDMA self-test after the change (or CDMA re-test after rollback).
+    pub tdma_verified: SelfTest,
+    /// The OBPC's step-by-step report.
+    pub report: ReconfigReport,
+}
+
+/// Runs the §2.3 waveform change: an in-service S-UMTS CDMA demodulator is
+/// reconfigured into the MF-TDMA personality.
+pub fn waveform_switch(cfg: &WaveformSwitchConfig, seed: u64) -> WaveformSwitchOutcome {
+    let device = FpgaDevice::virtex_like_1m();
+    let cdma = ModemWaveform::sumts_cdma();
+    let tdma = ModemWaveform::mf_tdma();
+
+    // Ground side.
+    let mut ncc = Ncc::new(cfg.link);
+    ncc.register_waveform("cdma.bit", &cdma, &device);
+    ncc.register_waveform("tdma.bit", &tdma, &device);
+
+    // Space side: payload with the CDMA personality in service.
+    let mut obpc = Obpc::new(OnboardMemory::new(8 << 20, true), standard_payload());
+    obpc.memory
+        .store("cdma.bit", ncc.design_bytes("cdma.bit").unwrap().to_vec())
+        .unwrap();
+    let pre = obpc.reconfigure(3, "cdma.bit", None).expect("initial load");
+    assert!(pre.success, "initial CDMA load must succeed");
+    let cdma_verified = cdma.self_test(seed);
+
+    // Phase 1: deliver the TDMA bitstream (upload or library hit).
+    let upload_s = if cfg.library_hit {
+        0.0
+    } else {
+        let st = ncc
+            .upload("tdma.bit", cfg.upload_protocol, seed)
+            .expect("catalogued");
+        assert!(st.delivered, "upload must complete");
+        st.duration_s
+    };
+    obpc.memory
+        .store("tdma.bit", ncc.design_bytes("tdma.bit").unwrap().to_vec())
+        .unwrap();
+
+    // Phase 2: the reconfiguration telecommand (1 uplink leg) and its
+    // telemetry (1 downlink leg).
+    let command_rtt_s = cfg.link.rtt_ns() as f64 / 1e9;
+
+    // Phase 3: the five-step on-board process.
+    let report = obpc.reconfigure(3, "tdma.bit", cfg.fault).expect("service runs");
+
+    // Phase 4: functional verification of whatever is now in service.
+    let tdma_verified = if report.success {
+        tdma.self_test(seed + 1)
+    } else {
+        cdma.self_test(seed + 1) // rollback leaves CDMA running
+    };
+
+    WaveformSwitchOutcome {
+        success: report.success,
+        rolled_back: report.rolled_back,
+        upload_s,
+        command_rtt_s,
+        interruption_ms: report.interruption_ns as f64 / 1e6,
+        total_s: upload_s + command_rtt_s + report.total_ns() as f64 / 1e9,
+        cdma_verified,
+        tdma_verified,
+        report,
+    }
+}
+
+/// Outcome of the §2.3 decoder-upgrade scenario.
+#[derive(Clone, Debug)]
+pub struct DecoderSwitchOutcome {
+    /// The schemes that were loaded, in order, with their reconfiguration
+    /// reports and post-load link checks (BER over a reference block at
+    /// the probe Eb/N0).
+    pub stages: Vec<DecoderStage>,
+}
+
+/// One stage of the decoder upgrade.
+#[derive(Clone, Debug)]
+pub struct DecoderStage {
+    /// The scheme now loaded on the DECOD equipment.
+    pub scheme: gsp_coding::CodingScheme,
+    /// Reconfiguration succeeded?
+    pub reconfigured: bool,
+    /// Service interruption, milliseconds.
+    pub interruption_ms: f64,
+    /// Measured BER of the new decoder over the reference AWGN link.
+    pub link_ber: f64,
+}
+
+/// Runs the paper's decoder example: the DECOD equipment steps through
+/// uncoded → convolutional → turbo as the traffic's QoS requirement
+/// tightens, each step a §3.1 reconfiguration, each verified by running
+/// the new decoder over a reference Eb/N0 = 3 dB AWGN link.
+pub fn decoder_switch(seed: u64) -> DecoderSwitchOutcome {
+    use gsp_channel::awgn::GaussianSampler;
+    use gsp_coding::{CodingScheme, ConvCode, ConvEncoder, TurboCode, TurboDecoder, ViterbiDecoder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let device = FpgaDevice::virtex_like_1m();
+    let mut obpc = Obpc::new(OnboardMemory::new(8 << 20, true), standard_payload());
+    let schemes = [
+        CodingScheme::Uncoded,
+        CodingScheme::ConvHalf,
+        CodingScheme::ConvThird,
+        CodingScheme::Turbo { iterations: 6 },
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = GaussianSampler::new();
+    let ebn0_db = 3.0;
+    let k = 320usize;
+
+    let mut stages = Vec::new();
+    for (i, scheme) in schemes.into_iter().enumerate() {
+        // Ground prepares and "uploads" (library) the decoder bitstream.
+        let dec = DecoderPersonality { scheme };
+        let name = format!("decod_{i}.bit");
+        obpc.memory
+            .store(&name, dec.bitstream_for(&device).serialise().to_vec())
+            .expect("memory");
+        let report = obpc.reconfigure(4, &name, None).expect("service");
+
+        // Probe the link with the newly-loaded decoder.
+        let trials = 30;
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let bits: Vec<u8> = (0..k).map(|_| rng.gen_range(0..2u8)).collect();
+            let coded: Vec<u8> = match scheme {
+                CodingScheme::Uncoded => bits.clone(),
+                CodingScheme::ConvHalf => {
+                    ConvEncoder::new(ConvCode::umts_half()).encode_block(&bits)
+                }
+                CodingScheme::ConvThird => {
+                    ConvEncoder::new(ConvCode::umts_third()).encode_block(&bits)
+                }
+                CodingScheme::Turbo { .. } => TurboCode::new(k).encode_block(&bits),
+            };
+            let rate = k as f64 / coded.len() as f64;
+            let sigma2 = 1.0 / (2.0 * rate * 10f64.powf(ebn0_db / 10.0));
+            let sigma = sigma2.sqrt();
+            let llrs: Vec<f64> = coded
+                .iter()
+                .map(|&b| 2.0 * ((1.0 - 2.0 * b as f64) + sigma * g.next(&mut rng)) / sigma2)
+                .collect();
+            let decoded: Vec<u8> = match scheme {
+                CodingScheme::Uncoded => llrs.iter().map(|&l| (l < 0.0) as u8).collect(),
+                CodingScheme::ConvHalf => {
+                    ViterbiDecoder::new(ConvCode::umts_half()).decode_block(&llrs)
+                }
+                CodingScheme::ConvThird => {
+                    ViterbiDecoder::new(ConvCode::umts_third()).decode_block(&llrs)
+                }
+                CodingScheme::Turbo { iterations } => {
+                    TurboDecoder::new(TurboCode::new(k)).decode_block(&llrs, iterations)
+                }
+            };
+            errors += decoded.iter().zip(&bits).filter(|(a, b)| a != b).count();
+            total += k;
+        }
+        stages.push(DecoderStage {
+            scheme,
+            reconfigured: report.success,
+            interruption_ms: report.interruption_ns as f64 / 1e6,
+            link_ber: errors as f64 / total as f64,
+        });
+    }
+    DecoderSwitchOutcome { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_switch_succeeds_and_verifies() {
+        let out = waveform_switch(&WaveformSwitchConfig::default(), 1);
+        assert!(out.success && !out.rolled_back);
+        assert!(out.cdma_verified.clean(), "CDMA must work before");
+        assert!(out.tdma_verified.clean(), "TDMA must work after");
+        assert!(out.upload_s > 1.0, "a 96 KiB bitstream takes seconds on 256 kbps");
+        // Interruption is milliseconds — service loss is brief even though
+        // the end-to-end change takes seconds (upload dominates).
+        assert!(out.interruption_ms < 100.0, "{}", out.interruption_ms);
+        assert!(out.total_s > out.upload_s);
+    }
+
+    #[test]
+    fn library_hit_removes_upload_from_critical_path() {
+        let with_upload = waveform_switch(&WaveformSwitchConfig::default(), 2);
+        let library = waveform_switch(
+            &WaveformSwitchConfig {
+                library_hit: true,
+                ..WaveformSwitchConfig::default()
+            },
+            2,
+        );
+        assert!(library.success);
+        assert_eq!(library.upload_s, 0.0);
+        assert!(
+            library.total_s < with_upload.total_s / 2.0,
+            "library {} vs upload {}",
+            library.total_s,
+            with_upload.total_s
+        );
+    }
+
+    #[test]
+    fn fault_rolls_back_and_cdma_still_works() {
+        let out = waveform_switch(
+            &WaveformSwitchConfig {
+                fault: Some(FaultInjection::CorruptAfterLoad),
+                ..WaveformSwitchConfig::default()
+            },
+            3,
+        );
+        assert!(!out.success && out.rolled_back);
+        assert!(out.tdma_verified.clean(), "rollback must restore service");
+    }
+
+    #[test]
+    fn decoder_upgrade_tightens_ber_at_each_step() {
+        let out = decoder_switch(9);
+        assert_eq!(out.stages.len(), 4);
+        for s in &out.stages {
+            assert!(s.reconfigured, "{:?}", s.scheme);
+            assert!(s.interruption_ms < 100.0);
+        }
+        let ber: Vec<f64> = out.stages.iter().map(|s| s.link_ber).collect();
+        // At 3 dB: uncoded ≈ 2.3e-2 » conv ≈ 1e-4 class » turbo ≈ 0.
+        assert!(ber[0] > 1e-2, "uncoded {:?}", ber);
+        assert!(ber[1] < ber[0] / 10.0, "conv1/2 {:?}", ber);
+        assert!(ber[3] <= ber[1], "turbo {:?}", ber);
+    }
+
+    #[test]
+    fn tftp_upload_is_much_slower() {
+        let bulk = waveform_switch(&WaveformSwitchConfig::default(), 4);
+        let tftp = waveform_switch(
+            &WaveformSwitchConfig {
+                upload_protocol: TransferProtocol::Tftp,
+                ..WaveformSwitchConfig::default()
+            },
+            4,
+        );
+        assert!(tftp.success);
+        assert!(
+            tftp.upload_s > 3.0 * bulk.upload_s,
+            "TFTP {} vs bulk {}",
+            tftp.upload_s,
+            bulk.upload_s
+        );
+    }
+}

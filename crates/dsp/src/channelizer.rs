@@ -1,0 +1,219 @@
+//! Polyphase FFT channelizer — the DEMUX of the paper's Fig. 2.
+//!
+//! An MF-TDMA uplink carries `M` FDM carriers inside the processed band.
+//! The classic maximally-decimated polyphase channelizer splits an input
+//! stream sampled at `M·f_ch` into `M` channel streams at `f_ch` each, at a
+//! cost of one prototype-filter pass plus one M-point FFT per output vector —
+//! far cheaper than `M` independent mixers+filters. This is exactly the
+//! digital demultiplexer a regenerative payload implements before its bank
+//! of per-carrier demodulators.
+
+use crate::complex::Cpx;
+use crate::fft::Fft;
+use crate::filter::FirKernel;
+use crate::window::Window;
+
+/// Maximally-decimated analysis channelizer with `M` channels.
+///
+/// Feed samples with [`PolyphaseChannelizer::push`]; every `M` input samples
+/// it produces one output sample per channel.
+#[derive(Clone, Debug)]
+pub struct PolyphaseChannelizer {
+    m: usize,
+    /// Polyphase components: `poly[p]` holds prototype taps `h[p], h[p+M], …`.
+    poly: Vec<Vec<f64>>,
+    /// Per-branch delay lines (newest first), each `taps_per_branch` long.
+    delay: Vec<Vec<Cpx>>,
+    taps_per_branch: usize,
+    fft: Fft,
+    /// Input sample counter within the current block (counts down M→0).
+    fill: usize,
+    /// Scratch vector handed to the FFT.
+    scratch: Vec<Cpx>,
+}
+
+impl PolyphaseChannelizer {
+    /// Builds a channelizer for `m` channels (power of two) with a prototype
+    /// low-pass of `taps_per_branch` taps per polyphase branch.
+    pub fn new(m: usize, taps_per_branch: usize) -> Self {
+        assert!(m.is_power_of_two() && m >= 2, "channel count must be a power of two");
+        assert!(taps_per_branch >= 2);
+        let proto_len = m * taps_per_branch;
+        // Prototype cutoff at half the channel spacing: 1/(2M) of input rate.
+        let proto = FirKernel::lowpass(proto_len + 1, 0.5 / m as f64, Window::Kaiser(8.0));
+        let mut poly = vec![vec![0.0; taps_per_branch]; m];
+        for (i, &t) in proto.taps().iter().take(proto_len).enumerate() {
+            poly[i % m][i / m] = t * m as f64; // ×M restores per-channel gain
+        }
+        PolyphaseChannelizer {
+            m,
+            poly,
+            delay: vec![vec![Cpx::ZERO; taps_per_branch]; m],
+            taps_per_branch,
+            fft: Fft::new(m),
+            fill: m,
+            scratch: vec![Cpx::ZERO; m],
+        }
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.m
+    }
+
+    /// Pushes one input sample; when a block of `M` completes, writes one
+    /// output sample per channel into `out` (length `M`, channel `k`
+    /// centred at normalised input frequency `k/M`) and returns `true`.
+    pub fn push(&mut self, x: Cpx, out: &mut [Cpx]) -> bool {
+        assert_eq!(out.len(), self.m);
+        // Commutator runs backwards through the branches: sample n of a block
+        // enters branch (M-1-n).
+        self.fill -= 1;
+        let branch = self.fill;
+        let line = &mut self.delay[branch];
+        // Shift delay line (small — taps_per_branch elements).
+        for i in (1..self.taps_per_branch).rev() {
+            line[i] = line[i - 1];
+        }
+        line[0] = x;
+        if self.fill > 0 {
+            return false;
+        }
+        self.fill = self.m;
+        // Run each polyphase branch, then an FFT across branches.
+        for (b, line) in self.delay.iter().enumerate() {
+            let taps = &self.poly[b];
+            let mut acc = Cpx::ZERO;
+            for (h, s) in taps.iter().zip(line.iter()) {
+                acc += s.scale(*h);
+            }
+            self.scratch[b] = acc;
+        }
+        // The inverse FFT's 1/M normalisation combines with the ×M prototype
+        // scaling to give unity channel gain.
+        self.fft.inverse(&mut self.scratch);
+        out.copy_from_slice(&self.scratch);
+        true
+    }
+
+    /// Channelizes a block; appends, per completed input block, one `Vec`
+    /// of `M` channel samples to `out`.
+    pub fn process(&mut self, x: &[Cpx], out: &mut Vec<Vec<Cpx>>) {
+        let mut frame = vec![Cpx::ZERO; self.m];
+        for &s in x {
+            if self.push(s, &mut frame) {
+                out.push(frame.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nco::Nco;
+
+    /// Drives a tone at channel-centre frequency `ch/M` through the
+    /// channelizer and returns per-channel mean output power.
+    fn tone_response(m: usize, ch: usize, n_blocks: usize) -> Vec<f64> {
+        let mut chan = PolyphaseChannelizer::new(m, 12);
+        let mut nco = Nco::from_step(std::f64::consts::TAU * ch as f64 / m as f64);
+        let mut powers = vec![0.0; m];
+        let mut frame = vec![Cpx::ZERO; m];
+        let mut count = 0usize;
+        let settle = 30;
+        for _ in 0..n_blocks * m {
+            if chan.push(nco.tick(), &mut frame) {
+                count += 1;
+                if count > settle {
+                    for (p, s) in powers.iter_mut().zip(&frame) {
+                        *p += s.norm_sqr();
+                    }
+                }
+            }
+        }
+        let denom = (count - settle) as f64;
+        powers.iter().map(|p| p / denom).collect()
+    }
+
+    #[test]
+    fn tone_lands_in_its_channel() {
+        let m = 8;
+        for ch in [0usize, 1, 3, 5, 7] {
+            let p = tone_response(m, ch, 200);
+            let (best, _) = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            assert_eq!(best, ch, "powers {p:?}");
+            // Selectivity: other channels at least 30 dB down.
+            for (k, &pw) in p.iter().enumerate() {
+                if k != ch {
+                    assert!(pw < p[ch] * 1e-3, "leak ch{k}={pw} vs ch{ch}={}", p[ch]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_gain_is_near_unity() {
+        let p = tone_response(8, 2, 300);
+        assert!((p[2] - 1.0).abs() < 0.1, "gain {}", p[2]);
+    }
+
+    #[test]
+    fn process_emits_one_frame_per_m_samples() {
+        let m = 4;
+        let mut chan = PolyphaseChannelizer::new(m, 8);
+        let mut out = Vec::new();
+        chan.process(&vec![Cpx::ONE; 4 * 25], &mut out);
+        assert_eq!(out.len(), 25);
+    }
+
+    #[test]
+    fn dc_input_appears_in_channel_zero() {
+        let m = 16;
+        let mut chan = PolyphaseChannelizer::new(m, 10);
+        let mut frame = vec![Cpx::ZERO; m];
+        let mut last = vec![Cpx::ZERO; m];
+        for _ in 0..m * 100 {
+            if chan.push(Cpx::ONE, &mut frame) {
+                last.copy_from_slice(&frame);
+            }
+        }
+        assert!((last[0].abs() - 1.0).abs() < 0.05, "ch0 {}", last[0].abs());
+        for (k, s) in last.iter().enumerate().skip(1) {
+            assert!(s.abs() < 0.05, "ch{k} {}", s.abs());
+        }
+    }
+
+    #[test]
+    fn two_tones_separate_cleanly() {
+        let m = 8;
+        let mut chan = PolyphaseChannelizer::new(m, 12);
+        let mut nco_a = Nco::from_step(std::f64::consts::TAU * 1.0 / m as f64);
+        let mut nco_b = Nco::from_step(std::f64::consts::TAU * 6.0 / m as f64);
+        let mut frame = vec![Cpx::ZERO; m];
+        let mut powers = vec![0.0; m];
+        let mut frames = 0;
+        for _ in 0..m * 400 {
+            let x = nco_a.tick() + nco_b.tick();
+            if chan.push(x, &mut frame) {
+                frames += 1;
+                if frames > 50 {
+                    for (p, s) in powers.iter_mut().zip(&frame) {
+                        *p += s.norm_sqr();
+                    }
+                }
+            }
+        }
+        let norm = (frames - 50) as f64;
+        let p: Vec<f64> = powers.iter().map(|v| v / norm).collect();
+        assert!(p[1] > 0.8 && p[6] > 0.8, "p={p:?}");
+        for k in [0usize, 2, 3, 4, 5, 7] {
+            assert!(p[k] < 0.02, "leak in ch{k}: {}", p[k]);
+        }
+    }
+}

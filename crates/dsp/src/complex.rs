@@ -1,0 +1,337 @@
+//! A small complex-baseband sample type.
+//!
+//! The workspace deliberately does not pull in `num-complex`; the handful of
+//! operations a modem needs fit in this module and keep the dependency set
+//! closed (see DESIGN.md §5).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex sample in double precision.
+///
+/// All signal paths in the workspace use `f64`: the simulated payload chains
+/// are modest in length, and double precision removes numerical-noise-floor
+/// questions from BER/jitter experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cpx {
+    /// In-phase (real) component.
+    pub re: f64,
+    /// Quadrature (imaginary) component.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// The additive identity.
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Cpx = Cpx { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Cpx = Cpx { re: 0.0, im: 1.0 };
+
+    /// Builds a complex number from rectangular coordinates.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cpx { re, im }
+    }
+
+    /// Builds a unit phasor `e^{jθ}`.
+    #[inline(always)]
+    pub fn from_angle(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Cpx { re: c, im: s }
+    }
+
+    /// Builds a complex number from polar coordinates.
+    #[inline(always)]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Cpx {
+            re: r * c,
+            im: r * s,
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Cpx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`, cheaper than [`Cpx::abs`].
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase) in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, k: f64) -> Self {
+        Cpx {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// `self * other.conj()` — the correlation kernel, fused to avoid an
+    /// intermediate negation in hot despreading loops.
+    #[inline(always)]
+    pub fn mul_conj(self, other: Cpx) -> Self {
+        Cpx {
+            re: self.re * other.re + self.im * other.im,
+            im: self.im * other.re - self.re * other.im,
+        }
+    }
+
+    /// Rotates the phasor by `theta` radians.
+    #[inline(always)]
+    pub fn rotate(self, theta: f64) -> Self {
+        self * Cpx::from_angle(theta)
+    }
+
+    /// `true` if both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Cpx {
+    type Output = Cpx;
+    #[inline(always)]
+    fn add(self, rhs: Cpx) -> Cpx {
+        Cpx {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Cpx {
+    type Output = Cpx;
+    #[inline(always)]
+    fn sub(self, rhs: Cpx) -> Cpx {
+        Cpx {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Cpx {
+    type Output = Cpx;
+    #[inline(always)]
+    fn mul(self, rhs: Cpx) -> Cpx {
+        Cpx {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn div(self, rhs: Cpx) -> Cpx {
+        let d = rhs.norm_sqr();
+        Cpx {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Mul<f64> for Cpx {
+    type Output = Cpx;
+    #[inline(always)]
+    fn mul(self, k: f64) -> Cpx {
+        self.scale(k)
+    }
+}
+
+impl Mul<Cpx> for f64 {
+    type Output = Cpx;
+    #[inline(always)]
+    fn mul(self, z: Cpx) -> Cpx {
+        z.scale(self)
+    }
+}
+
+impl Div<f64> for Cpx {
+    type Output = Cpx;
+    #[inline(always)]
+    fn div(self, k: f64) -> Cpx {
+        Cpx {
+            re: self.re / k,
+            im: self.im / k,
+        }
+    }
+}
+
+impl Neg for Cpx {
+    type Output = Cpx;
+    #[inline(always)]
+    fn neg(self) -> Cpx {
+        Cpx {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Cpx {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Cpx) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Cpx {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Cpx) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Cpx {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Cpx) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for Cpx {
+    #[inline(always)]
+    fn mul_assign(&mut self, k: f64) {
+        self.re *= k;
+        self.im *= k;
+    }
+}
+
+impl DivAssign<f64> for Cpx {
+    #[inline(always)]
+    fn div_assign(&mut self, k: f64) {
+        self.re /= k;
+        self.im /= k;
+    }
+}
+
+impl Sum for Cpx {
+    fn sum<I: Iterator<Item = Cpx>>(iter: I) -> Cpx {
+        iter.fold(Cpx::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Cpx> for Cpx {
+    fn sum<I: Iterator<Item = &'a Cpx>>(iter: I) -> Cpx {
+        iter.fold(Cpx::ZERO, |a, b| a + *b)
+    }
+}
+
+impl From<f64> for Cpx {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        Cpx { re, im: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Cpx::new(3.0, -4.0);
+        assert_eq!(z + Cpx::ZERO, z);
+        assert_eq!(z * Cpx::ONE, z);
+        assert_eq!(z - z, Cpx::ZERO);
+        assert_eq!(-z + z, Cpx::ZERO);
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let z = Cpx::new(3.0, -4.0);
+        assert!(close(z.abs(), 5.0));
+        assert!(close(z.norm_sqr(), 25.0));
+        let p = Cpx::from_polar(2.0, std::f64::consts::FRAC_PI_3);
+        assert!(close(p.abs(), 2.0));
+        assert!(close(p.arg(), std::f64::consts::FRAC_PI_3));
+    }
+
+    #[test]
+    fn multiplication_matches_polar_form() {
+        let a = Cpx::from_polar(2.0, 0.4);
+        let b = Cpx::from_polar(0.5, -1.1);
+        let c = a * b;
+        assert!(close(c.abs(), 1.0));
+        assert!(close(c.arg(), 0.4 - 1.1));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Cpx::new(1.5, -2.5);
+        let b = Cpx::new(-0.3, 0.7);
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn mul_conj_is_correlation_kernel() {
+        let a = Cpx::new(1.0, 2.0);
+        let b = Cpx::new(3.0, -1.0);
+        assert_eq!(a.mul_conj(b), a * b.conj());
+        // Correlating a sample against itself yields its power on the real axis.
+        let p = a.mul_conj(a);
+        assert!(close(p.re, a.norm_sqr()) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn rotation_by_pi_negates() {
+        let z = Cpx::new(1.0, 1.0);
+        let r = z.rotate(std::f64::consts::PI);
+        assert!(close(r.re, -1.0) && close(r.im, -1.0));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Cpx::new(0.8, -0.6);
+        assert_eq!(z.conj().conj(), z);
+        assert!(close((z * z.conj()).im, 0.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = [Cpx::new(1.0, 1.0); 8];
+        let s: Cpx = v.iter().sum();
+        assert!(close(s.re, 8.0) && close(s.im, 8.0));
+    }
+
+    #[test]
+    fn unit_phasor_stays_unit() {
+        let mut acc = Cpx::ONE;
+        for _ in 0..1000 {
+            acc *= Cpx::from_angle(0.1);
+        }
+        assert!((acc.abs() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Iterative radix-2 decimation-in-time FFT with precomputed twiddles.
+//!
+//! Used by the polyphase channelizer (the MF-TDMA DEMUX of Fig. 2), the
+//! Oerder–Meyr timing estimator's spectral line extraction, and spectral
+//! measurement in tests. Plans precompute twiddles and the bit-reversal
+//! permutation once; `forward`/`inverse` then run allocation-free in place.
+
+use crate::complex::Cpx;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    /// Twiddles `e^{-j 2π k / n}` for k in 0..n/2.
+    twiddles: Vec<Cpx>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl Fft {
+    /// Creates a plan for transform size `n` (power of two, ≥ 2).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two ≥ 2, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| Cpx::from_angle(-std::f64::consts::TAU * k as f64 / n as f64))
+            .collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Fft { n, twiddles, rev }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; plans are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn permute(&self, data: &mut [Cpx]) {
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Cpx], conj: bool) {
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let stride = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// In-place forward DFT: `X[k] = Σ x[n]·e^{-j2πkn/N}`.
+    pub fn forward(&self, data: &mut [Cpx]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        self.permute(data);
+        self.butterflies(data, false);
+    }
+
+    /// In-place inverse DFT including the 1/N normalisation.
+    pub fn inverse(&self, data: &mut [Cpx]) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan size");
+        self.permute(data);
+        self.butterflies(data, true);
+        let inv = 1.0 / self.n as f64;
+        for d in data.iter_mut() {
+            *d *= inv;
+        }
+    }
+}
+
+/// Direct O(N²) DFT for verification in tests and tiny sizes.
+pub fn dft_reference(x: &[Cpx]) -> Vec<Cpx> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cpx::ZERO;
+            for (i, &v) in x.iter().enumerate() {
+                acc += v * Cpx::from_angle(-std::f64::consts::TAU * (k * i) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Cpx], b: &[Cpx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "bin {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x: Vec<Cpx> = (0..n)
+                .map(|i| Cpx::new((i as f64).sin(), (i as f64 * 0.37).cos()))
+                .collect();
+            let want = dft_reference(&x);
+            let plan = Fft::new(n);
+            let mut got = x.clone();
+            plan.forward(&mut got);
+            assert_close(&got, &want, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 256;
+        let plan = Fft::new(n);
+        let x: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::new((i as f64 * 0.11).cos(), (i as f64 * 0.07).sin()))
+            .collect();
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        assert_close(&y, &x, 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 32;
+        let plan = Fft::new(n);
+        let mut x = vec![Cpx::ZERO; n];
+        x[0] = Cpx::ONE;
+        plan.forward(&mut x);
+        for v in &x {
+            assert!((*v - Cpx::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_single_bin() {
+        let n = 64;
+        let bin = 5;
+        let plan = Fft::new(n);
+        let mut x: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::from_angle(std::f64::consts::TAU * bin as f64 * i as f64 / n as f64))
+            .collect();
+        plan.forward(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == bin {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leak {v:?} in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let plan = Fft::new(n);
+        let x: Vec<Cpx> = (0..n)
+            .map(|i| Cpx::new((i as f64 * 1.3).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let e_time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let e_freq: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-8 * e_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(12);
+    }
+}

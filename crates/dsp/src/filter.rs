@@ -1,0 +1,234 @@
+//! FIR filtering: design (windowed-sinc) and execution (streaming and block).
+//!
+//! The demodulators run the matched filter sample-by-sample through
+//! [`FirFilter`], which keeps a circular delay line; batch paths (the
+//! channelizer, benches) use [`FirKernel::filter_block`] which writes into a
+//! caller-provided output buffer.
+
+use crate::complex::Cpx;
+use crate::math::sinc;
+use crate::window::Window;
+
+/// An immutable set of real FIR coefficients plus design helpers.
+#[derive(Clone, Debug)]
+pub struct FirKernel {
+    taps: Vec<f64>,
+}
+
+impl FirKernel {
+    /// Wraps raw coefficients.
+    pub fn from_taps(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        FirKernel { taps }
+    }
+
+    /// Windowed-sinc low-pass design.
+    ///
+    /// `cutoff` is the -6 dB edge as a fraction of the sample rate
+    /// (`0 < cutoff < 0.5`); `len` is the number of taps (odd lengths give a
+    /// symmetric, linear-phase, integer-group-delay filter).
+    pub fn lowpass(len: usize, cutoff: f64, window: Window) -> Self {
+        assert!(len >= 3, "need at least 3 taps");
+        assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5)");
+        let mid = (len - 1) as f64 / 2.0;
+        let mut taps: Vec<f64> = (0..len)
+            .map(|n| {
+                let t = n as f64 - mid;
+                2.0 * cutoff * sinc(2.0 * cutoff * t) * window.coeff(n, len)
+            })
+            .collect();
+        // Normalise to unity DC gain.
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        FirKernel { taps }
+    }
+
+    /// The filter coefficients.
+    #[inline]
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Number of taps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `true` when there are no taps (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// Group delay in samples for a symmetric design.
+    #[inline]
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Frequency response magnitude at normalised frequency `f` (cycles per
+    /// sample, `|f| ≤ 0.5`). Direct DTFT evaluation; used by design tests.
+    pub fn magnitude_at(&self, f: f64) -> f64 {
+        let mut acc = Cpx::ZERO;
+        for (n, &h) in self.taps.iter().enumerate() {
+            acc += Cpx::from_angle(-std::f64::consts::TAU * f * n as f64).scale(h);
+        }
+        acc.abs()
+    }
+
+    /// Full (non-causal tail included) block convolution:
+    /// `out[n] = Σ_k h[k]·x[n-k]`, with `out.len() == x.len()`.
+    ///
+    /// The transient at the start corresponds to an all-zero history.
+    pub fn filter_block(&self, x: &[Cpx], out: &mut Vec<Cpx>) {
+        out.clear();
+        out.reserve(x.len());
+        for n in 0..x.len() {
+            let kmax = n.min(self.taps.len() - 1);
+            let mut acc = Cpx::ZERO;
+            for k in 0..=kmax {
+                acc += x[n - k].scale(self.taps[k]);
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Streaming FIR filter with a preallocated circular delay line.
+#[derive(Clone, Debug)]
+pub struct FirFilter {
+    kernel: FirKernel,
+    /// Circular history buffer, newest sample at `pos`.
+    history: Vec<Cpx>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Builds a streaming filter around `kernel` with zeroed history.
+    pub fn new(kernel: FirKernel) -> Self {
+        let n = kernel.len();
+        FirFilter {
+            kernel,
+            history: vec![Cpx::ZERO; n],
+            pos: 0,
+        }
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &FirKernel {
+        &self.kernel
+    }
+
+    /// Resets the delay line to zero.
+    pub fn reset(&mut self) {
+        self.history.fill(Cpx::ZERO);
+        self.pos = 0;
+    }
+
+    /// Pushes one input sample and returns one output sample.
+    #[inline]
+    pub fn push(&mut self, x: Cpx) -> Cpx {
+        let n = self.history.len();
+        self.pos = if self.pos == 0 { n - 1 } else { self.pos - 1 };
+        self.history[self.pos] = x;
+        let taps = self.kernel.taps();
+        let mut acc = Cpx::ZERO;
+        // Two contiguous runs instead of a modulo per tap.
+        let first = n - self.pos;
+        for (k, &h) in taps[..first].iter().enumerate() {
+            acc += self.history[self.pos + k].scale(h);
+        }
+        for (k, &h) in taps[first..].iter().enumerate() {
+            acc += self.history[k].scale(h);
+        }
+        acc
+    }
+
+    /// Filters a block through the streaming state, appending to `out`.
+    pub fn process(&mut self, x: &[Cpx], out: &mut Vec<Cpx>) {
+        out.reserve(x.len());
+        for &s in x {
+            out.push(self.push(s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_has_unity_dc_gain() {
+        let k = FirKernel::lowpass(63, 0.2, Window::Hamming);
+        assert!((k.magnitude_at(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowpass_attenuates_stopband() {
+        let k = FirKernel::lowpass(63, 0.1, Window::Blackman);
+        // Well into the stop band, the Blackman design should be below -50 dB.
+        let stop = k.magnitude_at(0.25);
+        assert!(stop < 10f64.powf(-50.0 / 20.0), "stopband leak {stop}");
+    }
+
+    #[test]
+    fn lowpass_passband_is_flat() {
+        let k = FirKernel::lowpass(101, 0.2, Window::Hamming);
+        for &f in &[0.0, 0.02, 0.05, 0.08] {
+            let g = k.magnitude_at(f);
+            assert!((g - 1.0).abs() < 0.02, "gain {g} at {f}");
+        }
+    }
+
+    #[test]
+    fn impulse_response_is_taps() {
+        let kernel = FirKernel::from_taps(vec![0.5, 0.25, -0.125]);
+        let mut f = FirFilter::new(kernel.clone());
+        let mut out = Vec::new();
+        let mut input = vec![Cpx::ZERO; 5];
+        input[0] = Cpx::ONE;
+        f.process(&input, &mut out);
+        for (i, &h) in kernel.taps().iter().enumerate() {
+            assert!((out[i].re - h).abs() < 1e-12);
+        }
+        assert!(out[3].abs() < 1e-12 && out[4].abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_matches_block() {
+        let kernel = FirKernel::lowpass(21, 0.15, Window::Hann);
+        let x: Vec<Cpx> = (0..200)
+            .map(|i| Cpx::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut block = Vec::new();
+        kernel.filter_block(&x, &mut block);
+        let mut f = FirFilter::new(kernel);
+        let mut stream = Vec::new();
+        f.process(&x, &mut stream);
+        for (a, b) in block.iter().zip(&stream) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let kernel = FirKernel::lowpass(11, 0.2, Window::Hamming);
+        let mut f = FirFilter::new(kernel);
+        for i in 0..20 {
+            f.push(Cpx::new(i as f64, 0.0));
+        }
+        f.reset();
+        // After reset, an impulse reproduces tap 0 exactly.
+        let y = f.push(Cpx::ONE);
+        assert!((y.re - f.kernel().taps()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_delay_of_symmetric_filter() {
+        let k = FirKernel::lowpass(41, 0.2, Window::Hamming);
+        assert_eq!(k.group_delay(), 20.0);
+    }
+}

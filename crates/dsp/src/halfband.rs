@@ -1,0 +1,207 @@
+//! Half-band decimation filters.
+//!
+//! The paper's Fig. 2 front-end runs each ADC output through half-band
+//! filters before the DBFN/DEMUX. A half-band FIR has every second tap equal
+//! to zero (except the centre), so a decimate-by-2 stage costs roughly half
+//! the multiplies of a generic FIR — the classic sample-rate-reduction
+//! building block of satellite channelizers.
+
+use crate::complex::Cpx;
+use crate::filter::FirKernel;
+use crate::math::sinc;
+use crate::window::Window;
+
+/// Designs a half-band low-pass kernel of `len` taps (`len ≡ 3 (mod 4)`,
+/// e.g. 7, 11, 15…) with cutoff at a quarter of the sample rate.
+///
+/// The windowed-sinc design at cutoff 0.25 naturally zeroes the even taps
+/// (other than the centre); we force exact zeros to keep the structure.
+pub fn design_halfband(len: usize, window: Window) -> FirKernel {
+    assert!(len >= 7 && len % 4 == 3, "half-band length must be ≡3 mod 4 and ≥7, got {len}");
+    let mid = (len - 1) / 2;
+    let mut taps: Vec<f64> = (0..len)
+        .map(|n| {
+            let t = n as f64 - mid as f64;
+            0.5 * sinc(0.5 * t) * window.coeff(n, len)
+        })
+        .collect();
+    for (n, t) in taps.iter_mut().enumerate() {
+        let off = n as isize - mid as isize;
+        if off != 0 && off % 2 == 0 {
+            *t = 0.0;
+        }
+    }
+    let sum: f64 = taps.iter().sum();
+    for t in &mut taps {
+        *t /= sum;
+    }
+    FirKernel::from_taps(taps)
+}
+
+/// Streaming decimate-by-2 half-band stage.
+///
+/// Exploits the zero even taps: per output sample it runs the odd-tap
+/// polyphase branch plus the single centre tap.
+#[derive(Clone, Debug)]
+pub struct HalfBandDecimator {
+    /// Non-zero, non-centre taps as (delay-line age, coefficient) pairs.
+    branches: Vec<(usize, f64)>,
+    centre: f64,
+    /// Delay line sized to the full filter length.
+    history: Vec<Cpx>,
+    pos: usize,
+    /// Parity toggle: emit one output every two inputs.
+    phase: bool,
+    full_len: usize,
+}
+
+impl HalfBandDecimator {
+    /// Builds a decimator from a half-band kernel produced by
+    /// [`design_halfband`].
+    pub fn new(kernel: &FirKernel) -> Self {
+        let taps = kernel.taps();
+        let len = taps.len();
+        let mid = (len - 1) / 2;
+        let mut branches = Vec::with_capacity(len / 2);
+        for (n, &t) in taps.iter().enumerate() {
+            let off = n as isize - mid as isize;
+            if off % 2 != 0 {
+                branches.push((n, t));
+            } else if off != 0 {
+                assert!(t.abs() < 1e-12, "kernel is not half-band: tap {n} = {t}");
+            }
+        }
+        HalfBandDecimator {
+            branches,
+            centre: taps[mid],
+            history: vec![Cpx::ZERO; len],
+            pos: 0,
+            phase: false,
+            full_len: len,
+        }
+    }
+
+    /// Resets streaming state.
+    pub fn reset(&mut self) {
+        self.history.fill(Cpx::ZERO);
+        self.pos = 0;
+        self.phase = false;
+    }
+
+    #[inline]
+    fn hist(&self, age: usize) -> Cpx {
+        // age 0 = newest sample.
+        self.history[(self.pos + age) % self.full_len]
+    }
+
+    /// Pushes one input sample; returns an output sample on every second
+    /// input.
+    #[inline]
+    pub fn push(&mut self, x: Cpx) -> Option<Cpx> {
+        self.pos = if self.pos == 0 { self.full_len - 1 } else { self.pos - 1 };
+        self.history[self.pos] = x;
+        self.phase = !self.phase;
+        if !self.phase {
+            return None;
+        }
+        // y[n] = Σ_k h[k]·x[n−k]: tap index k pairs with delay-line age k.
+        let mid = (self.full_len - 1) / 2;
+        let mut acc = self.hist(mid).scale(self.centre);
+        for &(k, t) in &self.branches {
+            acc += self.hist(k).scale(t);
+        }
+        Some(acc)
+    }
+
+    /// Decimates a block, appending outputs to `out`.
+    pub fn process(&mut self, x: &[Cpx], out: &mut Vec<Cpx>) {
+        out.reserve(x.len() / 2 + 1);
+        for &s in x {
+            if let Some(y) = self.push(s) {
+                out.push(y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FirFilter;
+    use crate::nco::Nco;
+
+    #[test]
+    fn design_zeros_even_taps() {
+        let k = design_halfband(23, Window::Hamming);
+        let mid = (k.len() - 1) / 2;
+        for (n, &t) in k.taps().iter().enumerate() {
+            let off = n as isize - mid as isize;
+            if off != 0 && off % 2 == 0 {
+                assert_eq!(t, 0.0, "tap {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn design_has_halfband_symmetry_response() {
+        // A(f) + A(0.5 − f) = 2·h[mid] ≈ 1 for the zero-phase amplitude of a
+        // half-band filter; for a linear-phase design |H| equals |A|, and in
+        // and around the transition band A > 0, so magnitudes suffice.
+        let k = design_halfband(31, Window::Blackman);
+        for &f in &[0.05, 0.1, 0.15, 0.2, 0.25] {
+            let s = k.magnitude_at(f) + k.magnitude_at(0.5 - f);
+            assert!((s - 1.0).abs() < 0.02, "sum {s} at {f}");
+        }
+    }
+
+    #[test]
+    fn decimator_matches_filter_then_downsample() {
+        let k = design_halfband(19, Window::Hamming);
+        let x: Vec<Cpx> = (0..256)
+            .map(|i| Cpx::new((i as f64 * 0.21).sin(), (i as f64 * 0.13).cos()))
+            .collect();
+        let mut full = FirFilter::new(k.clone());
+        let mut filtered = Vec::new();
+        full.process(&x, &mut filtered);
+        let expected: Vec<Cpx> = filtered.iter().step_by(2).cloned().collect();
+        let mut dec = HalfBandDecimator::new(&k);
+        let mut got = Vec::new();
+        dec.process(&x, &mut got);
+        assert_eq!(got.len(), expected.len());
+        for (a, b) in got.iter().zip(&expected) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn passband_tone_survives_stopband_tone_dies() {
+        let k = design_halfband(63, Window::Blackman);
+        let fs = 1000.0;
+        let mut pass = Nco::new(50.0, fs); // 0.05 fs — in band
+        let mut stop = Nco::new(400.0, fs); // 0.40 fs — stop band
+        let mut dec_p = HalfBandDecimator::new(&k);
+        let mut dec_s = HalfBandDecimator::new(&k);
+        let (mut op, mut os) = (Vec::new(), Vec::new());
+        for _ in 0..4096 {
+            if let Some(y) = dec_p.push(pass.tick()) {
+                op.push(y);
+            }
+            if let Some(y) = dec_s.push(stop.tick()) {
+                os.push(y);
+            }
+        }
+        let p_pass: f64 = op[100..].iter().map(|v| v.norm_sqr()).sum::<f64>() / (op.len() - 100) as f64;
+        let p_stop: f64 = os[100..].iter().map(|v| v.norm_sqr()).sum::<f64>() / (os.len() - 100) as f64;
+        assert!(p_pass > 0.9, "passband power {p_pass}");
+        assert!(p_stop < 1e-4, "stopband power {p_stop}");
+    }
+
+    #[test]
+    fn emits_exactly_half_the_samples() {
+        let k = design_halfband(11, Window::Hann);
+        let mut dec = HalfBandDecimator::new(&k);
+        let mut out = Vec::new();
+        dec.process(&vec![Cpx::ONE; 1001], &mut out);
+        assert_eq!(out.len(), 501);
+    }
+}

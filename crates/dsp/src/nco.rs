@@ -1,0 +1,146 @@
+//! Numerically controlled oscillator (NCO).
+//!
+//! Used as the digital local oscillator of the IF down-conversion stages
+//! (LO1/LO2a/LO2b of the paper's Fig. 2) and as the phase accumulator inside
+//! carrier-recovery loops.
+
+use crate::complex::Cpx;
+use crate::math::wrap_angle;
+
+/// Phase-accumulating oscillator producing `e^{jφ[n]}` with
+/// `φ[n+1] = φ[n] + 2π·f/fs`.
+#[derive(Clone, Debug)]
+pub struct Nco {
+    phase: f64,
+    step: f64,
+}
+
+impl Nco {
+    /// Creates an NCO at `freq_hz` for a processing rate of `sample_rate_hz`.
+    pub fn new(freq_hz: f64, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0);
+        Nco {
+            phase: 0.0,
+            step: std::f64::consts::TAU * freq_hz / sample_rate_hz,
+        }
+    }
+
+    /// An NCO with an explicit phase increment per sample (radians).
+    pub fn from_step(step: f64) -> Self {
+        Nco { phase: 0.0, step }
+    }
+
+    /// Current phase in radians, wrapped to `(-π, π]`.
+    #[inline]
+    pub fn phase(&self) -> f64 {
+        wrap_angle(self.phase)
+    }
+
+    /// Current per-sample phase increment in radians.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Retunes the oscillator without resetting phase (phase-continuous).
+    pub fn set_frequency(&mut self, freq_hz: f64, sample_rate_hz: f64) {
+        self.step = std::f64::consts::TAU * freq_hz / sample_rate_hz;
+    }
+
+    /// Adds a one-off phase offset (loop corrections).
+    #[inline]
+    pub fn advance_phase(&mut self, dphi: f64) {
+        self.phase = wrap_angle(self.phase + dphi);
+    }
+
+    /// Adjusts the per-sample step by `dstep` radians (frequency corrections).
+    #[inline]
+    pub fn adjust_step(&mut self, dstep: f64) {
+        self.step += dstep;
+    }
+
+    /// Produces the next oscillator sample.
+    #[inline]
+    pub fn tick(&mut self) -> Cpx {
+        let out = Cpx::from_angle(self.phase);
+        self.phase = wrap_angle(self.phase + self.step);
+        out
+    }
+
+    /// Mixes (multiplies) an input sample with the oscillator, advancing it.
+    #[inline]
+    pub fn mix(&mut self, x: Cpx) -> Cpx {
+        x * self.tick()
+    }
+
+    /// Mixes a whole block in place.
+    pub fn mix_block(&mut self, data: &mut [Cpx]) {
+        for d in data.iter_mut() {
+            *d = self.mix(*d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::Fft;
+
+    #[test]
+    fn produces_expected_tone() {
+        let n = 128;
+        let bin = 8;
+        let mut nco = Nco::new(bin as f64, n as f64);
+        let mut buf: Vec<Cpx> = (0..n).map(|_| nco.tick()).collect();
+        let plan = Fft::new(n);
+        plan.forward(&mut buf);
+        let (max_bin, _) = buf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        assert_eq!(max_bin, bin);
+    }
+
+    #[test]
+    fn mixing_down_cancels_offset() {
+        let fs = 1000.0;
+        let f = 137.0;
+        let mut up = Nco::new(f, fs);
+        let tone: Vec<Cpx> = (0..500).map(|_| up.tick()).collect();
+        let mut down = Nco::new(-f, fs);
+        let mut base = tone.clone();
+        down.mix_block(&mut base);
+        for s in &base {
+            assert!((s.re - 1.0).abs() < 1e-9 && s.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_amplitude_forever() {
+        let mut nco = Nco::new(333.0, 1024.0);
+        for _ in 0..10_000 {
+            assert!((nco.tick().abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn retune_is_phase_continuous() {
+        let mut nco = Nco::new(10.0, 100.0);
+        for _ in 0..7 {
+            nco.tick();
+        }
+        let before = nco.phase();
+        nco.set_frequency(20.0, 100.0);
+        assert!((nco.phase() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_phase_shifts_output() {
+        let mut a = Nco::new(0.0, 1.0);
+        let mut b = Nco::new(0.0, 1.0);
+        b.advance_phase(std::f64::consts::FRAC_PI_2);
+        let (sa, sb) = (a.tick(), b.tick());
+        assert!((sa.mul_conj(sb).arg() + std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! FPGA device descriptors.
+
+/// How configuration data reaches the device (paper §3.1: "load of the new
+/// configuration on the FPGA through a specific interface (e.g. JTAG)").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigPort {
+    /// Serial JTAG at the given clock rate (one bit per clock).
+    Jtag {
+        /// TCK frequency in Hz (typ. 10 MHz for space-grade chains).
+        clock_hz: u64,
+    },
+    /// Byte-parallel SelectMAP-style port (8 bits per clock).
+    SelectMap {
+        /// CCLK frequency in Hz (typ. 50 MHz).
+        clock_hz: u64,
+    },
+}
+
+impl ConfigPort {
+    /// Configuration throughput in bits/second.
+    pub fn bits_per_second(self) -> u64 {
+        match self {
+            ConfigPort::Jtag { clock_hz } => clock_hz,
+            ConfigPort::SelectMap { clock_hz } => clock_hz * 8,
+        }
+    }
+
+    /// Time (nanoseconds) to load `bits` configuration bits.
+    pub fn load_time_ns(self, bits: u64) -> u64 {
+        (bits as u128 * 1_000_000_000u128 / self.bits_per_second() as u128) as u64
+    }
+}
+
+/// A reconfigurable device model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FpgaDevice {
+    /// Device name (telemetry / experiment tables).
+    pub name: &'static str,
+    /// CLB grid rows (the paper: CLBs "identified through two addresses,
+    /// one in column and one in row").
+    pub clb_rows: usize,
+    /// CLB grid columns.
+    pub clb_cols: usize,
+    /// Configuration frames (one per CLB column here).
+    pub frames: usize,
+    /// Bytes per configuration frame.
+    pub frame_bytes: usize,
+    /// Usable logic capacity in equivalent gates.
+    pub gate_capacity: u64,
+    /// Whether per-frame partial reconfiguration/read-back is supported.
+    pub partial_reconfig: bool,
+    /// Configuration port.
+    pub port: ConfigPort,
+    /// Fraction of configuration bits that are *essential* (an upset there
+    /// breaks the implemented function). Xilinx reports ~10–20% for real
+    /// designs; we default to 0.2.
+    pub essential_fraction: f64,
+}
+
+impl FpgaDevice {
+    /// A Virtex-like space-qualified part with read-back and partial
+    /// configuration (the §4.3 device): 1 Mgate class.
+    pub fn virtex_like_1m() -> Self {
+        FpgaDevice {
+            name: "SVF-1000 (Virtex-like, partial reconfig)",
+            clb_rows: 64,
+            clb_cols: 96,
+            frames: 96,
+            frame_bytes: 1_024,
+            gate_capacity: 1_000_000,
+            partial_reconfig: true,
+            port: ConfigPort::SelectMap { clock_hz: 50_000_000 },
+            essential_fraction: 0.2,
+        }
+    }
+
+    /// A monolithic FPGA without partial reconfiguration (the paper §4.4:
+    /// "major FPGAs are not partially configurable and only a global
+    /// reload is possible"), JTAG-configured.
+    pub fn monolithic_600k() -> Self {
+        FpgaDevice {
+            name: "SGF-600 (global reload only)",
+            clb_rows: 48,
+            clb_cols: 64,
+            frames: 64,
+            frame_bytes: 1_024,
+            gate_capacity: 600_000,
+            partial_reconfig: false,
+            port: ConfigPort::Jtag { clock_hz: 10_000_000 },
+            essential_fraction: 0.2,
+        }
+    }
+
+    /// A small control-logic part.
+    pub fn small_100k() -> Self {
+        FpgaDevice {
+            name: "SCF-100",
+            clb_rows: 16,
+            clb_cols: 24,
+            frames: 24,
+            frame_bytes: 512,
+            gate_capacity: 100_000,
+            partial_reconfig: true,
+            port: ConfigPort::Jtag { clock_hz: 10_000_000 },
+            essential_fraction: 0.2,
+        }
+    }
+
+    /// Total configuration bits.
+    pub fn config_bits(&self) -> u64 {
+        (self.frames * self.frame_bytes * 8) as u64
+    }
+
+    /// Full-configuration load time in nanoseconds.
+    pub fn full_config_time_ns(&self) -> u64 {
+        self.port.load_time_ns(self.config_bits())
+    }
+
+    /// Single-frame load time in nanoseconds.
+    pub fn frame_config_time_ns(&self) -> u64 {
+        self.port.load_time_ns((self.frame_bytes * 8) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_throughput() {
+        assert_eq!(ConfigPort::Jtag { clock_hz: 10_000_000 }.bits_per_second(), 10_000_000);
+        assert_eq!(
+            ConfigPort::SelectMap { clock_hz: 50_000_000 }.bits_per_second(),
+            400_000_000
+        );
+    }
+
+    #[test]
+    fn load_time_scales_with_size() {
+        let p = ConfigPort::Jtag { clock_hz: 1_000_000 };
+        assert_eq!(p.load_time_ns(1_000_000), 1_000_000_000); // 1 s
+        assert_eq!(p.load_time_ns(500_000), 500_000_000);
+    }
+
+    #[test]
+    fn virtex_like_full_config_is_milliseconds() {
+        let d = FpgaDevice::virtex_like_1m();
+        let t = d.full_config_time_ns();
+        // 96 KiB × 8 bits at 400 Mb/s ≈ 2 ms.
+        assert!(t > 1_000_000 && t < 10_000_000, "t = {t} ns");
+    }
+
+    #[test]
+    fn monolithic_jtag_is_much_slower() {
+        let fast = FpgaDevice::virtex_like_1m();
+        let slow = FpgaDevice::monolithic_600k();
+        // Despite being smaller, JTAG makes the monolithic part slower to
+        // configure — part of the E5/E11 interruption-time story.
+        assert!(slow.full_config_time_ns() > fast.full_config_time_ns());
+    }
+
+    #[test]
+    fn config_bit_accounting() {
+        let d = FpgaDevice::small_100k();
+        assert_eq!(d.config_bits(), 24 * 512 * 8);
+        assert_eq!(d.frame_config_time_ns(), d.port.load_time_ns(512 * 8));
+    }
+}

@@ -1,0 +1,190 @@
+//! Carrier-phase recovery — a stage both waveform personalities share
+//! ("other functions of the modem can remain the same", §2.3).
+//!
+//! * [`viterbi_viterbi_qpsk`] — feed-forward 4th-power phase estimate for
+//!   QPSK (π/2 ambiguity, resolved downstream by the unique word).
+//! * [`data_aided_phase`] — phase estimate against known reference symbols
+//!   (preamble / unique word / CDMA pilot), no ambiguity.
+//! * [`frequency_estimate_da`] — data-aided frequency estimate from the
+//!   phase ramp across known symbols.
+
+use gsp_dsp::Cpx;
+
+/// Viterbi&Viterbi 4th-power phase estimate for QPSK symbols.
+///
+/// Returns the carrier phase in `(-π/4, π/4]` — the true phase modulo the
+/// QPSK π/2 ambiguity.
+pub fn viterbi_viterbi_qpsk(symbols: &[Cpx]) -> f64 {
+    assert!(!symbols.is_empty());
+    let mut acc = Cpx::ZERO;
+    for s in symbols {
+        let s2 = *s * *s;
+        acc += s2 * s2;
+    }
+    // QPSK symbols sit at odd multiples of π/4, so s⁴ = e^{j(4θ+π)}.
+    (acc.arg() - std::f64::consts::PI) / 4.0
+}
+
+/// Data-aided maximum-likelihood phase estimate:
+/// `θ̂ = arg Σ y_k · ref_k*`.
+pub fn data_aided_phase(rx: &[Cpx], reference: &[Cpx]) -> f64 {
+    assert_eq!(rx.len(), reference.len());
+    assert!(!rx.is_empty());
+    rx.iter()
+        .zip(reference)
+        .map(|(y, r)| y.mul_conj(*r))
+        .sum::<Cpx>()
+        .arg()
+}
+
+/// Data-aided frequency estimate (radians/symbol) from known symbols:
+/// the phase slope of `z_k = y_k·ref_k*`, measured with a long-lag
+/// autocorrelation (Fitz-style, lag `D = L/2`). The long baseline divides
+/// the noise-induced estimate error by `D` compared to first-order
+/// differences — essential when the estimate is extrapolated across a
+/// whole burst. Unambiguous range: `|Δf| < π/D` rad/symbol.
+pub fn frequency_estimate_da(rx: &[Cpx], reference: &[Cpx]) -> f64 {
+    assert_eq!(rx.len(), reference.len());
+    assert!(rx.len() >= 2);
+    let derot: Vec<Cpx> = rx
+        .iter()
+        .zip(reference)
+        .map(|(y, r)| y.mul_conj(*r))
+        .collect();
+    let d = (derot.len() / 2).max(1);
+    let acc: Cpx = (0..derot.len() - d)
+        .map(|k| derot[k + d].mul_conj(derot[k]))
+        .sum();
+    acc.arg() / d as f64
+}
+
+/// Derotates a block by `theta` in place.
+pub fn derotate(data: &mut [Cpx], theta: f64) {
+    let rot = Cpx::from_angle(-theta);
+    for d in data.iter_mut() {
+        *d *= rot;
+    }
+}
+
+/// Decision-directed phase-tracking loop for residual phase/frequency after
+/// the burst-level estimate (first-order PLL on QPSK decisions).
+#[derive(Clone, Debug)]
+pub struct DecisionDirectedPll {
+    alpha: f64,
+    phase: f64,
+}
+
+impl DecisionDirectedPll {
+    /// Loop with per-symbol gain `alpha` (e.g. 0.05).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0);
+        DecisionDirectedPll { alpha, phase: 0.0 }
+    }
+
+    /// Current phase estimate.
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Corrects one QPSK symbol and updates the loop.
+    pub fn push(&mut self, y: Cpx) -> Cpx {
+        let corrected = y.rotate(-self.phase);
+        // Nearest QPSK decision.
+        let a = std::f64::consts::FRAC_1_SQRT_2;
+        let dec = Cpx::new(a * corrected.re.signum(), a * corrected.im.signum());
+        let err = corrected.mul_conj(dec).arg();
+        self.phase = gsp_dsp::math::wrap_angle(self.phase + self.alpha * err);
+        corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qpsk_syms(n: usize, seed: u64) -> Vec<Cpx> {
+        // Deterministic pseudo-random QPSK without pulling in rand.
+        let a = std::f64::consts::FRAC_1_SQRT_2;
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let b = (state >> 60) & 3;
+                Cpx::new(
+                    a * (1.0 - 2.0 * ((b & 1) as f64)),
+                    a * (1.0 - 2.0 * ((b >> 1) as f64)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn viterbi_viterbi_recovers_phase_mod_quarter() {
+        for &theta in &[0.0, 0.1, -0.3, 0.7] {
+            let mut syms = qpsk_syms(500, 7);
+            for s in syms.iter_mut() {
+                *s = s.rotate(theta);
+            }
+            let est = viterbi_viterbi_qpsk(&syms);
+            // Compare modulo π/2.
+            let diff = (est - theta).rem_euclid(std::f64::consts::FRAC_PI_2);
+            let err = diff.min(std::f64::consts::FRAC_PI_2 - diff);
+            assert!(err < 1e-9, "theta {theta}: est {est}");
+        }
+    }
+
+    #[test]
+    fn data_aided_phase_is_exact_and_unambiguous() {
+        for &theta in &[0.0, 0.9, -2.5, 3.0] {
+            let reference = qpsk_syms(64, 3);
+            let rx: Vec<Cpx> = reference.iter().map(|s| s.rotate(theta)).collect();
+            let est = data_aided_phase(&rx, &reference);
+            assert!(
+                (gsp_dsp::math::wrap_angle(est - theta)).abs() < 1e-9,
+                "theta {theta}: est {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_estimate_reads_phase_ramp() {
+        let reference = qpsk_syms(256, 5);
+        let df = 0.01; // rad/symbol
+        let rx: Vec<Cpx> = reference
+            .iter()
+            .enumerate()
+            .map(|(k, s)| s.rotate(df * k as f64))
+            .collect();
+        let est = frequency_estimate_da(&rx, &reference);
+        assert!((est - df).abs() < 1e-6, "est {est}");
+    }
+
+    #[test]
+    fn derotate_inverts_rotation() {
+        let mut syms = qpsk_syms(32, 9);
+        let orig = syms.clone();
+        for s in syms.iter_mut() {
+            *s = s.rotate(1.1);
+        }
+        derotate(&mut syms, 1.1);
+        for (a, b) in syms.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dd_pll_tracks_slow_frequency() {
+        let syms = qpsk_syms(4000, 13);
+        let df = 0.002; // rad/symbol residual frequency
+        let mut pll = DecisionDirectedPll::new(0.08);
+        let mut worst_tail = 0.0f64;
+        for (k, s) in syms.iter().enumerate() {
+            let rx = s.rotate(df * k as f64);
+            let y = pll.push(rx);
+            if k > 2000 {
+                worst_tail = worst_tail.max((y - *s).abs());
+            }
+        }
+        assert!(worst_tail < 0.2, "tail error {worst_tail}");
+    }
+}

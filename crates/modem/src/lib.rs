@@ -1,0 +1,38 @@
+//! # gsp-modem — the two reconfigurable waveforms of the paper's Fig. 3
+//!
+//! The paper's flagship software-radio example (§2.3) is the in-orbit swap
+//! of the demodulator between an S-UMTS CDMA personality and an MF-TDMA
+//! personality, where "other functions of the modem can remain the same":
+//!
+//! * **TDMA** ([`tdma`]): burst QPSK with RRC shaping; symbol-timing
+//!   recovery by either the Gardner timing-error-detector loop
+//!   (ref \[5\] of the paper) or the Oerder–Meyr feed-forward square-law
+//!   estimator (ref \[6\]) — the paper notes the choice "depends on the
+//!   length of the bursts in the TDMA frame"; unique-word burst sync and
+//!   correlation-phase carrier recovery.
+//! * **CDMA** ([`cdma`]): OVSF channelisation × complex scrambling at
+//!   2.048 Mcps (the S-UMTS rate quoted by the paper), serial-search code
+//!   acquisition (ref \[7\]) and a non-coherent early–late DLL for chip
+//!   tracking (ref \[8\]), integrate-and-dump despreading.
+//!
+//! Shared stages — matched filter, PSK mapping, carrier recovery — live in
+//! their own modules because the paper's hardware argument depends on them
+//! *remaining in place* across a reconfiguration.
+//!
+//! [`complexity`] carries the paper's gate-count model with its two §2.3
+//! anchors (MF-TDMA timing recovery, 6 carriers ≈ 200 kgate; CDMA, 1 user
+//! ≈ 200 kgate, growing with users).
+
+#![warn(missing_docs)]
+
+pub mod carrier;
+pub mod cdma;
+pub mod complexity;
+pub mod framing;
+pub mod psk;
+pub mod tdma;
+pub mod timing;
+
+pub use cdma::{CdmaConfig, CdmaReceiver, CdmaTransmitter};
+pub use psk::Modulation;
+pub use tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};

@@ -1,0 +1,165 @@
+//! PSK symbol mapping and soft demapping.
+//!
+//! BPSK and Gray-mapped QPSK — the modulations of both the MF-TDMA bursts
+//! and the (pre-spreading) CDMA data — at unit symbol energy.
+
+use gsp_dsp::Cpx;
+
+/// Supported modulations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Binary PSK, 1 bit/symbol, symbols ±1.
+    Bpsk,
+    /// Gray-mapped QPSK, 2 bits/symbol, symbols (±1 ± j)/√2.
+    Qpsk,
+}
+
+impl Modulation {
+    /// Bits per symbol.
+    #[inline]
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+        }
+    }
+
+    /// Maps bits to symbols, appending to `out`. `bits.len()` must be a
+    /// multiple of [`Modulation::bits_per_symbol`].
+    pub fn map(self, bits: &[u8], out: &mut Vec<Cpx>) {
+        match self {
+            Modulation::Bpsk => {
+                out.reserve(bits.len());
+                out.extend(bits.iter().map(|&b| Cpx::new(1.0 - 2.0 * b as f64, 0.0)));
+            }
+            Modulation::Qpsk => {
+                assert_eq!(bits.len() % 2, 0, "QPSK needs an even bit count");
+                let a = std::f64::consts::FRAC_1_SQRT_2;
+                out.reserve(bits.len() / 2);
+                out.extend(bits.chunks_exact(2).map(|p| {
+                    Cpx::new(
+                        a * (1.0 - 2.0 * p[0] as f64),
+                        a * (1.0 - 2.0 * p[1] as f64),
+                    )
+                }));
+            }
+        }
+    }
+
+    /// Hard decision, appending decided bits to `out`.
+    pub fn demap_hard(self, symbols: &[Cpx], out: &mut Vec<u8>) {
+        match self {
+            Modulation::Bpsk => {
+                out.reserve(symbols.len());
+                out.extend(symbols.iter().map(|s| (s.re < 0.0) as u8));
+            }
+            Modulation::Qpsk => {
+                out.reserve(symbols.len() * 2);
+                for s in symbols {
+                    out.push((s.re < 0.0) as u8);
+                    out.push((s.im < 0.0) as u8);
+                }
+            }
+        }
+    }
+
+    /// Soft demapping to LLRs (positive ⇔ bit 0), given the per-component
+    /// noise variance `sigma2`. Gray PSK decomposes per axis:
+    /// `LLR = 2·A·y/σ²` with `A` the per-axis symbol amplitude.
+    pub fn demap_soft(self, symbols: &[Cpx], sigma2: f64, out: &mut Vec<f64>) {
+        assert!(sigma2 > 0.0);
+        match self {
+            Modulation::Bpsk => {
+                let k = 2.0 / sigma2;
+                out.reserve(symbols.len());
+                out.extend(symbols.iter().map(|s| k * s.re));
+            }
+            Modulation::Qpsk => {
+                let k = 2.0 * std::f64::consts::FRAC_1_SQRT_2 / sigma2;
+                out.reserve(symbols.len() * 2);
+                for s in symbols {
+                    out.push(k * s.re);
+                    out.push(k * s.im);
+                }
+            }
+        }
+    }
+
+    /// The ideal constellation points in mapping order.
+    pub fn constellation(self) -> Vec<Cpx> {
+        match self {
+            Modulation::Bpsk => vec![Cpx::new(1.0, 0.0), Cpx::new(-1.0, 0.0)],
+            Modulation::Qpsk => {
+                let a = std::f64::consts::FRAC_1_SQRT_2;
+                vec![
+                    Cpx::new(a, a),
+                    Cpx::new(a, -a),
+                    Cpx::new(-a, a),
+                    Cpx::new(-a, -a),
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_demap_roundtrip() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk] {
+            let bits: Vec<u8> = (0..32).map(|i| ((i * 5) % 3 == 0) as u8).collect();
+            let mut syms = Vec::new();
+            m.map(&bits, &mut syms);
+            assert_eq!(syms.len(), bits.len() / m.bits_per_symbol());
+            let mut back = Vec::new();
+            m.demap_hard(&syms, &mut back);
+            assert_eq!(back, bits);
+        }
+    }
+
+    #[test]
+    fn symbols_have_unit_energy() {
+        for m in [Modulation::Bpsk, Modulation::Qpsk] {
+            for s in m.constellation() {
+                assert!((s.norm_sqr() - 1.0).abs() < 1e-12, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn qpsk_is_gray_mapped() {
+        // Adjacent constellation points (90° apart) differ in exactly 1 bit.
+        let mut syms = Vec::new();
+        Modulation::Qpsk.map(&[0, 0, 0, 1, 1, 1, 1, 0], &mut syms);
+        // Walk the circle: (0,0)→(0,1)→(1,1)→(1,0) are each 90° rotations.
+        for w in syms.windows(2) {
+            let angle = (w[1] * w[0].conj()).arg().abs();
+            assert!((angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn soft_llr_sign_matches_hard_decision() {
+        let m = Modulation::Qpsk;
+        let bits = vec![0u8, 1, 1, 0];
+        let mut syms = Vec::new();
+        m.map(&bits, &mut syms);
+        let mut llrs = Vec::new();
+        m.demap_soft(&syms, 0.5, &mut llrs);
+        for (l, &b) in llrs.iter().zip(&bits) {
+            assert_eq!((*l < 0.0) as u8, b);
+        }
+    }
+
+    #[test]
+    fn llr_magnitude_scales_inverse_with_noise() {
+        let m = Modulation::Bpsk;
+        let syms = vec![Cpx::new(1.0, 0.0)];
+        let (mut low, mut high) = (Vec::new(), Vec::new());
+        m.demap_soft(&syms, 1.0, &mut low);
+        m.demap_soft(&syms, 0.25, &mut high);
+        assert!((high[0] / low[0] - 4.0).abs() < 1e-12);
+    }
+}

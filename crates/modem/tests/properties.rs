@@ -1,0 +1,129 @@
+//! Property tests for the modem layer: mapping/burst invariants that hold
+//! for arbitrary payloads and channel phases.
+
+use gsp_modem::carrier::{data_aided_phase, derotate, viterbi_viterbi_qpsk};
+use gsp_modem::framing::{detect_unique_word, BurstFormat};
+use gsp_modem::psk::Modulation;
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
+use gsp_dsp::Cpx;
+use proptest::prelude::*;
+
+fn bits(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..2, range)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn psk_roundtrip_any_bits(mut b in bits(0..300), qpsk in any::<bool>()) {
+        let m = if qpsk { Modulation::Qpsk } else { Modulation::Bpsk };
+        if m == Modulation::Qpsk && b.len() % 2 == 1 {
+            b.pop();
+        }
+        let mut syms = Vec::new();
+        m.map(&b, &mut syms);
+        let mut back = Vec::new();
+        m.demap_hard(&syms, &mut back);
+        prop_assert_eq!(back, b);
+        // Unit symbol energy always.
+        for s in &syms {
+            prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn demap_soft_sign_equals_hard_decision(b in bits(2..100), sigma2 in 0.01f64..5.0) {
+        let mut b = b;
+        if b.len() % 2 == 1 {
+            b.pop();
+        }
+        let m = Modulation::Qpsk;
+        let mut syms = Vec::new();
+        m.map(&b, &mut syms);
+        let (mut hard, mut soft) = (Vec::new(), Vec::new());
+        m.demap_hard(&syms, &mut hard);
+        m.demap_soft(&syms, sigma2, &mut soft);
+        for (h, l) in hard.iter().zip(&soft) {
+            prop_assert_eq!(*h, (*l < 0.0) as u8);
+        }
+    }
+
+    #[test]
+    fn burst_roundtrip_any_payload_and_phase(
+        payload in bits(8..260),
+        theta in -3.1f64..3.1,
+    ) {
+        let mut payload = payload;
+        if payload.len() % 2 == 1 {
+            payload.pop();
+        }
+        let fmt = BurstFormat::standard(16, 24, payload.len() / 2);
+        let cfg = TdmaConfig::new(fmt, TimingRecoveryKind::OerderMeyr);
+        let modulator = TdmaBurstModulator::new(cfg.clone());
+        let mut demod = TdmaBurstDemodulator::new(cfg);
+        let mut wave = modulator.modulate(&payload);
+        for s in wave.iter_mut() {
+            *s = s.rotate(theta);
+        }
+        let res = demod.demodulate(&wave).expect("burst must detect");
+        prop_assert_eq!(res.bits, payload);
+    }
+
+    #[test]
+    fn uw_detection_invariant_under_rotation(
+        theta in -3.1f64..3.1,
+        noise_floor in 0.0f64..0.05,
+    ) {
+        let fmt = BurstFormat::standard(8, 24, 16);
+        let mut stream: Vec<Cpx> = vec![Cpx::new(noise_floor, -noise_floor); 11];
+        stream.extend(fmt.unique_word.iter().map(|s| s.rotate(theta)));
+        stream.extend(vec![Cpx::new(-noise_floor, noise_floor); 7]);
+        let det = detect_unique_word(&stream, &fmt.unique_word, 0.6).expect("detect");
+        prop_assert_eq!(det.position, 11);
+        // The detected phase matches the applied rotation.
+        prop_assert!((gsp_dsp::math::wrap_angle(det.phase - theta)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn data_aided_phase_inverts_any_rotation(b in bits(8..64), theta in -3.1f64..3.1) {
+        let mut b = b;
+        if b.len() % 2 == 1 {
+            b.pop();
+        }
+        let m = Modulation::Qpsk;
+        let mut reference = Vec::new();
+        m.map(&b, &mut reference);
+        let mut rx: Vec<Cpx> = reference.iter().map(|s| s.rotate(theta)).collect();
+        let est = data_aided_phase(&rx, &reference);
+        derotate(&mut rx, est);
+        for (r, want) in rx.iter().zip(&reference) {
+            prop_assert!((*r - *want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn viterbi_viterbi_ambiguity_is_exactly_quarter_turn(
+        b in bits(64..200),
+        theta in -3.1f64..3.1,
+        quadrant in 0u8..4,
+    ) {
+        let mut b = b;
+        if b.len() % 2 == 1 {
+            b.pop();
+        }
+        let m = Modulation::Qpsk;
+        let mut syms = Vec::new();
+        m.map(&b, &mut syms);
+        // Rotating the constellation by k·π/2 must not change the V&V
+        // estimate (that is the ambiguity), while θ shifts it mod π/2.
+        let extra = quadrant as f64 * std::f64::consts::FRAC_PI_2;
+        let rot1: Vec<Cpx> = syms.iter().map(|s| s.rotate(theta)).collect();
+        let rot2: Vec<Cpx> = syms.iter().map(|s| s.rotate(theta + extra)).collect();
+        let e1 = viterbi_viterbi_qpsk(&rot1);
+        let e2 = viterbi_viterbi_qpsk(&rot2);
+        let d = (e1 - e2).rem_euclid(std::f64::consts::FRAC_PI_2);
+        let err = d.min(std::f64::consts::FRAC_PI_2 - d);
+        prop_assert!(err < 1e-9, "estimates {e1} vs {e2}");
+    }
+}

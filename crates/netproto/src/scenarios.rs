@@ -1,0 +1,191 @@
+//! Scenario runners behind experiment E4: "which protocol moves a
+//! bitstream (or a small test) how fast over the GEO link?"
+
+use crate::bulk::{BulkReceiver, BulkSender};
+use crate::link::LinkConfig;
+use crate::scpsfp::{ScpsFpReceiver, ScpsFpSender};
+use crate::sim::Sim;
+use crate::tftp::{TftpServer, TftpWriter};
+
+/// The transfer protocol under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferProtocol {
+    /// TFTP: 512-byte stop-and-wait over UDP.
+    Tftp,
+    /// FTP-like streaming over TCP with the given max window.
+    Bulk {
+        /// TCP maximum window in bytes.
+        window: usize,
+    },
+    /// CCSDS SCPS-FP-class rate-based transfer with NAK repair.
+    ScpsFp,
+}
+
+impl TransferProtocol {
+    /// Label for experiment tables.
+    pub fn label(self) -> String {
+        match self {
+            TransferProtocol::Tftp => "TFTP (512B stop&wait)".to_string(),
+            TransferProtocol::Bulk { window } => {
+                format!("FTP over TCP (win {} kB)", window / 1024)
+            }
+            TransferProtocol::ScpsFp => "SCPS-FP (rate-based + NAK)".to_string(),
+        }
+    }
+}
+
+/// Outcome of one simulated file transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferStats {
+    /// `true` when the file arrived intact.
+    pub delivered: bool,
+    /// Completion time in simulated seconds.
+    pub duration_s: f64,
+    /// Total bytes handed to the link (both directions).
+    pub bytes_on_wire: u64,
+    /// Frames handed to the link (both directions).
+    pub frames: u64,
+    /// Net goodput in bits/second.
+    pub goodput_bps: f64,
+}
+
+/// Simulates uploading `size` bytes from the NCC to the satellite over
+/// `link` with the chosen protocol.
+pub fn simulate_transfer(
+    proto: TransferProtocol,
+    size: usize,
+    link: LinkConfig,
+    seed: u64,
+) -> TransferStats {
+    let data: Vec<u8> = (0..size).map(|i| (i * 31 % 251) as u8).collect();
+    let rto = 2 * link.rtt_ns() + 400_000_000;
+    let deadline = 48 * 3_600_000_000_000u64;
+    let (stats, delivered) = match proto {
+        TransferProtocol::Tftp => {
+            let mut w = TftpWriter::new(1, 2, "file.bit", data.clone(), rto);
+            let mut s = TftpServer::new(2);
+            let mut sim = Sim::new(link, seed);
+            let st = sim.run(&mut w, &mut s, deadline);
+            let ok = st.completed && s.received == data;
+            (st, ok)
+        }
+        TransferProtocol::Bulk { window } => {
+            let mut tx = BulkSender::new((1, 2100), (2, 21), "file.bit", data.clone(), window, rto);
+            let mut rx = BulkReceiver::new((2, 21), window, rto);
+            let mut sim = Sim::new(link, seed);
+            let st = sim.run(&mut tx, &mut rx, deadline);
+            let ok = rx.file.as_deref() == Some(&data[..]);
+            (st, ok)
+        }
+        TransferProtocol::ScpsFp => {
+            let mut tx = ScpsFpSender::new(1, 2, data.clone(), rto);
+            let mut rx = ScpsFpReceiver::new(2);
+            let mut sim = Sim::new(link, seed);
+            let st = sim.run(&mut tx, &mut rx, deadline);
+            let ok = rx.file.as_deref() == Some(&data[..]);
+            (st, ok)
+        }
+    };
+    let duration_s = stats.end_ns as f64 / 1e9;
+    TransferStats {
+        delivered,
+        duration_s,
+        bytes_on_wire: stats.bytes_sent[0] + stats.bytes_sent[1],
+        frames: stats.frames_sent[0] + stats.frames_sent[1],
+        goodput_bps: if duration_s > 0.0 {
+            size as f64 * 8.0 / duration_s
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Finds the file size (bytes, within the probed grid) at which the bulk
+/// protocol starts beating TFTP — the paper's "only for small transfer"
+/// boundary, made quantitative.
+pub fn tftp_bulk_crossover(link: LinkConfig, window: usize, seed: u64) -> Option<usize> {
+    let sizes = [256usize, 1_024, 4_096, 16_384, 65_536, 262_144];
+    for &s in &sizes {
+        let t = simulate_transfer(TransferProtocol::Tftp, s, link, seed);
+        let b = simulate_transfer(TransferProtocol::Bulk { window }, s, link, seed);
+        if t.delivered && b.delivered && b.duration_s < t.duration_s {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_protocols_deliver_on_geo() {
+        for proto in [TransferProtocol::Tftp, TransferProtocol::Bulk { window: 16 * 1024 }] {
+            let st = simulate_transfer(proto, 20_000, LinkConfig::geo_default(), 1);
+            assert!(st.delivered, "{proto:?}");
+            assert!(st.goodput_bps > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_claim_tftp_only_for_small_transfers() {
+        // For a bitstream-sized file, bulk beats TFTP by a large factor.
+        let link = LinkConfig::geo_default();
+        let size = 96 * 1024; // one SVF-1000 bitstream
+        let tftp = simulate_transfer(TransferProtocol::Tftp, size, link, 2);
+        let bulk = simulate_transfer(TransferProtocol::Bulk { window: 32 * 1024 }, size, link, 2);
+        assert!(tftp.delivered && bulk.delivered);
+        assert!(
+            tftp.duration_s > 5.0 * bulk.duration_s,
+            "TFTP {:.1}s vs bulk {:.1}s",
+            tftp.duration_s,
+            bulk.duration_s
+        );
+    }
+
+    #[test]
+    fn tftp_fine_for_tiny_exchanges() {
+        // For a 300-byte test query TFTP costs ~2 RTT — same class as bulk
+        // (which also pays a handshake); the paper's set-up/test use case.
+        let link = LinkConfig::geo_default();
+        let tftp = simulate_transfer(TransferProtocol::Tftp, 300, link, 3);
+        assert!(tftp.delivered);
+        assert!(tftp.duration_s < 1.5, "{}", tftp.duration_s);
+    }
+
+    #[test]
+    fn crossover_exists_and_is_small() {
+        let link = LinkConfig::geo_default();
+        let cross = tftp_bulk_crossover(link, 32 * 1024, 4);
+        let c = cross.expect("bulk should overtake TFTP somewhere");
+        assert!(c <= 65_536, "crossover at {c} bytes");
+    }
+
+    #[test]
+    fn scps_fp_beats_tcp_on_lossy_long_delay_links() {
+        // The CCSDS argument: rate-based + NAK repair avoids TCP's
+        // loss-triggered window collapses over the 250 ms RTT.
+        let link = LinkConfig {
+            ber: 2e-5, // ~15% loss on 1 kB frames
+            ..LinkConfig::geo_default()
+        };
+        let size = 96 * 1024;
+        let scps = simulate_transfer(TransferProtocol::ScpsFp, size, link, 6);
+        let tcp = simulate_transfer(TransferProtocol::Bulk { window: 32 * 1024 }, size, link, 6);
+        assert!(scps.delivered && tcp.delivered);
+        assert!(
+            scps.duration_s < tcp.duration_s,
+            "SCPS-FP {:.1}s vs TCP {:.1}s under loss",
+            scps.duration_s,
+            tcp.duration_s
+        );
+    }
+
+    #[test]
+    fn wire_overhead_accounted() {
+        let st = simulate_transfer(TransferProtocol::Tftp, 5_000, LinkConfig::clean_fast(), 5);
+        assert!(st.bytes_on_wire as usize > 5_000, "headers must add bytes");
+        assert!(st.frames >= 2 * (5_000u64 / 512 + 1));
+    }
+}

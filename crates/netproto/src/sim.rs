@@ -1,0 +1,446 @@
+//! Discrete-event engine for two endpoints over a duplex GEO link.
+//!
+//! One [`Agent`] sits at each [`Side`]; agents exchange opaque frames
+//! (already stacked by the protocol layers) and set timers through an
+//! [`Io`] handle. The engine owns simulated time, link occupancy
+//! (serialisation), propagation delay, and BER loss.
+
+use crate::link::LinkConfig;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which end of the link an agent occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The network control centre.
+    Ground,
+    /// The satellite payload.
+    Space,
+}
+
+impl Side {
+    /// The opposite end.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::Ground => Side::Space,
+            Side::Space => Side::Ground,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Side::Ground => 0,
+            Side::Space => 1,
+        }
+    }
+}
+
+/// Actions an agent can request during a callback.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send(Bytes),
+    Timer { delay_ns: u64, id: u64 },
+}
+
+/// The agent's interface to the simulator during a callback.
+pub struct Io {
+    /// Current simulated time, nanoseconds.
+    pub now_ns: u64,
+    pub(crate) side: Side,
+    pub(crate) actions: Vec<Action>,
+}
+
+impl Io {
+    /// Which side this callback is running on.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Queues a frame for transmission to the peer.
+    pub fn send(&mut self, frame: Bytes) {
+        self.actions.push(Action::Send(frame));
+    }
+
+    /// Arms a timer that fires `delay_ns` from now with the given id.
+    /// Timers are one-shot; agents ignore stale ids for cancellation.
+    pub fn set_timer(&mut self, delay_ns: u64, id: u64) {
+        self.actions.push(Action::Timer { delay_ns, id });
+    }
+}
+
+/// A protocol endpoint.
+pub trait Agent {
+    /// Called once at t=0.
+    fn start(&mut self, io: &mut Io);
+    /// Called when a frame arrives intact.
+    fn on_frame(&mut self, io: &mut Io, frame: Bytes);
+    /// Called when a timer fires.
+    fn on_timer(&mut self, io: &mut Io, id: u64);
+    /// The simulation stops when both agents are finished (or at timeout).
+    fn finished(&self) -> bool;
+}
+
+/// Counters the engine accumulates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Simulated completion time, nanoseconds.
+    pub end_ns: u64,
+    /// Frames handed to the link per side.
+    pub frames_sent: [u64; 2],
+    /// Frames delivered intact per receiving side.
+    pub frames_delivered: [u64; 2],
+    /// Frames lost to channel errors per receiving side.
+    pub frames_lost: [u64; 2],
+    /// Payload bytes handed to the link per side.
+    pub bytes_sent: [u64; 2],
+    /// `true` when both agents reported finished before the deadline.
+    pub completed: bool,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Event {
+    Deliver { to: Side, frame: Bytes },
+    Lost { to: Side },
+    Timer { side: Side, id: u64 },
+}
+
+/// The two-endpoint simulator.
+pub struct Sim {
+    link: LinkConfig,
+    rng: StdRng,
+    now_ns: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    payloads: std::collections::HashMap<u64, Event>,
+    /// Link busy-until per transmitting side (serialisation occupancy).
+    busy_until: [u64; 2],
+    stats: SimStats,
+}
+
+impl Sim {
+    /// New simulator over `link` with a deterministic seed.
+    pub fn new(link: LinkConfig, seed: u64) -> Self {
+        Sim {
+            link,
+            rng: StdRng::seed_from_u64(seed),
+            now_ns: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            busy_until: [0, 0],
+            stats: SimStats::default(),
+        }
+    }
+
+    fn push_event(&mut self, t: u64, ev: Event) {
+        let key = self.seq;
+        self.seq += 1;
+        self.payloads.insert(key, ev);
+        self.heap.push(Reverse((t, key, 0)));
+    }
+
+    fn apply_actions(&mut self, side: Side, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send(frame) => {
+                    let uplink = side == Side::Ground;
+                    let tx_start = self.now_ns.max(self.busy_until[side.index()]);
+                    let tx_end = tx_start + self.link.tx_time_ns(frame.len(), uplink);
+                    self.busy_until[side.index()] = tx_end;
+                    let arrival = tx_end + self.link.delay_ns;
+                    self.stats.frames_sent[side.index()] += 1;
+                    self.stats.bytes_sent[side.index()] += frame.len() as u64;
+                    let survives = self.link.frame_survives(frame.len(), &mut self.rng);
+                    let to = side.peer();
+                    if survives {
+                        self.push_event(arrival, Event::Deliver { to, frame });
+                    } else {
+                        self.push_event(arrival, Event::Lost { to });
+                    }
+                }
+                Action::Timer { delay_ns, id } => {
+                    let t = self.now_ns + delay_ns;
+                    self.push_event(t, Event::Timer { side, id });
+                }
+            }
+        }
+    }
+
+    /// Runs the simulation until both agents finish or `deadline_ns`.
+    /// Returns the accumulated statistics.
+    pub fn run(
+        &mut self,
+        ground: &mut dyn Agent,
+        space: &mut dyn Agent,
+        deadline_ns: u64,
+    ) -> SimStats {
+        // Start both agents.
+        for side in [Side::Ground, Side::Space] {
+            let mut io = Io {
+                now_ns: self.now_ns,
+                side,
+                actions: Vec::new(),
+            };
+            match side {
+                Side::Ground => ground.start(&mut io),
+                Side::Space => space.start(&mut io),
+            }
+            self.apply_actions(side, io.actions);
+        }
+
+        while let Some(Reverse((t, key, _))) = self.heap.pop() {
+            if t > deadline_ns {
+                self.now_ns = deadline_ns;
+                break;
+            }
+            self.now_ns = t;
+            let ev = self.payloads.remove(&key).expect("event payload");
+            let (side, deliver): (Side, Option<Bytes>) = match ev {
+                Event::Deliver { to, frame } => {
+                    self.stats.frames_delivered[to.index()] += 1;
+                    (to, Some(frame))
+                }
+                Event::Lost { to } => {
+                    self.stats.frames_lost[to.index()] += 1;
+                    continue;
+                }
+                Event::Timer { side, id } => {
+                    let mut io = Io {
+                        now_ns: self.now_ns,
+                        side,
+                        actions: Vec::new(),
+                    };
+                    match side {
+                        Side::Ground => ground.on_timer(&mut io, id),
+                        Side::Space => space.on_timer(&mut io, id),
+                    }
+                    self.apply_actions(side, io.actions);
+                    if ground.finished() && space.finished() {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if let Some(frame) = deliver {
+                let mut io = Io {
+                    now_ns: self.now_ns,
+                    side,
+                    actions: Vec::new(),
+                };
+                match side {
+                    Side::Ground => ground.on_frame(&mut io, frame),
+                    Side::Space => space.on_frame(&mut io, frame),
+                }
+                self.apply_actions(side, io.actions);
+            }
+            if ground.finished() && space.finished() {
+                break;
+            }
+        }
+        self.stats.end_ns = self.now_ns;
+        self.stats.completed = ground.finished() && space.finished();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping agent: sends one frame, waits for echo, finishes.
+    struct Ping {
+        got_reply: bool,
+        sent_at: u64,
+        rtt_seen: Option<u64>,
+    }
+
+    /// Echo agent: reflects every frame.
+    struct Echo {
+        echoes: usize,
+    }
+
+    impl Agent for Ping {
+        fn start(&mut self, io: &mut Io) {
+            self.sent_at = io.now_ns;
+            io.send(Bytes::from_static(b"ping"));
+        }
+        fn on_frame(&mut self, io: &mut Io, _frame: Bytes) {
+            self.got_reply = true;
+            self.rtt_seen = Some(io.now_ns - self.sent_at);
+        }
+        fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+        fn finished(&self) -> bool {
+            self.got_reply
+        }
+    }
+
+    impl Agent for Echo {
+        fn start(&mut self, _io: &mut Io) {}
+        fn on_frame(&mut self, io: &mut Io, frame: Bytes) {
+            self.echoes += 1;
+            io.send(frame);
+        }
+        fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+        fn finished(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn ping_rtt_matches_link_geometry() {
+        let link = LinkConfig::geo_default();
+        let mut sim = Sim::new(link, 7);
+        let mut ping = Ping {
+            got_reply: false,
+            sent_at: 0,
+            rtt_seen: None,
+        };
+        let mut echo = Echo { echoes: 0 };
+        let stats = sim.run(&mut ping, &mut echo, 10_000_000_000);
+        assert!(stats.completed);
+        let expect = link.tx_time_ns(4, true) + link.delay_ns + link.tx_time_ns(4, false) + link.delay_ns;
+        assert_eq!(ping.rtt_seen, Some(expect));
+        assert_eq!(stats.frames_sent, [1, 1]);
+        assert_eq!(stats.frames_delivered[Side::Space.index()], 1);
+    }
+
+    #[test]
+    fn serialisation_queues_back_to_back_frames() {
+        /// Sends two frames immediately; peer records arrival times.
+        struct Burst;
+        struct Sink {
+            arrivals: Vec<u64>,
+        }
+        impl Agent for Burst {
+            fn start(&mut self, io: &mut Io) {
+                io.send(Bytes::from(vec![0u8; 1000]));
+                io.send(Bytes::from(vec![0u8; 1000]));
+            }
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                true
+            }
+        }
+        impl Agent for Sink {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, io: &mut Io, _f: Bytes) {
+                self.arrivals.push(io.now_ns);
+            }
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                self.arrivals.len() == 2
+            }
+        }
+        let link = LinkConfig::geo_default();
+        let mut sim = Sim::new(link, 1);
+        let mut tx = Burst;
+        let mut rx = Sink { arrivals: vec![] };
+        sim.run(&mut tx, &mut rx, 10_000_000_000);
+        assert_eq!(rx.arrivals.len(), 2);
+        // Second frame arrives one serialisation time after the first.
+        assert_eq!(rx.arrivals[1] - rx.arrivals[0], link.tx_time_ns(1000, true));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl Agent for Timers {
+            fn start(&mut self, io: &mut Io) {
+                io.set_timer(3_000, 3);
+                io.set_timer(1_000, 1);
+                io.set_timer(2_000, 2);
+            }
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, id: u64) {
+                self.fired.push(id);
+            }
+            fn finished(&self) -> bool {
+                self.fired.len() == 3
+            }
+        }
+        struct Idle;
+        impl Agent for Idle {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                true
+            }
+        }
+        let mut sim = Sim::new(LinkConfig::clean_fast(), 1);
+        let mut t = Timers { fired: vec![] };
+        let mut idle = Idle;
+        let stats = sim.run(&mut t, &mut idle, 1_000_000_000);
+        assert_eq!(t.fired, vec![1, 2, 3]);
+        assert!(stats.completed);
+    }
+
+    #[test]
+    fn deadline_stops_unfinished_runs() {
+        struct Never;
+        impl Agent for Never {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let mut sim = Sim::new(LinkConfig::clean_fast(), 1);
+        let stats = sim.run(&mut Never, &mut Never, 5_000);
+        assert!(!stats.completed);
+    }
+
+    #[test]
+    fn lossy_link_drops_frames() {
+        struct Flood {
+            n: usize,
+        }
+        impl Agent for Flood {
+            fn start(&mut self, io: &mut Io) {
+                for _ in 0..self.n {
+                    io.send(Bytes::from(vec![0u8; 1000]));
+                }
+            }
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                true
+            }
+        }
+        struct Count {
+            got: usize,
+        }
+        impl Agent for Count {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {
+                self.got += 1;
+            }
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let link = LinkConfig {
+            ber: 1e-4, // 1000-byte frame survival ≈ 45%
+            ..LinkConfig::clean_fast()
+        };
+        let mut sim = Sim::new(link, 3);
+        let mut tx = Flood { n: 2000 };
+        let mut rx = Count { got: 0 };
+        let stats = sim.run(&mut tx, &mut rx, u64::MAX / 2);
+        let survival = link.frame_survival_probability(1000);
+        let got = rx.got as f64 / 2000.0;
+        assert!((got - survival).abs() < 0.05, "{got} vs {survival}");
+        assert_eq!(
+            stats.frames_delivered[Side::Space.index()] + stats.frames_lost[Side::Space.index()],
+            2000
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Payload equipments — the boxes of Fig. 2.
+
+use gsp_fpga::device::FpgaDevice;
+use gsp_fpga::fabric::{FabricState, FpgaFabric};
+
+/// Equipment index within the payload.
+pub type EquipmentId = usize;
+
+/// What an equipment does in the Fig. 2 chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EquipmentKind {
+    /// Analogue-to-digital converter (not reconfigurable).
+    Adc,
+    /// Digital beam-forming network.
+    Dbfn,
+    /// Demultiplexer (polyphase channelizer).
+    Demux,
+    /// Demodulator — the waveform-reconfiguration target of §2.3.
+    Demod,
+    /// Decoder — the coding-reconfiguration target of §2.3.
+    Decod,
+    /// Baseband packet switch.
+    BasebandSwitch,
+    /// Transmit chain (coding + modulation + DAC).
+    Tx,
+}
+
+impl EquipmentKind {
+    /// Is the function digitally implemented (and thus a candidate for a
+    /// software-radio FPGA implementation)?
+    pub fn is_digital(self) -> bool {
+        !matches!(self, EquipmentKind::Adc)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EquipmentKind::Adc => "ADC",
+            EquipmentKind::Dbfn => "DBFN",
+            EquipmentKind::Demux => "DEMUX",
+            EquipmentKind::Demod => "DEMOD",
+            EquipmentKind::Decod => "DECOD",
+            EquipmentKind::BasebandSwitch => "BB-SWITCH",
+            EquipmentKind::Tx => "TX",
+        }
+    }
+}
+
+/// One payload equipment, optionally hosting a reconfigurable FPGA.
+#[derive(Debug)]
+pub struct Equipment {
+    /// Identifier.
+    pub id: EquipmentId,
+    /// Function.
+    pub kind: EquipmentKind,
+    /// The hosted FPGA, for digital equipments built in this technology.
+    pub fpga: Option<FpgaFabric>,
+    /// Accumulated service-interruption time, nanoseconds.
+    pub interruption_ns: u64,
+}
+
+impl Equipment {
+    /// A fixed-function (ASIC/analogue) equipment.
+    pub fn fixed(id: EquipmentId, kind: EquipmentKind) -> Self {
+        Equipment {
+            id,
+            kind,
+            fpga: None,
+            interruption_ns: 0,
+        }
+    }
+
+    /// A reconfigurable equipment hosting `device`.
+    pub fn reconfigurable(id: EquipmentId, kind: EquipmentKind, device: FpgaDevice) -> Self {
+        assert!(kind.is_digital(), "analogue equipment cannot host an FPGA");
+        Equipment {
+            id,
+            kind,
+            fpga: Some(FpgaFabric::new(device)),
+            interruption_ns: 0,
+        }
+    }
+
+    /// Is the equipment currently delivering service?
+    pub fn in_service(&self) -> bool {
+        match &self.fpga {
+            Some(f) => f.state() == FabricState::Running,
+            None => true, // fixed-function equipment is always on
+        }
+    }
+
+    /// The loaded design, when reconfigurable and configured.
+    pub fn design_id(&self) -> Option<u32> {
+        self.fpga.as_ref().and_then(|f| f.design_id())
+    }
+}
+
+/// Builds the standard Fig. 2 equipment set: ADC, DBFN, DEMUX, DEMOD,
+/// DECOD, baseband switch, TX — with FPGAs on the four §2.2 software-radio
+/// candidates (DBFN, DEMUX, DEMOD, DECOD) and the baseband processings.
+pub fn standard_payload() -> Vec<Equipment> {
+    use EquipmentKind::*;
+    vec![
+        Equipment::fixed(0, Adc),
+        Equipment::reconfigurable(1, Dbfn, FpgaDevice::virtex_like_1m()),
+        Equipment::reconfigurable(2, Demux, FpgaDevice::virtex_like_1m()),
+        Equipment::reconfigurable(3, Demod, FpgaDevice::virtex_like_1m()),
+        Equipment::reconfigurable(4, Decod, FpgaDevice::virtex_like_1m()),
+        Equipment::reconfigurable(5, BasebandSwitch, FpgaDevice::virtex_like_1m()),
+        Equipment::reconfigurable(6, Tx, FpgaDevice::virtex_like_1m()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_payload_shape() {
+        let eq = standard_payload();
+        assert_eq!(eq.len(), 7);
+        assert!(eq[0].fpga.is_none(), "ADC is not reconfigurable");
+        assert_eq!(eq.iter().filter(|e| e.fpga.is_some()).count(), 6);
+        for (i, e) in eq.iter().enumerate() {
+            assert_eq!(e.id, i);
+        }
+    }
+
+    #[test]
+    fn fixed_equipment_always_in_service() {
+        let e = Equipment::fixed(0, EquipmentKind::Adc);
+        assert!(e.in_service());
+        assert_eq!(e.design_id(), None);
+    }
+
+    #[test]
+    fn reconfigurable_equipment_starts_out_of_service() {
+        let e = Equipment::reconfigurable(3, EquipmentKind::Demod, FpgaDevice::small_100k());
+        assert!(!e.in_service(), "blank FPGA delivers no service");
+    }
+
+    #[test]
+    #[should_panic(expected = "analogue")]
+    fn adc_cannot_host_fpga() {
+        let _ = Equipment::reconfigurable(0, EquipmentKind::Adc, FpgaDevice::small_100k());
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        use EquipmentKind::*;
+        let kinds = [Adc, Dbfn, Demux, Demod, Decod, BasebandSwitch, Tx];
+        let names: std::collections::HashSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

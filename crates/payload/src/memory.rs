@@ -1,0 +1,214 @@
+//! On-board bitstream memory and the optional bitstream library (§3.2).
+//!
+//! "Optionally a binary files library can be managed on-board; this allows
+//! to reduce time transfers between the ground and the satellite but
+//! requires a lot of available memory on-board." The memory is
+//! capacity-limited; in library mode entries persist after use, otherwise
+//! they are unloaded (§3.1 step 4: "unload the binary file in the on-board
+//! memory").
+
+use std::collections::HashMap;
+
+/// Capacity-limited named bitstream store.
+#[derive(Debug)]
+pub struct OnboardMemory {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    /// Keep entries after use (library mode)?
+    pub library_mode: bool,
+    slots: HashMap<String, Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Store failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Not enough free capacity.
+    Full {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes free.
+        free: usize,
+    },
+    /// Name already present.
+    Exists,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::Full { requested, free } => {
+                write!(f, "memory full: need {requested} B, {free} B free")
+            }
+            MemoryError::Exists => write!(f, "name already stored"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+impl OnboardMemory {
+    /// New memory with the given capacity; `library_mode` keeps entries
+    /// after use.
+    pub fn new(capacity_bytes: usize, library_mode: bool) -> Self {
+        OnboardMemory {
+            capacity_bytes,
+            used_bytes: 0,
+            library_mode,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Free capacity in bytes.
+    pub fn free_bytes(&self) -> usize {
+        self.capacity_bytes - self.used_bytes
+    }
+
+    /// Used capacity in bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// (library hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Stores a named bitstream.
+    pub fn store(&mut self, name: &str, data: Vec<u8>) -> Result<(), MemoryError> {
+        if self.slots.contains_key(name) {
+            return Err(MemoryError::Exists);
+        }
+        if data.len() > self.free_bytes() {
+            return Err(MemoryError::Full {
+                requested: data.len(),
+                free: self.free_bytes(),
+            });
+        }
+        self.used_bytes += data.len();
+        self.slots.insert(name.to_string(), data);
+        Ok(())
+    }
+
+    /// Looks a bitstream up, counting library hits/misses.
+    pub fn fetch(&mut self, name: &str) -> Option<&[u8]> {
+        match self.slots.get(name) {
+            Some(d) => {
+                self.hits += 1;
+                Some(d.as_slice())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a name is stored (no hit/miss accounting).
+    pub fn contains(&self, name: &str) -> bool {
+        self.slots.contains_key(name)
+    }
+
+    /// Removes an entry, freeing its space.
+    pub fn drop_entry(&mut self, name: &str) -> bool {
+        if let Some(d) = self.slots.remove(name) {
+            self.used_bytes -= d.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Post-use hook: in non-library mode the entry is unloaded
+    /// (§3.1 step 4); in library mode it persists.
+    pub fn after_use(&mut self, name: &str) {
+        if !self.library_mode {
+            self.drop_entry(name);
+        }
+    }
+
+    /// Stored entry names (sorted, for telemetry).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.slots.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_fetch_roundtrip() {
+        let mut m = OnboardMemory::new(1000, true);
+        m.store("a", vec![1, 2, 3]).unwrap();
+        assert_eq!(m.fetch("a"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(m.used_bytes(), 3);
+        assert_eq!(m.stats(), (1, 0));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = OnboardMemory::new(10, true);
+        m.store("a", vec![0; 8]).unwrap();
+        match m.store("b", vec![0; 5]) {
+            Err(MemoryError::Full { requested, free }) => {
+                assert_eq!(requested, 5);
+                assert_eq!(free, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = OnboardMemory::new(100, true);
+        m.store("a", vec![1]).unwrap();
+        assert_eq!(m.store("a", vec![2]), Err(MemoryError::Exists));
+    }
+
+    #[test]
+    fn library_mode_retains_after_use() {
+        let mut m = OnboardMemory::new(100, true);
+        m.store("design", vec![7; 10]).unwrap();
+        m.after_use("design");
+        assert!(m.contains("design"), "library keeps entries");
+    }
+
+    #[test]
+    fn non_library_mode_unloads_after_use() {
+        let mut m = OnboardMemory::new(100, false);
+        m.store("design", vec![7; 10]).unwrap();
+        m.after_use("design");
+        assert!(!m.contains("design"));
+        assert_eq!(m.free_bytes(), 100);
+    }
+
+    #[test]
+    fn miss_counting() {
+        let mut m = OnboardMemory::new(100, true);
+        assert!(m.fetch("ghost").is_none());
+        assert_eq!(m.stats(), (0, 1));
+    }
+
+    #[test]
+    fn drop_frees_space() {
+        let mut m = OnboardMemory::new(100, true);
+        m.store("a", vec![0; 60]).unwrap();
+        assert!(m.drop_entry("a"));
+        assert!(!m.drop_entry("a"));
+        m.store("b", vec![0; 100]).unwrap();
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut m = OnboardMemory::new(100, true);
+        m.store("zeta", vec![1]).unwrap();
+        m.store("alpha", vec![1]).unwrap();
+        assert_eq!(m.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

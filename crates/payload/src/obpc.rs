@@ -1,0 +1,477 @@
+//! The on-board processor controller (§3.1): executes telecommands against
+//! equipments, runs the five-step reconfiguration process, validates
+//! configurations, and rolls back on failure.
+//!
+//! Paper §3.1, the configuration process:
+//! 1. "load of the binary file representing the new configuration in an
+//!    on-board memory" (via [`crate::platform::Telecommand::StoreBitstream`]);
+//! 2. "switch off the FPGA to be reconfigured (and so also of services
+//!    through this FPGA)";
+//! 3. "load of the new configuration on the FPGA through a specific
+//!    interface (e.g. JTAG)";
+//! 4. "send back telemetry to attest the new configuration (e.g. CRC of
+//!    the new configuration of the FPGA)";
+//! 5. "switch on the FPGA and services."
+//!
+//! §3.2: "the system should be able to come back to the previous
+//! configuration in case of failure of the process" — implemented as an
+//! automatic rollback to the retained previous bitstream.
+
+use crate::equipment::Equipment;
+use crate::memory::OnboardMemory;
+use crate::platform::{Platform, Telecommand, Telemetry};
+use gsp_fpga::bitstream::Bitstream;
+use std::collections::HashMap;
+
+/// One labelled step of a reconfiguration, with its simulated duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReconfigStep {
+    /// Step label.
+    pub label: &'static str,
+    /// Duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Full report of one reconfiguration service run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReconfigReport {
+    /// Target equipment.
+    pub equipment: usize,
+    /// Design loaded (or attempted).
+    pub design_id: u32,
+    /// Step-by-step latency breakdown.
+    pub steps: Vec<ReconfigStep>,
+    /// Service interruption (power-off to power-on), nanoseconds.
+    pub interruption_ns: u64,
+    /// Did the new configuration validate and enter service?
+    pub success: bool,
+    /// Was the previous configuration restored after a failure?
+    pub rolled_back: bool,
+}
+
+impl ReconfigReport {
+    /// Total wall time of the service run.
+    pub fn total_ns(&self) -> u64 {
+        self.steps.iter().map(|s| s.duration_ns).sum()
+    }
+}
+
+/// Reconfiguration failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// No such equipment.
+    NoEquipment(usize),
+    /// Equipment has no FPGA.
+    NotReconfigurable(usize),
+    /// Named bitstream absent from on-board memory.
+    NotInMemory(String),
+    /// The stored bytes failed to parse/CRC-check.
+    BadBitstream(String),
+    /// Fabric-level rejection.
+    Fabric(String),
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::NoEquipment(e) => write!(f, "no equipment {e}"),
+            ReconfigError::NotReconfigurable(e) => write!(f, "equipment {e} is fixed-function"),
+            ReconfigError::NotInMemory(n) => write!(f, "bitstream '{n}' not on board"),
+            ReconfigError::BadBitstream(n) => write!(f, "bitstream '{n}' corrupt"),
+            ReconfigError::Fabric(m) => write!(f, "fabric: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// Deliberate fault injections for process-failure testing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Flip a configuration bit right after the load (upset during
+    /// configuration, or a latent transfer error).
+    CorruptAfterLoad,
+}
+
+/// The on-board processor controller.
+#[derive(Debug)]
+pub struct Obpc {
+    /// On-board bitstream memory / library.
+    pub memory: OnboardMemory,
+    /// Managed equipments.
+    pub equipments: Vec<Equipment>,
+    /// Golden bitstream of each equipment's active configuration
+    /// (rollback source and scrubbing reference).
+    active: HashMap<usize, Bitstream>,
+}
+
+impl Obpc {
+    /// New controller over the given equipments.
+    pub fn new(memory: OnboardMemory, equipments: Vec<Equipment>) -> Self {
+        Obpc {
+            memory,
+            equipments,
+            active: HashMap::new(),
+        }
+    }
+
+    /// The golden bitstream of an equipment's active configuration.
+    pub fn active_bitstream(&self, equipment: usize) -> Option<&Bitstream> {
+        self.active.get(&equipment)
+    }
+
+    /// Runs the §3.1 reconfiguration service. `fault` injects failures for
+    /// rollback testing.
+    pub fn reconfigure(
+        &mut self,
+        equipment: usize,
+        name: &str,
+        fault: Option<FaultInjection>,
+    ) -> Result<ReconfigReport, ReconfigError> {
+        // Resolve target and bitstream first (no service impact yet).
+        if equipment >= self.equipments.len() {
+            return Err(ReconfigError::NoEquipment(equipment));
+        }
+        let raw = self
+            .memory
+            .fetch(name)
+            .ok_or_else(|| ReconfigError::NotInMemory(name.to_string()))?
+            .to_vec();
+        let bs = Bitstream::deserialise(&raw)
+            .map_err(|_| ReconfigError::BadBitstream(name.to_string()))?;
+        let eq = &mut self.equipments[equipment];
+        let fabric = eq
+            .fpga
+            .as_mut()
+            .ok_or(ReconfigError::NotReconfigurable(equipment))?;
+
+        let mut steps = Vec::new();
+        // Step 1 happened when the bitstream reached memory; account the
+        // memory→controller staging as a fast local copy.
+        let stage_ns = (raw.len() as u64) * 8 / 100; // ~100 Gb/s local bus
+        steps.push(ReconfigStep {
+            label: "stage from on-board memory",
+            duration_ns: stage_ns,
+        });
+
+        // Step 2: switch off (service interruption begins).
+        fabric.power_off();
+        steps.push(ReconfigStep {
+            label: "switch off FPGA and services",
+            duration_ns: 1_000_000, // 1 ms power sequencing
+        });
+        let mut interruption_ns = 1_000_000u64;
+
+        // Step 3: load via the configuration port.
+        let load_ns = fabric
+            .configure_full(&bs)
+            .map_err(|e| ReconfigError::Fabric(e.to_string()))?;
+        steps.push(ReconfigStep {
+            label: "load configuration via port",
+            duration_ns: load_ns,
+        });
+        interruption_ns += load_ns;
+
+        if fault == Some(FaultInjection::CorruptAfterLoad) {
+            fabric.inject_upset_at(0, 0, 0);
+        }
+
+        // Step 4: validation + telemetry (CRC over the live configuration;
+        // one read-back pass at the port rate).
+        let verify_ns = fabric.device().full_config_time_ns();
+        let crc_ok = fabric.global_crc() == bs.global_crc;
+        steps.push(ReconfigStep {
+            label: "validate configuration (CRC-24)",
+            duration_ns: verify_ns,
+        });
+        interruption_ns += verify_ns;
+
+        let (success, rolled_back) = if crc_ok {
+            // Step 5: switch on.
+            fabric.power_on();
+            steps.push(ReconfigStep {
+                label: "switch on FPGA and services",
+                duration_ns: 1_000_000,
+            });
+            interruption_ns += 1_000_000;
+            self.active.insert(equipment, bs.clone());
+            (true, false)
+        } else {
+            // Rollback to the previous configuration (§3.2).
+            let mut rolled = false;
+            if let Some(prev) = self.active.get(&equipment) {
+                let t = fabric
+                    .configure_full(prev)
+                    .map_err(|e| ReconfigError::Fabric(e.to_string()))?;
+                steps.push(ReconfigStep {
+                    label: "rollback: reload previous configuration",
+                    duration_ns: t,
+                });
+                interruption_ns += t;
+                fabric.power_on();
+                steps.push(ReconfigStep {
+                    label: "switch on FPGA (previous design)",
+                    duration_ns: 1_000_000,
+                });
+                interruption_ns += 1_000_000;
+                rolled = true;
+            }
+            (false, rolled)
+        };
+
+        eq.interruption_ns += interruption_ns;
+        self.memory.after_use(name);
+
+        Ok(ReconfigReport {
+            equipment,
+            design_id: bs.design_id,
+            steps,
+            interruption_ns,
+            success,
+            rolled_back,
+        })
+    }
+
+    /// Runs the §3.2 validation service on an equipment.
+    pub fn validate(&mut self, equipment: usize) -> Result<(bool, u32), ReconfigError> {
+        if equipment >= self.equipments.len() {
+            return Err(ReconfigError::NoEquipment(equipment));
+        }
+        let fabric = self.equipments[equipment]
+            .fpga
+            .as_ref()
+            .ok_or(ReconfigError::NotReconfigurable(equipment))?;
+        let crc = fabric.global_crc();
+        let ok = self
+            .active
+            .get(&equipment)
+            .map(|bs| bs.global_crc == crc)
+            .unwrap_or(false);
+        Ok((ok, crc))
+    }
+
+    /// Drains and executes all pending platform telecommands, reporting
+    /// telemetry back (the §3.2 "services are activated by a telecommand"
+    /// path).
+    pub fn service_platform(&mut self, platform: &mut Platform) {
+        while let Some(tc) = platform.next_command() {
+            match tc {
+                Telecommand::StoreBitstream { name, data } => {
+                    let bytes = data.len();
+                    match self.memory.store(&name, data) {
+                        Ok(()) => platform.report(Telemetry::BitstreamStored { name, bytes }),
+                        Err(e) => platform.report(Telemetry::CommandFailed {
+                            reason: e.to_string(),
+                        }),
+                    }
+                }
+                Telecommand::Reconfigure { equipment, name } => {
+                    match self.reconfigure(equipment, &name, None) {
+                        Ok(rep) => {
+                            let crc = self.equipments[equipment]
+                                .fpga
+                                .as_ref()
+                                .map(|f| f.global_crc())
+                                .unwrap_or(0);
+                            platform.report(Telemetry::ReconfigDone {
+                                equipment,
+                                crc24: crc,
+                                success: rep.success,
+                                interruption_ns: rep.interruption_ns,
+                            });
+                        }
+                        Err(e) => platform.report(Telemetry::CommandFailed {
+                            reason: e.to_string(),
+                        }),
+                    }
+                }
+                Telecommand::Validate { equipment } => match self.validate(equipment) {
+                    Ok((ok, crc)) => platform.report(Telemetry::ValidationReport {
+                        equipment,
+                        crc_ok: ok,
+                        crc24: crc,
+                    }),
+                    Err(e) => platform.report(Telemetry::CommandFailed {
+                        reason: e.to_string(),
+                    }),
+                },
+                Telecommand::DropBitstream { name } => {
+                    if !self.memory.drop_entry(&name) {
+                        platform.report(Telemetry::CommandFailed {
+                            reason: format!("no bitstream '{name}'"),
+                        });
+                    }
+                }
+                Telecommand::StatusRequest { equipment } => {
+                    if let Some(eq) = self.equipments.get(equipment) {
+                        platform.report(Telemetry::Status {
+                            equipment,
+                            running: eq.in_service(),
+                            design_id: eq.design_id(),
+                        });
+                    } else {
+                        platform.report(Telemetry::CommandFailed {
+                            reason: format!("no equipment {equipment}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equipment::standard_payload;
+    use gsp_fpga::device::FpgaDevice;
+
+    fn obpc() -> Obpc {
+        Obpc::new(OnboardMemory::new(4 << 20, true), standard_payload())
+    }
+
+    fn stored_bitstream(o: &mut Obpc, name: &str, design: u32) {
+        let dev = FpgaDevice::virtex_like_1m();
+        let bs = Bitstream::synthesise(design, &dev, 20);
+        o.memory.store(name, bs.serialise().to_vec()).unwrap();
+    }
+
+    #[test]
+    fn five_step_process_succeeds() {
+        let mut o = obpc();
+        stored_bitstream(&mut o, "tdma.bit", 42);
+        let rep = o.reconfigure(3, "tdma.bit", None).unwrap();
+        assert!(rep.success && !rep.rolled_back);
+        assert_eq!(rep.design_id, 42);
+        assert_eq!(rep.steps.len(), 5);
+        assert!(o.equipments[3].in_service());
+        assert_eq!(o.equipments[3].design_id(), Some(42));
+        // Interruption covers off + load + verify + on.
+        assert!(rep.interruption_ns > rep.steps[2].duration_ns);
+        assert!(rep.interruption_ns < rep.total_ns() + 1);
+    }
+
+    #[test]
+    fn corrupt_load_rolls_back_to_previous_design() {
+        let mut o = obpc();
+        stored_bitstream(&mut o, "cdma.bit", 1);
+        stored_bitstream(&mut o, "tdma.bit", 2);
+        assert!(o.reconfigure(3, "cdma.bit", None).unwrap().success);
+        let rep = o
+            .reconfigure(3, "tdma.bit", Some(FaultInjection::CorruptAfterLoad))
+            .unwrap();
+        assert!(!rep.success && rep.rolled_back);
+        // Service restored with the *old* design.
+        assert!(o.equipments[3].in_service());
+        assert_eq!(o.equipments[3].design_id(), Some(1));
+        let (ok, _) = o.validate(3).unwrap();
+        assert!(ok, "rollback must validate against the previous golden");
+    }
+
+    #[test]
+    fn corrupt_first_load_leaves_service_down() {
+        let mut o = obpc();
+        stored_bitstream(&mut o, "first.bit", 9);
+        let rep = o
+            .reconfigure(3, "first.bit", Some(FaultInjection::CorruptAfterLoad))
+            .unwrap();
+        assert!(!rep.success && !rep.rolled_back, "nothing to roll back to");
+        assert!(!o.equipments[3].in_service());
+    }
+
+    #[test]
+    fn missing_bitstream_and_bad_equipment_errors() {
+        let mut o = obpc();
+        assert_eq!(
+            o.reconfigure(3, "ghost.bit", None),
+            Err(ReconfigError::NotInMemory("ghost.bit".into()))
+        );
+        stored_bitstream(&mut o, "x.bit", 1);
+        assert_eq!(
+            o.reconfigure(99, "x.bit", None),
+            Err(ReconfigError::NoEquipment(99))
+        );
+        assert_eq!(
+            o.reconfigure(0, "x.bit", None),
+            Err(ReconfigError::NotReconfigurable(0))
+        );
+    }
+
+    #[test]
+    fn corrupt_stored_bytes_rejected_before_power_off() {
+        let mut o = obpc();
+        let dev = FpgaDevice::virtex_like_1m();
+        let mut raw = Bitstream::synthesise(5, &dev, 10).serialise().to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        o.memory.store("bad.bit", raw).unwrap();
+        // First load something good so the equipment is in service.
+        stored_bitstream(&mut o, "good.bit", 7);
+        o.reconfigure(3, "good.bit", None).unwrap();
+        let err = o.reconfigure(3, "bad.bit", None).unwrap_err();
+        assert!(matches!(err, ReconfigError::BadBitstream(_)));
+        // Service untouched — the bad file never reached the fabric.
+        assert!(o.equipments[3].in_service());
+        assert_eq!(o.equipments[3].design_id(), Some(7));
+    }
+
+    #[test]
+    fn telecommand_roundtrip_through_platform() {
+        let mut o = obpc();
+        let mut p = Platform::new();
+        let dev = FpgaDevice::virtex_like_1m();
+        let bs = Bitstream::synthesise(11, &dev, 16);
+        p.uplink(Telecommand::StoreBitstream {
+            name: "w.bit".into(),
+            data: bs.serialise().to_vec(),
+        });
+        p.uplink(Telecommand::Reconfigure {
+            equipment: 4,
+            name: "w.bit".into(),
+        });
+        p.uplink(Telecommand::Validate { equipment: 4 });
+        p.uplink(Telecommand::StatusRequest { equipment: 4 });
+        o.service_platform(&mut p);
+        let tm = p.downlink();
+        assert_eq!(tm.len(), 4);
+        assert!(matches!(tm[0], Telemetry::BitstreamStored { .. }));
+        match &tm[1] {
+            Telemetry::ReconfigDone { success, crc24, .. } => {
+                assert!(success);
+                assert_eq!(*crc24, bs.global_crc);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            tm[2],
+            Telemetry::ValidationReport { crc_ok: true, .. }
+        ));
+        assert!(matches!(
+            tm[3],
+            Telemetry::Status {
+                running: true,
+                design_id: Some(11),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn library_mode_keeps_bitstream_for_reuse() {
+        let mut o = obpc();
+        stored_bitstream(&mut o, "lib.bit", 3);
+        o.reconfigure(3, "lib.bit", None).unwrap();
+        assert!(o.memory.contains("lib.bit"), "library retains");
+        // Reuse without re-upload.
+        let rep = o.reconfigure(3, "lib.bit", None).unwrap();
+        assert!(rep.success);
+    }
+
+    #[test]
+    fn non_library_memory_unloads_after_use() {
+        let mut o = Obpc::new(OnboardMemory::new(4 << 20, false), standard_payload());
+        stored_bitstream(&mut o, "once.bit", 3);
+        o.reconfigure(3, "once.bit", None).unwrap();
+        assert!(!o.memory.contains("once.bit"));
+    }
+}

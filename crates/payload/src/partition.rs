@@ -1,0 +1,207 @@
+//! §4.4 — payload structuring strategies and their reconfiguration cost.
+//!
+//! "Different strategies of realization of the payload can be used: the
+//! three equipment's on one single chip, separated chips for each
+//! equipment, separated chips for functions of the modem." Each strategy
+//! trades reconfiguration *scope* (how much service is interrupted when
+//! one function changes) against chip count and interface constraints —
+//! and the paper notes most FPGAs only allow a global reload, so the chip
+//! boundary *is* the reconfiguration boundary.
+
+use gsp_fpga::device::FpgaDevice;
+
+/// The three §4.4 strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Demultiplexer + modem + decoder on one chip.
+    SingleChip,
+    /// One chip per equipment (demux / modem / decoder).
+    ChipPerEquipment,
+    /// One chip per modem *function* (e.g. timing recovery, despreader…).
+    ChipPerFunction,
+}
+
+/// A function to place: name, gate count, and which equipment owns it.
+#[derive(Clone, Debug)]
+pub struct FunctionBlock {
+    /// Function label.
+    pub name: String,
+    /// Gate requirement.
+    pub gates: u64,
+    /// Owning equipment label ("demux" / "modem" / "decoder").
+    pub equipment: &'static str,
+    /// Is this the function being reconfigured in the scenario?
+    pub reconfigured: bool,
+}
+
+/// The §2.3 modem scenario: demux + modem functions + decoder, with the
+/// modem's acquisition/tracking/despreading block as the swap target.
+pub fn waveform_swap_blocks() -> Vec<FunctionBlock> {
+    vec![
+        FunctionBlock {
+            name: "demultiplexer".into(),
+            gates: 150_000,
+            equipment: "demux",
+            reconfigured: false,
+        },
+        FunctionBlock {
+            name: "matched filter".into(),
+            gates: 30_000,
+            equipment: "modem",
+            reconfigured: false,
+        },
+        FunctionBlock {
+            name: "timing/code sync (swap target)".into(),
+            gates: 200_000,
+            equipment: "modem",
+            reconfigured: true,
+        },
+        FunctionBlock {
+            name: "carrier recovery".into(),
+            gates: 25_000,
+            equipment: "modem",
+            reconfigured: false,
+        },
+        FunctionBlock {
+            name: "decoder".into(),
+            gates: 180_000,
+            equipment: "decoder",
+            reconfigured: false,
+        },
+    ]
+}
+
+/// Outcome of evaluating a strategy for a reconfiguration scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionOutcome {
+    /// Strategy evaluated.
+    pub strategy: PartitionStrategy,
+    /// Chips used.
+    pub chips: usize,
+    /// Gates that must be reloaded to change the target function.
+    pub reload_gates: u64,
+    /// Functions whose service is interrupted by the reload.
+    pub interrupted_functions: usize,
+    /// Reload time through the chip's configuration port, nanoseconds
+    /// (whole-chip reload: "major FPGAs are not partially configurable").
+    pub reload_time_ns: u64,
+    /// Inter-chip interfaces that must stay signal-compatible
+    /// ("common interfaces with the chips located before and after").
+    pub fixed_interfaces: usize,
+}
+
+/// Evaluates a strategy over the function blocks, using `device` for the
+/// per-chip configuration-time model (config time scaled by the occupied
+/// gate fraction, full-chip reload).
+pub fn evaluate(
+    strategy: PartitionStrategy,
+    blocks: &[FunctionBlock],
+    device: &FpgaDevice,
+) -> PartitionOutcome {
+    // Group blocks into chips.
+    let chips: Vec<Vec<&FunctionBlock>> = match strategy {
+        PartitionStrategy::SingleChip => vec![blocks.iter().collect()],
+        PartitionStrategy::ChipPerEquipment => {
+            let mut map: Vec<(&str, Vec<&FunctionBlock>)> = Vec::new();
+            for b in blocks {
+                if let Some(e) = map.iter_mut().find(|(k, _)| *k == b.equipment) {
+                    e.1.push(b);
+                } else {
+                    map.push((b.equipment, vec![b]));
+                }
+            }
+            map.into_iter().map(|(_, v)| v).collect()
+        }
+        PartitionStrategy::ChipPerFunction => blocks.iter().map(|b| vec![b]).collect(),
+    };
+
+    // The chip(s) containing a reconfigured block must be fully reloaded.
+    let mut reload_gates = 0u64;
+    let mut interrupted = 0usize;
+    for chip in &chips {
+        if chip.iter().any(|b| b.reconfigured) {
+            reload_gates += chip.iter().map(|b| b.gates).sum::<u64>();
+            interrupted += chip.len();
+        }
+    }
+    // Reload time: configuration bits scale with the occupied fraction of
+    // the device (frames are column-granular; approximate linearly).
+    let frac = (reload_gates as f64 / device.gate_capacity as f64).min(1.0);
+    let reload_time_ns = (device.full_config_time_ns() as f64 * frac) as u64;
+
+    // Fixed interfaces: edges between the reloaded chip(s) and the rest of
+    // the chain. In a single chip there are the chain's external edges
+    // only (2); with more chips, each boundary adjacent to a reloaded chip
+    // counts.
+    let fixed_interfaces = match strategy {
+        PartitionStrategy::SingleChip => 2,
+        _ => 2, // before and after the reloaded chip, per the paper
+    };
+
+    PartitionOutcome {
+        strategy,
+        chips: chips.len(),
+        reload_gates,
+        interrupted_functions: interrupted,
+        reload_time_ns,
+        fixed_interfaces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes() -> [PartitionOutcome; 3] {
+        let blocks = waveform_swap_blocks();
+        let dev = FpgaDevice::virtex_like_1m();
+        [
+            evaluate(PartitionStrategy::SingleChip, &blocks, &dev),
+            evaluate(PartitionStrategy::ChipPerEquipment, &blocks, &dev),
+            evaluate(PartitionStrategy::ChipPerFunction, &blocks, &dev),
+        ]
+    }
+
+    #[test]
+    fn chip_counts_match_strategy() {
+        let [single, per_eq, per_fn] = outcomes();
+        assert_eq!(single.chips, 1);
+        assert_eq!(per_eq.chips, 3);
+        assert_eq!(per_fn.chips, 5);
+    }
+
+    #[test]
+    fn finer_partitioning_shrinks_reload_scope() {
+        let [single, per_eq, per_fn] = outcomes();
+        assert!(single.reload_gates > per_eq.reload_gates);
+        assert!(per_eq.reload_gates > per_fn.reload_gates);
+        // Per-function: only the swap target reloads.
+        assert_eq!(per_fn.reload_gates, 200_000);
+        assert_eq!(per_fn.interrupted_functions, 1);
+        // Single chip: everything goes down.
+        assert_eq!(single.interrupted_functions, 5);
+    }
+
+    #[test]
+    fn reload_time_tracks_scope() {
+        let [single, per_eq, per_fn] = outcomes();
+        assert!(single.reload_time_ns > per_eq.reload_time_ns);
+        assert!(per_eq.reload_time_ns >= per_fn.reload_time_ns);
+    }
+
+    #[test]
+    fn chip_per_equipment_interrupts_whole_modem() {
+        // The paper's middle option: reloading the modem chip also drops
+        // the matched filter and carrier recovery that did not change.
+        let [_, per_eq, _] = outcomes();
+        assert_eq!(per_eq.interrupted_functions, 3);
+        assert_eq!(per_eq.reload_gates, 255_000);
+    }
+
+    #[test]
+    fn interfaces_are_the_constraint_everywhere() {
+        for o in outcomes() {
+            assert_eq!(o.fixed_interfaces, 2, "{:?}", o.strategy);
+        }
+    }
+}

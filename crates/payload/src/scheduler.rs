@@ -1,0 +1,255 @@
+//! MF-TDMA return-link slot scheduling (DAMA-style).
+//!
+//! The regenerative payload of §2.1 works "at the packet level"; the other
+//! on-board processing this enables is capacity assignment: terminals
+//! request return-link capacity, and the payload assigns (carrier, slot)
+//! pairs within each MF-TDMA frame. Priorities are honoured strictly;
+//! within a priority class an oversubscribed frame is shared
+//! proportionally (largest-remainder), so no terminal starves.
+
+use gsp_modem::framing::MfTdmaFrame;
+
+/// One terminal's capacity request for the next frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotRequest {
+    /// Requesting terminal.
+    pub terminal: u16,
+    /// Slots wanted this frame.
+    pub slots: usize,
+    /// Priority class (higher = served first).
+    pub priority: u8,
+}
+
+/// One assigned burst opportunity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    /// Terminal served.
+    pub terminal: u16,
+    /// Carrier index.
+    pub carrier: usize,
+    /// Slot index within the frame.
+    pub slot: usize,
+}
+
+/// The result of scheduling one frame.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulePlan {
+    /// Burst assignments, in (carrier-major) transmission order.
+    pub assignments: Vec<Assignment>,
+    /// (terminal, slots denied) for requests that did not fit.
+    pub denied: Vec<(u16, usize)>,
+}
+
+impl SchedulePlan {
+    /// Slots granted to a terminal.
+    pub fn granted(&self, terminal: u16) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.terminal == terminal)
+            .count()
+    }
+}
+
+/// DAMA scheduler over a frame geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct DamaScheduler {
+    /// Frame geometry being scheduled.
+    pub frame: MfTdmaFrame,
+}
+
+impl DamaScheduler {
+    /// New scheduler for `frame`.
+    pub fn new(frame: MfTdmaFrame) -> Self {
+        DamaScheduler { frame }
+    }
+
+    /// Total slots available per frame.
+    pub fn capacity(&self) -> usize {
+        self.frame.total_slots()
+    }
+
+    /// Schedules one frame of requests.
+    pub fn assign(&self, requests: &[SlotRequest]) -> SchedulePlan {
+        let mut plan = SchedulePlan::default();
+        let mut remaining = self.capacity();
+
+        // Group by priority, highest first, preserving request order
+        // within a class (stable sort).
+        let mut by_priority: Vec<&SlotRequest> = requests.iter().collect();
+        by_priority.sort_by_key(|r| std::cmp::Reverse(r.priority));
+
+        // Grants per request index (parallel to by_priority).
+        let mut grants = vec![0usize; by_priority.len()];
+        let mut i = 0;
+        while i < by_priority.len() {
+            // The span of this priority class.
+            let p = by_priority[i].priority;
+            let mut j = i;
+            while j < by_priority.len() && by_priority[j].priority == p {
+                j += 1;
+            }
+            let class = &by_priority[i..j];
+            let wanted: usize = class.iter().map(|r| r.slots).sum();
+            if wanted <= remaining {
+                for (k, r) in class.iter().enumerate() {
+                    grants[i + k] = r.slots;
+                }
+                remaining -= wanted;
+            } else if remaining > 0 && wanted > 0 {
+                // Proportional share with largest remainder.
+                let mut shares: Vec<(usize, usize, f64)> = class
+                    .iter()
+                    .enumerate()
+                    .map(|(k, r)| {
+                        let exact = r.slots as f64 * remaining as f64 / wanted as f64;
+                        let floor = (exact.floor() as usize).min(r.slots);
+                        (i + k, floor, exact - floor as f64)
+                    })
+                    .collect();
+                let mut used: usize = shares.iter().map(|s| s.1).sum();
+                // Hand out the leftovers by descending remainder.
+                shares.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+                for s in &mut shares {
+                    if used >= remaining {
+                        break;
+                    }
+                    if s.1 < by_priority[s.0].slots {
+                        s.1 += 1;
+                        used += 1;
+                    }
+                }
+                for (idx, g, _) in shares {
+                    grants[idx] = g;
+                }
+                remaining = 0;
+            }
+            i = j;
+        }
+
+        // Materialise assignments carrier-major.
+        let mut cursor = 0usize; // linear slot index
+        for (k, r) in by_priority.iter().enumerate() {
+            let g = grants[k];
+            for _ in 0..g {
+                let carrier = cursor / self.frame.slots_per_frame;
+                let slot = cursor % self.frame.slots_per_frame;
+                plan.assignments.push(Assignment {
+                    terminal: r.terminal,
+                    carrier,
+                    slot,
+                });
+                cursor += 1;
+            }
+            if g < r.slots {
+                plan.denied.push((r.terminal, r.slots - g));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> MfTdmaFrame {
+        MfTdmaFrame {
+            n_carriers: 6,
+            slots_per_frame: 8,
+            slot_symbols: 1024,
+            symbol_rate: 170_667.0,
+        }
+    }
+
+    fn req(terminal: u16, slots: usize, priority: u8) -> SlotRequest {
+        SlotRequest {
+            terminal,
+            slots,
+            priority,
+        }
+    }
+
+    #[test]
+    fn undersubscribed_frame_grants_everything() {
+        let s = DamaScheduler::new(frame());
+        let plan = s.assign(&[req(1, 10, 0), req(2, 20, 0), req(3, 5, 0)]);
+        assert_eq!(plan.assignments.len(), 35);
+        assert!(plan.denied.is_empty());
+        assert_eq!(plan.granted(2), 20);
+    }
+
+    #[test]
+    fn no_slot_is_double_assigned_and_all_are_valid() {
+        let s = DamaScheduler::new(frame());
+        let plan = s.assign(&[req(1, 30, 1), req(2, 30, 0), req(3, 30, 2)]);
+        let mut seen = std::collections::HashSet::new();
+        for a in &plan.assignments {
+            assert!(a.carrier < 6 && a.slot < 8, "{a:?}");
+            assert!(seen.insert((a.carrier, a.slot)), "double assignment {a:?}");
+        }
+        assert_eq!(plan.assignments.len(), s.capacity());
+    }
+
+    #[test]
+    fn priority_classes_are_strict() {
+        // Capacity 48: priority 2 asks 40 (gets all), priority 1 asks 40
+        // (gets the remaining 8), priority 0 gets nothing.
+        let s = DamaScheduler::new(frame());
+        let plan = s.assign(&[req(10, 40, 0), req(20, 40, 1), req(30, 40, 2)]);
+        assert_eq!(plan.granted(30), 40);
+        assert_eq!(plan.granted(20), 8);
+        assert_eq!(plan.granted(10), 0);
+        let denied: std::collections::HashMap<u16, usize> =
+            plan.denied.iter().copied().collect();
+        assert_eq!(denied[&20], 32);
+        assert_eq!(denied[&10], 40);
+    }
+
+    #[test]
+    fn oversubscribed_class_shares_proportionally() {
+        // Two equal-priority terminals asking 2:1 split the 48 slots ~2:1.
+        let s = DamaScheduler::new(frame());
+        let plan = s.assign(&[req(1, 60, 0), req(2, 30, 0)]);
+        let g1 = plan.granted(1);
+        let g2 = plan.granted(2);
+        assert_eq!(g1 + g2, 48);
+        assert_eq!(g1, 32);
+        assert_eq!(g2, 16);
+    }
+
+    #[test]
+    fn largest_remainder_keeps_total_exact() {
+        // Three terminals asking 7/7/7 into 10 slots: 3/3/3 plus one spare
+        // by remainder — total exactly 10, nobody exceeds their ask.
+        let f = MfTdmaFrame {
+            n_carriers: 1,
+            slots_per_frame: 10,
+            slot_symbols: 64,
+            symbol_rate: 1e5,
+        };
+        let s = DamaScheduler::new(f);
+        let plan = s.assign(&[req(1, 7, 0), req(2, 7, 0), req(3, 7, 0)]);
+        let total: usize = [1u16, 2, 3].iter().map(|&t| plan.granted(t)).sum();
+        assert_eq!(total, 10);
+        for t in [1u16, 2, 3] {
+            assert!(plan.granted(t) <= 7);
+            assert!(plan.granted(t) >= 3);
+        }
+    }
+
+    #[test]
+    fn empty_requests_empty_plan() {
+        let s = DamaScheduler::new(frame());
+        let plan = s.assign(&[]);
+        assert!(plan.assignments.is_empty() && plan.denied.is_empty());
+    }
+
+    #[test]
+    fn zero_slot_requests_are_noops() {
+        let s = DamaScheduler::new(frame());
+        let plan = s.assign(&[req(1, 0, 5), req(2, 3, 0)]);
+        assert_eq!(plan.granted(1), 0);
+        assert_eq!(plan.granted(2), 3);
+        assert!(plan.denied.is_empty());
+    }
+}

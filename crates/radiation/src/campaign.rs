@@ -1,0 +1,312 @@
+//! Monte-Carlo SEU campaigns: how often does the payload function break,
+//! and how much does scrubbing buy? (Experiments E6/E7.)
+//!
+//! Each trial plays Poisson SEU arrivals over a simulated window against an
+//! FPGA configuration; a *scrub pass* (when configured) restores every
+//! frame at a fixed period. The figure of merit is **unavailability** —
+//! the fraction of time at least one *essential* configuration bit is
+//! corrupted — plus upset counters.
+//!
+//! Trials are independent, so the campaign fans out over a `crossbeam`
+//! scope with one deterministic RNG per worker (guides: data-parallel map,
+//! no shared mutable state).
+
+use crate::environment::{PoissonArrivals, RadiationEnvironment};
+use gsp_fpga::device::FpgaDevice;
+use gsp_fpga::fabric::FpgaFabric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Device under test.
+    pub device: FpgaDevice,
+    /// Baseline per-bit daily SEU rate (Table 1: 1e-7).
+    pub seu_per_bit_day: f64,
+    /// Environment regime (rate multiplier).
+    pub environment: RadiationEnvironment,
+    /// Scrub period in seconds; `None` disables scrubbing.
+    pub scrub_period_s: Option<f64>,
+    /// Simulated window per trial, days.
+    pub sim_days: f64,
+    /// Number of Monte-Carlo trials.
+    pub trials: usize,
+    /// Base RNG seed (workers derive from it deterministically).
+    pub seed: u64,
+}
+
+/// Aggregated campaign outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CampaignResult {
+    /// Trials run.
+    pub trials: usize,
+    /// Total SEUs injected across trials.
+    pub total_upsets: u64,
+    /// SEUs that hit essential bits.
+    pub essential_upsets: u64,
+    /// Mean fraction of simulated time the function was broken.
+    pub unavailability: f64,
+    /// Trials in which the function was broken at window end
+    /// (without scrubbing these stay broken until a reload).
+    pub broken_at_end: usize,
+}
+
+impl CampaignResult {
+    fn merge(&mut self, other: &CampaignResult) {
+        let t = (self.trials + other.trials).max(1);
+        self.unavailability = (self.unavailability * self.trials as f64
+            + other.unavailability * other.trials as f64)
+            / t as f64;
+        self.trials += other.trials;
+        self.total_upsets += other.total_upsets;
+        self.essential_upsets += other.essential_upsets;
+        self.broken_at_end += other.broken_at_end;
+    }
+}
+
+/// One trial: event-driven upset/scrub simulation.
+fn run_trial(cfg: &CampaignConfig, fabric: &FpgaFabric, rng: &mut StdRng) -> CampaignResult {
+    let window_s = cfg.sim_days * 86_400.0;
+    let rate = cfg
+        .environment
+        .seu_rate_per_second(cfg.seu_per_bit_day, cfg.device.config_bits());
+    let arrivals = PoissonArrivals::new(rate).arrivals_in_window(window_s, rng);
+
+    // Set of currently-flipped bits (a second hit restores the bit).
+    let mut flipped: HashSet<(usize, usize, u8)> = HashSet::new();
+    let mut essential_flipped = 0usize;
+    let mut broken_since: Option<f64> = None;
+    let mut broken_time = 0.0f64;
+    let mut total_upsets = 0u64;
+    let mut essential_upsets = 0u64;
+
+    let mut next_scrub = cfg.scrub_period_s;
+    let mut arrival_iter = arrivals.into_iter().peekable();
+
+    loop {
+        // Next event: arrival or scrub, whichever is earlier.
+        let t_arr = arrival_iter.peek().copied();
+        let (t, is_scrub) = match (t_arr, next_scrub) {
+            (None, None) => break,
+            (Some(a), None) => (a, false),
+            (None, Some(s)) if s < window_s => (s, true),
+            (None, Some(_)) => break,
+            (Some(a), Some(s)) => {
+                if s < a && s < window_s {
+                    (s, true)
+                } else {
+                    (a, false)
+                }
+            }
+        };
+        if t >= window_s {
+            break;
+        }
+        if is_scrub {
+            // Blind full pass restores every frame.
+            if essential_flipped > 0 {
+                broken_time += t - broken_since.take().unwrap_or(t);
+            }
+            flipped.clear();
+            essential_flipped = 0;
+            next_scrub = Some(t + cfg.scrub_period_s.unwrap());
+        } else {
+            arrival_iter.next();
+            total_upsets += 1;
+            let frame = rng.gen_range(0..cfg.device.frames);
+            let byte = rng.gen_range(0..cfg.device.frame_bytes);
+            let bit = rng.gen_range(0..8u8);
+            let key = (frame, byte, bit);
+            let essential = fabric.bit_is_essential(frame, byte, bit);
+            if essential {
+                essential_upsets += 1;
+            }
+            let was_broken = essential_flipped > 0;
+            if flipped.remove(&key) {
+                if essential {
+                    essential_flipped -= 1;
+                }
+            } else {
+                flipped.insert(key);
+                if essential {
+                    essential_flipped += 1;
+                }
+            }
+            match (was_broken, essential_flipped > 0) {
+                (false, true) => broken_since = Some(t),
+                (true, false) => broken_time += t - broken_since.take().unwrap_or(t),
+                _ => {}
+            }
+        }
+    }
+    let broken_at_end = essential_flipped > 0;
+    if let Some(s) = broken_since {
+        broken_time += window_s - s;
+    }
+    CampaignResult {
+        trials: 1,
+        total_upsets,
+        essential_upsets,
+        unavailability: broken_time / window_s,
+        broken_at_end: broken_at_end as usize,
+    }
+}
+
+/// Runs the campaign, fanning trials out across `crossbeam` workers.
+pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cfg.trials.max(1));
+    // A read-only fabric shared across workers purely for the essential-bit
+    // predicate (no configuration memory is touched by trials).
+    let fabric = FpgaFabric::new(cfg.device.clone());
+
+    let mut partials: Vec<CampaignResult> = Vec::with_capacity(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let fabric = &fabric;
+            let cfg = &cfg;
+            handles.push(scope.spawn(move |_| {
+                let mut local = CampaignResult::default();
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut t = w;
+                while t < cfg.trials {
+                    let r = run_trial(cfg, fabric, &mut rng);
+                    local.merge(&r);
+                    t += workers;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("campaign worker panicked"));
+        }
+    })
+    .expect("campaign scope");
+
+    let mut total = CampaignResult::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> CampaignConfig {
+        CampaignConfig {
+            device: FpgaDevice::small_100k(),
+            seu_per_bit_day: 1e-7,
+            environment: RadiationEnvironment::solar_flare(),
+            scrub_period_s: None,
+            sim_days: 10.0,
+            trials: 64,
+            seed: 1234,
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_for_fixed_seed() {
+        let cfg = base_cfg();
+        let a = run_scrub_campaign(&cfg);
+        let b = run_scrub_campaign(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn upset_count_matches_expectation() {
+        let cfg = CampaignConfig {
+            trials: 200,
+            ..base_cfg()
+        };
+        let r = run_scrub_campaign(&cfg);
+        // λ = 1e-7 × 100 (flare) × bits × days.
+        let bits = cfg.device.config_bits() as f64;
+        let expect = 1e-7 * 100.0 * bits * cfg.sim_days * cfg.trials as f64;
+        let got = r.total_upsets as f64;
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "upsets {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn essential_fraction_shows_up_in_hits() {
+        let cfg = CampaignConfig {
+            trials: 200,
+            ..base_cfg()
+        };
+        let r = run_scrub_campaign(&cfg);
+        let frac = r.essential_upsets as f64 / r.total_upsets.max(1) as f64;
+        assert!((frac - 0.2).abs() < 0.05, "essential hit fraction {frac}");
+    }
+
+    #[test]
+    fn scrubbing_reduces_unavailability() {
+        let no_scrub = run_scrub_campaign(&base_cfg());
+        let hourly = run_scrub_campaign(&CampaignConfig {
+            scrub_period_s: Some(3600.0),
+            ..base_cfg()
+        });
+        let minute = run_scrub_campaign(&CampaignConfig {
+            scrub_period_s: Some(60.0),
+            ..base_cfg()
+        });
+        assert!(
+            hourly.unavailability < no_scrub.unavailability,
+            "hourly {} vs none {}",
+            hourly.unavailability,
+            no_scrub.unavailability
+        );
+        assert!(
+            minute.unavailability <= hourly.unavailability,
+            "minute {} vs hourly {}",
+            minute.unavailability,
+            hourly.unavailability
+        );
+        // With a 60 s period, broken intervals are clipped to ≤ 60 s.
+        assert!(minute.unavailability < 0.01);
+    }
+
+    #[test]
+    fn harsher_environments_mean_more_unavailability() {
+        let mk = |env: RadiationEnvironment| {
+            run_scrub_campaign(&CampaignConfig {
+                environment: env,
+                scrub_period_s: Some(3_600.0),
+                trials: 96,
+                ..base_cfg()
+            })
+        };
+        let quiet = mk(RadiationEnvironment::geo_quiet());
+        let gcr = mk(RadiationEnvironment::cosmic_ray_enhanced());
+        let flare = mk(RadiationEnvironment::solar_flare());
+        assert!(quiet.total_upsets < gcr.total_upsets);
+        assert!(gcr.total_upsets < flare.total_upsets);
+        assert!(quiet.unavailability <= gcr.unavailability + 1e-9);
+        assert!(gcr.unavailability <= flare.unavailability + 1e-9);
+    }
+
+    #[test]
+    fn without_scrubbing_failures_persist() {
+        let r = run_scrub_campaign(&CampaignConfig {
+            trials: 100,
+            ..base_cfg()
+        });
+        // Flare rates over 10 days on ~100 kbit: most trials end broken.
+        assert!(
+            r.broken_at_end > 50,
+            "{} of {} trials broken at end",
+            r.broken_at_end,
+            r.trials
+        );
+    }
+}

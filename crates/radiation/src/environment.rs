@@ -1,0 +1,169 @@
+//! Named radiation environments and Poisson SEU arrival generation.
+//!
+//! §4.2 lists three sources — trapped-particle belts, galactic cosmic rays,
+//! solar flares ("important fluxes appear during high solar activity over
+//! time periods from few hours to several days"). We expose them as SEU
+//! rate multipliers over the quiet-GEO baseline of Table 1, plus dose
+//! rates for the TID model.
+
+use rand::Rng;
+
+/// A radiation environment regime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadiationEnvironment {
+    /// Regime name.
+    pub name: &'static str,
+    /// Multiplier over the device's quiet-GEO SEU rate.
+    pub seu_multiplier: f64,
+    /// Dose rate in krad/year (behind nominal spot shielding).
+    pub dose_krad_per_year: f64,
+}
+
+impl RadiationEnvironment {
+    /// Quiet GEO: the Table 1 baseline.
+    pub fn geo_quiet() -> Self {
+        RadiationEnvironment {
+            name: "GEO quiet",
+            seu_multiplier: 1.0,
+            dose_krad_per_year: 10.0,
+        }
+    }
+
+    /// Elevated galactic-cosmic-ray conditions (solar minimum).
+    pub fn cosmic_ray_enhanced() -> Self {
+        RadiationEnvironment {
+            name: "GCR enhanced",
+            seu_multiplier: 5.0,
+            dose_krad_per_year: 12.0,
+        }
+    }
+
+    /// Solar-flare conditions: large fluxes over hours-to-days.
+    pub fn solar_flare() -> Self {
+        RadiationEnvironment {
+            name: "solar flare",
+            seu_multiplier: 100.0,
+            dose_krad_per_year: 50.0,
+        }
+    }
+
+    /// Effective SEU rate for a design: events per second across `bits`
+    /// sensitive bits at a per-bit daily baseline rate.
+    pub fn seu_rate_per_second(&self, baseline_per_bit_day: f64, bits: u64) -> f64 {
+        baseline_per_bit_day * self.seu_multiplier * bits as f64 / 86_400.0
+    }
+}
+
+/// Poisson process generator: exponential inter-arrival times at a fixed
+/// rate (events per second).
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rate_per_s: f64,
+}
+
+impl PoissonArrivals {
+    /// A process with the given rate (events/second). Zero rate = never.
+    pub fn new(rate_per_s: f64) -> Self {
+        assert!(rate_per_s >= 0.0);
+        PoissonArrivals { rate_per_s }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// Next inter-arrival time in seconds, or `None` for a zero-rate
+    /// process.
+    pub fn next_interval_s<R: Rng>(&self, rng: &mut R) -> Option<f64> {
+        if self.rate_per_s <= 0.0 {
+            return None;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        Some(-u.ln() / self.rate_per_s)
+    }
+
+    /// Samples arrival times (seconds, sorted ascending) within a window.
+    pub fn arrivals_in_window<R: Rng>(&self, window_s: f64, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while let Some(dt) = self.next_interval_s(rng) {
+            t += dt;
+            if t >= window_s {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regime_ordering() {
+        let quiet = RadiationEnvironment::geo_quiet();
+        let gcr = RadiationEnvironment::cosmic_ray_enhanced();
+        let flare = RadiationEnvironment::solar_flare();
+        assert!(quiet.seu_multiplier < gcr.seu_multiplier);
+        assert!(gcr.seu_multiplier < flare.seu_multiplier);
+        assert!(flare.dose_krad_per_year > quiet.dose_krad_per_year);
+    }
+
+    #[test]
+    fn seu_rate_composition() {
+        // 1 Mbit at 1e-7/bit/day in quiet GEO: 0.1 events/day.
+        let env = RadiationEnvironment::geo_quiet();
+        let r = env.seu_rate_per_second(1e-7, 1_000_000);
+        assert!((r * 86_400.0 - 0.1).abs() < 1e-12);
+        // Flare: ×100.
+        let rf = RadiationEnvironment::solar_flare().seu_rate_per_second(1e-7, 1_000_000);
+        assert!((rf / r - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mean_count_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = PoissonArrivals::new(0.01); // 1 event per 100 s
+        let mut total = 0usize;
+        let trials = 400;
+        for _ in 0..trials {
+            total += p.arrivals_in_window(10_000.0, &mut rng).len();
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean count {mean}");
+    }
+
+    #[test]
+    fn poisson_intervals_are_memoryless_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = PoissonArrivals::new(2.0);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| p.next_interval_s(&mut rng).unwrap())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean interval {mean}");
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = PoissonArrivals::new(0.0);
+        assert!(p.next_interval_s(&mut rng).is_none());
+        assert!(p.arrivals_in_window(1e9, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_window() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = PoissonArrivals::new(0.5);
+        let arr = p.arrivals_in_window(100.0, &mut rng);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| (0.0..100.0).contains(&t)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # gsp-radiation — the space environment of the paper's §4.2
+//!
+//! Models the three radiation sources the paper lists (trapped-particle
+//! belts, galactic cosmic rays, solar flares) at the level that matters to
+//! the payload: **event statistics** (Poisson SEU arrivals at per-bit daily
+//! rates) and **accumulated dose** (TID in krad against device tolerance).
+//!
+//! * [`device`] — the ATMEL MH1RT characteristics of **Table 1** (1.2 Mgate,
+//!   2.5–5 V, 200 krad TID, 1e-7 upsets/bit/day in GEO) plus the paper's
+//!   projection for 0.25/0.18 µm parts (300 krad, SEU rate unchanged);
+//! * [`environment`] — named environments (quiet GEO, solar flare, cosmic-
+//!   ray-enhanced) with SEU-rate multipliers and dose rates;
+//! * [`tid`] — total-ionising-dose accumulation over a mission;
+//! * [`latchup`] — §4.2's "other effects": single-event latch-up with
+//!   power-cycle recovery, and burnout (permanent loss);
+//! * [`campaign`] — Monte-Carlo SEU campaigns over a simulated FPGA with a
+//!   chosen mitigation policy, parallelised with `crossbeam` worker scopes
+//!   (one RNG per worker, seeds split deterministically).
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod device;
+pub mod environment;
+pub mod latchup;
+pub mod tid;
+
+pub use campaign::{run_scrub_campaign, CampaignConfig, CampaignResult};
+pub use device::Mh1rtDevice;
+pub use environment::RadiationEnvironment;

@@ -1,0 +1,113 @@
+//! Total-ionising-dose accumulation (§4.2): "the total dose corresponds to
+//! the aggregation of interactions of a large number of protons and
+//! electrons within a part of the device" — a slow, cumulative budget
+//! against the device's TID tolerance.
+
+use crate::device::Mh1rtDevice;
+use crate::environment::RadiationEnvironment;
+
+/// Dose accumulator for one device over a mission.
+#[derive(Clone, Copy, Debug)]
+pub struct TidAccumulator {
+    accumulated_krad: f64,
+    tolerance_krad: f64,
+}
+
+/// Health classification against the tolerance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TidStatus {
+    /// Below 80% of tolerance.
+    Nominal,
+    /// Between 80% and 100% — parametric degradation expected.
+    Degraded,
+    /// Past the qualified tolerance.
+    ExceededTolerance,
+}
+
+impl TidAccumulator {
+    /// New accumulator for a device.
+    pub fn new(device: &Mh1rtDevice) -> Self {
+        TidAccumulator {
+            accumulated_krad: 0.0,
+            tolerance_krad: device.tid_krad,
+        }
+    }
+
+    /// Adds dose for `years` spent in `env`.
+    pub fn accumulate(&mut self, env: &RadiationEnvironment, years: f64) {
+        assert!(years >= 0.0);
+        self.accumulated_krad += env.dose_krad_per_year * years;
+    }
+
+    /// Total accumulated dose, krad.
+    pub fn dose_krad(&self) -> f64 {
+        self.accumulated_krad
+    }
+
+    /// Margin left before tolerance, krad (negative when exceeded).
+    pub fn margin_krad(&self) -> f64 {
+        self.tolerance_krad - self.accumulated_krad
+    }
+
+    /// Health status.
+    pub fn status(&self) -> TidStatus {
+        let frac = self.accumulated_krad / self.tolerance_krad;
+        if frac < 0.8 {
+            TidStatus::Nominal
+        } else if frac <= 1.0 {
+            TidStatus::Degraded
+        } else {
+            TidStatus::ExceededTolerance
+        }
+    }
+
+    /// Mission lifetime (years) until tolerance at a steady dose rate.
+    pub fn lifetime_years(device: &Mh1rtDevice, env: &RadiationEnvironment) -> f64 {
+        device.tid_krad / env.dose_krad_per_year
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_year_geo_mission_fits_mh1rt() {
+        // 15 years × 10 krad/year = 150 krad < 200 krad tolerance.
+        let dev = Mh1rtDevice::mh1rt();
+        let mut acc = TidAccumulator::new(&dev);
+        acc.accumulate(&RadiationEnvironment::geo_quiet(), 15.0);
+        assert_eq!(acc.status(), TidStatus::Nominal);
+        assert!((acc.dose_krad() - 150.0).abs() < 1e-9);
+        assert!(acc.margin_krad() > 0.0);
+    }
+
+    #[test]
+    fn flare_years_accelerate_degradation() {
+        let dev = Mh1rtDevice::mh1rt();
+        let mut acc = TidAccumulator::new(&dev);
+        acc.accumulate(&RadiationEnvironment::geo_quiet(), 14.0);
+        acc.accumulate(&RadiationEnvironment::solar_flare(), 1.5);
+        // 140 + 75 = 215 krad > 200.
+        assert_eq!(acc.status(), TidStatus::ExceededTolerance);
+        assert!(acc.margin_krad() < 0.0);
+    }
+
+    #[test]
+    fn degraded_band() {
+        let dev = Mh1rtDevice::mh1rt();
+        let mut acc = TidAccumulator::new(&dev);
+        acc.accumulate(&RadiationEnvironment::geo_quiet(), 17.0); // 170 krad
+        assert_eq!(acc.status(), TidStatus::Degraded);
+    }
+
+    #[test]
+    fn future_node_extends_lifetime() {
+        let env = RadiationEnvironment::geo_quiet();
+        let now = TidAccumulator::lifetime_years(&Mh1rtDevice::mh1rt(), &env);
+        let fut = TidAccumulator::lifetime_years(&Mh1rtDevice::future_025um(), &env);
+        assert!((now - 20.0).abs() < 1e-9);
+        assert!((fut - 30.0).abs() < 1e-9);
+        assert!(fut > now, "the paper's 300 krad projection buys lifetime");
+    }
+}

@@ -1,0 +1,38 @@
+//! The decoder-swap motivation (§2.3): BER ladder of the UMTS coding
+//! schemes over AWGN, plus the regenerative-vs-transparent link-budget
+//! argument of §2.1.
+//!
+//! ```text
+//! cargo run --release -p gsp-examples --bin ber_study        # smoke scale
+//! cargo run --release -p gsp-examples --bin ber_study -- --full
+//! ```
+
+use gsp_channel::geo::transparent_combined_ebn0_db;
+use gsp_core::exp::{e8_coding, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Smoke
+    };
+    println!("{}", e8_coding(scale, 2003));
+
+    println!("regeneration advantage (§2.1, 'regeneration of the signal on-board");
+    println!("improves the global budget link'):");
+    println!(
+        "  {:<26} {:>12} {:>12}",
+        "up/down Eb/N0 (dB)", "transparent", "regenerative"
+    );
+    for (up, down) in [(6.0, 6.0), (6.0, 12.0), (4.0, 10.0)] {
+        let transparent = transparent_combined_ebn0_db(up, down);
+        let regen = up.min(down); // each hop decoded independently
+        println!(
+            "  {:<26} {:>12.2} {:>12.2}",
+            format!("{up:.0} / {down:.0}"),
+            transparent,
+            regen
+        );
+    }
+    println!("\n(transparent: noise of both hops cascades; regenerative: the worse hop decides)");
+}

@@ -1,0 +1,8 @@
+//! Shared nothing — this stub only anchors the `gsp-examples` package; the
+//! runnable content lives in the sibling `*.rs` binaries:
+//!
+//! * `quickstart` — build the payload, load a personality, pass traffic;
+//! * `waveform_switch` — the paper's CDMA→TDMA in-orbit change, end to end;
+//! * `seu_campaign` — radiation Monte-Carlo with and without scrubbing;
+//! * `reconfig_upload` — the Fig. 4 protocol stack moving a bitstream;
+//! * `ber_study` — coding-scheme BER ladder (decoder-swap motivation).

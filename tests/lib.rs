@@ -1,0 +1,2 @@
+//! Stub library anchoring the `gsp-tests` package; the integration tests
+//! live in `tests/tests/*.rs` and span multiple workspace crates.

@@ -1,0 +1,123 @@
+//! Integration stress matrix: the TDMA burst demodulator against *stacked*
+//! impairments — phase offset + fractional timing + clock drift + CFO +
+//! noise, all at once — the situation a real return link actually presents.
+
+use gsp_channel::awgn::AwgnChannel;
+use gsp_channel::impairments::{ClockDrift, FrequencyOffset, PhaseOffset, TimingOffset};
+use gsp_modem::framing::BurstFormat;
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Impairments {
+    phase: f64,
+    timing_mu: f64,
+    drift_ppm: f64,
+    cfo_rad_per_symbol: f64,
+    esn0_db: Option<f64>,
+}
+
+fn run(imp: &Impairments, seed: u64) -> (usize, usize, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fmt = BurstFormat::standard(24, 24, 200);
+    let cfg = TdmaConfig::new(fmt.clone(), TimingRecoveryKind::OerderMeyr);
+    let modulator = TdmaBurstModulator::new(cfg.clone());
+    let mut demod = TdmaBurstDemodulator::new(cfg);
+    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let mut wave = modulator.modulate(&bits);
+
+    PhaseOffset::new(imp.phase).apply(&mut wave);
+    if imp.cfo_rad_per_symbol != 0.0 {
+        let mut cfo = FrequencyOffset::new(
+            imp.cfo_rad_per_symbol / std::f64::consts::TAU / 4.0,
+            1.0,
+        );
+        cfo.apply(&mut wave);
+    }
+    let mut stage = Vec::new();
+    if imp.timing_mu > 0.0 {
+        let mut t = TimingOffset::new(imp.timing_mu);
+        t.apply(&wave, &mut stage);
+    } else {
+        stage = wave;
+    }
+    let mut rx = Vec::new();
+    if imp.drift_ppm != 0.0 {
+        let mut d = ClockDrift::new(imp.drift_ppm);
+        d.apply(&stage, &mut rx);
+    } else {
+        rx = stage;
+    }
+    if let Some(db) = imp.esn0_db {
+        let mut ch = AwgnChannel::from_esn0_db(db);
+        ch.apply(&mut rx, &mut rng);
+    }
+    match demod.demodulate(&rx) {
+        Some(res) => (
+            res.bits.iter().zip(&bits).filter(|(a, b)| a != b).count(),
+            bits.len(),
+            true,
+        ),
+        None => (bits.len(), bits.len(), false),
+    }
+}
+
+#[test]
+fn every_impairment_stacked_still_decodes_cleanly_without_noise() {
+    let imp = Impairments {
+        phase: 2.1,
+        timing_mu: 0.37,
+        drift_ppm: 120.0,
+        cfo_rad_per_symbol: 3e-3,
+        esn0_db: None,
+    };
+    for seed in 0..5 {
+        let (errs, _, detected) = run(&imp, seed);
+        assert!(detected, "seed {seed}: burst missed");
+        assert_eq!(errs, 0, "seed {seed}: {errs} bit errors");
+    }
+}
+
+#[test]
+fn stacked_impairments_with_noise_stay_near_the_awgn_floor() {
+    // At Es/N0 = 12 dB the stacked-impairment BER should stay within a
+    // small factor of the QPSK floor (~9e-5), i.e. estimation losses are
+    // bounded even when everything is wrong at once.
+    let imp = Impairments {
+        phase: -1.4,
+        timing_mu: 0.61,
+        drift_ppm: 80.0,
+        cfo_rad_per_symbol: 1.5e-3,
+        esn0_db: Some(12.0),
+    };
+    let mut errs = 0usize;
+    let mut bits = 0usize;
+    let mut missed = 0usize;
+    for seed in 0..40 {
+        let (e, b, det) = run(&imp, seed);
+        if det {
+            errs += e;
+            bits += b;
+        } else {
+            missed += 1;
+        }
+    }
+    assert!(missed <= 1, "{missed}/40 bursts missed");
+    let ber = errs as f64 / bits.max(1) as f64;
+    assert!(ber < 5e-3, "stacked-impairment BER {ber}");
+}
+
+#[test]
+fn individual_impairments_never_break_the_clean_link() {
+    let cases = [
+        ("phase", Impairments { phase: 3.0, timing_mu: 0.0, drift_ppm: 0.0, cfo_rad_per_symbol: 0.0, esn0_db: None }),
+        ("timing", Impairments { phase: 0.0, timing_mu: 0.9, drift_ppm: 0.0, cfo_rad_per_symbol: 0.0, esn0_db: None }),
+        ("drift", Impairments { phase: 0.0, timing_mu: 0.0, drift_ppm: 300.0, cfo_rad_per_symbol: 0.0, esn0_db: None }),
+        ("cfo", Impairments { phase: 0.0, timing_mu: 0.0, drift_ppm: 0.0, cfo_rad_per_symbol: 4e-3, esn0_db: None }),
+    ];
+    for (label, imp) in &cases {
+        let (errs, _, detected) = run(imp, 11);
+        assert!(detected, "{label}: missed");
+        assert_eq!(errs, 0, "{label}: {errs} errors");
+    }
+}

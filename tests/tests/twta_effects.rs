@@ -1,0 +1,79 @@
+//! Integration: the Tx chain's TWTA (Fig. 2) — back-off ablation on a real
+//! shaped QPSK burst, through the real demodulator.
+
+use gsp_channel::twta::SalehTwta;
+use gsp_dsp::measure::evm_rms;
+use gsp_modem::framing::BurstFormat;
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn burst_through_twta(backoff_db: f64, seed: u64) -> (f64, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fmt = BurstFormat::standard(24, 24, 150);
+    let cfg = TdmaConfig::new(fmt.clone(), TimingRecoveryKind::OerderMeyr);
+    let modulator = TdmaBurstModulator::new(cfg.clone());
+    let mut demod = TdmaBurstDemodulator::new(cfg.clone());
+    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let mut wave = modulator.modulate(&bits);
+
+    // Drive the amplifier, then renormalise mean power so the demodulator
+    // sees a comparable level (isolating the *distortion*, not the gain).
+    let twta = SalehTwta::classic(backoff_db);
+    twta.apply(&mut wave);
+    let p: f64 = wave.iter().map(|s| s.norm_sqr()).sum::<f64>() / wave.len() as f64;
+    let g = (0.25 / p).sqrt();
+    for s in wave.iter_mut() {
+        *s = s.scale(g);
+    }
+
+    match demod.demodulate(&wave) {
+        Some(res) => {
+            // EVM of recovered payload symbols against ideal decisions.
+            let a = std::f64::consts::FRAC_1_SQRT_2;
+            let ideal: Vec<gsp_dsp::Cpx> = res
+                .symbols
+                .iter()
+                .map(|s| gsp_dsp::Cpx::new(a * s.re.signum(), a * s.im.signum()))
+                .collect();
+            // Normalise recovered symbols to unit mean power first (the
+            // renormalisation above is waveform-level, not symbol-level).
+            let ps: f64 =
+                res.symbols.iter().map(|s| s.norm_sqr()).sum::<f64>() / res.symbols.len() as f64;
+            let k = (1.0 / ps).sqrt();
+            let scaled: Vec<gsp_dsp::Cpx> = res.symbols.iter().map(|s| s.scale(k)).collect();
+            (evm_rms(&scaled, &ideal), res.bits == bits)
+        }
+        None => (f64::INFINITY, false),
+    }
+}
+
+#[test]
+fn backoff_controls_nonlinear_distortion() {
+    // Deep compression (0 dB IBO) distorts the shaped waveform's envelope
+    // far more than a 10 dB backed-off drive.
+    let (evm_hot, ok_hot) = burst_through_twta(0.0, 1);
+    let (evm_cool, ok_cool) = burst_through_twta(10.0, 1);
+    assert!(ok_cool, "backed-off burst must decode");
+    assert!(
+        evm_cool < 0.12,
+        "10 dB IBO should be nearly linear, EVM {evm_cool}"
+    );
+    assert!(
+        evm_hot > 2.0 * evm_cool,
+        "saturation must show: hot {evm_hot} vs cool {evm_cool}"
+    );
+    // Even saturated, QPSK's constant-envelope-ish bursts often survive —
+    // but the margin is visibly gone.
+    let _ = ok_hot;
+}
+
+#[test]
+fn am_pm_rotation_is_absorbed_by_carrier_recovery() {
+    // The Saleh AM/PM shifts the mean phase; UW-based carrier recovery
+    // must absorb it (bits decode) at moderate drive.
+    for backoff in [4.0, 6.0, 8.0] {
+        let (_, ok) = burst_through_twta(backoff, 3);
+        assert!(ok, "IBO {backoff} dB burst failed");
+    }
+}
