@@ -13,7 +13,10 @@ fn bench_conv_encode(c: &mut Criterion) {
     let bits = info_bits(1024);
     let mut g = c.benchmark_group("conv_encode");
     g.throughput(Throughput::Elements(1024));
-    for (label, code) in [("r1/2", ConvCode::umts_half()), ("r1/3", ConvCode::umts_third())] {
+    for (label, code) in [
+        ("r1/2", ConvCode::umts_half()),
+        ("r1/3", ConvCode::umts_third()),
+    ] {
         g.bench_function(label, |b| {
             let mut enc = ConvEncoder::new(code.clone());
             b.iter(|| enc.encode_block(&bits).len());
@@ -26,7 +29,10 @@ fn bench_viterbi(c: &mut Criterion) {
     let mut g = c.benchmark_group("viterbi_decode");
     for k in [256usize, 1024] {
         let bits = info_bits(k);
-        for (label, code) in [("r1/2", ConvCode::umts_half()), ("r1/3", ConvCode::umts_third())] {
+        for (label, code) in [
+            ("r1/2", ConvCode::umts_half()),
+            ("r1/3", ConvCode::umts_third()),
+        ] {
             let coded = ConvEncoder::new(code.clone()).encode_block(&bits);
             let llrs = bits_to_llrs(&coded, 1.0);
             g.throughput(Throughput::Elements(k as u64));
@@ -69,5 +75,11 @@ fn bench_crc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_conv_encode, bench_viterbi, bench_turbo, bench_crc);
+criterion_group!(
+    benches,
+    bench_conv_encode,
+    bench_viterbi,
+    bench_turbo,
+    bench_crc
+);
 criterion_main!(benches);

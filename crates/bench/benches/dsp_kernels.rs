@@ -95,7 +95,9 @@ fn bench_dbfn(c: &mut Criterion) {
     let mut g = c.benchmark_group("dbfn");
     for (elements, beams) in [(8usize, 4usize), (16, 8)] {
         let array = UniformLinearArray::half_wavelength(elements);
-        let angles: Vec<f64> = (0..beams).map(|b| -45.0 + 90.0 * b as f64 / beams as f64).collect();
+        let angles: Vec<f64> = (0..beams)
+            .map(|b| -45.0 + 90.0 * b as f64 / beams as f64)
+            .collect();
         let dbfn = Dbfn::conventional(array, &angles);
         let snap: Vec<Cpx> = (0..elements)
             .map(|n| Cpx::from_angle(n as f64 * 0.3))

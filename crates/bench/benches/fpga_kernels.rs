@@ -39,10 +39,20 @@ fn bench_readback_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("readback_scan");
     g.throughput(Throughput::Bytes(bs.byte_len() as u64));
     g.bench_function("full-compare", |b| {
-        b.iter(|| ReadbackStrategy::FullCompare.detect(&fab, &bs).unwrap().len());
+        b.iter(|| {
+            ReadbackStrategy::FullCompare
+                .detect(&fab, &bs)
+                .unwrap()
+                .len()
+        });
     });
     g.bench_function("crc-compare", |b| {
-        b.iter(|| ReadbackStrategy::CrcCompare.detect(&fab, &bs).unwrap().len());
+        b.iter(|| {
+            ReadbackStrategy::CrcCompare
+                .detect(&fab, &bs)
+                .unwrap()
+                .len()
+        });
     });
     g.finish();
 }

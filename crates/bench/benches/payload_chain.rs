@@ -1,8 +1,17 @@
-//! F2 end-to-end: one full MF-TDMA frame through the Fig. 2 chain
-//! (composite synthesis → channelizer → 6 demods → Viterbi → switch).
+//! F2 end-to-end: full MF-TDMA frames through the Fig. 2 chain
+//! (composite synthesis → channelizer → 6 demods → Viterbi → switch),
+//! run on a persistent `PipelineEngine`.
+//!
+//! The `payload_pipeline_workers` group is the headline comparison: the
+//! same multi-frame batch with the per-carrier receive fan-out serial
+//! (1 worker) versus one worker per core. On a multi-core machine the
+//! parallel engine should sustain ≥ 2× the frame rate (the DEMOD+DECOD
+//! stages dominate and parallelise per carrier); on a single core the two
+//! are equivalent.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use gsp_payload::chain::{run_mf_tdma_frame, ChainConfig};
+use gsp_payload::chain::ChainConfig;
+use gsp_payload::pipeline::PipelineEngine;
 use gsp_payload::transponder::{run_transponder, TransponderConfig};
 
 fn bench_chain(c: &mut Criterion) {
@@ -14,12 +23,45 @@ fn bench_chain(c: &mut Criterion) {
             ..ChainConfig::default()
         };
         // Throughput in information bits per frame.
-        g.throughput(Throughput::Elements((cfg.info_bits * cfg.active_carriers) as u64));
+        g.throughput(Throughput::Elements(
+            (cfg.info_bits * cfg.active_carriers) as u64,
+        ));
+        let mut engine = PipelineEngine::new(cfg);
         g.bench_function(format!("frame/{label}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_mf_tdma_frame(&cfg, seed).packets_forwarded
+                engine.run_frame(seed).packets_forwarded
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pipeline_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload_pipeline_workers");
+    g.sample_size(10);
+    let cfg = ChainConfig {
+        esn0_db: Some(14.0),
+        ..ChainConfig::default()
+    };
+    let frames = 4;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    g.throughput(Throughput::Elements(
+        (cfg.info_bits * cfg.active_carriers * frames) as u64,
+    ));
+    for (label, workers) in [
+        ("serial".to_string(), 1),
+        (format!("{cores}-workers"), cores),
+    ] {
+        let mut engine = PipelineEngine::with_workers(cfg.clone(), workers);
+        g.bench_function(format!("{frames}-frames/{label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                engine.run_frames(frames, seed).len()
             });
         });
     }
@@ -35,8 +77,9 @@ fn bench_chain_scaling(c: &mut Criterion) {
             ..ChainConfig::default()
         };
         g.throughput(Throughput::Elements((cfg.info_bits * carriers) as u64));
+        let mut engine = PipelineEngine::new(cfg);
         g.bench_function(format!("{carriers}-carrier"), |b| {
-            b.iter(|| run_mf_tdma_frame(&cfg, 7).packets_forwarded);
+            b.iter(|| engine.run_frame(7).packets_forwarded);
         });
     }
     g.finish();
@@ -66,5 +109,11 @@ fn bench_transponder(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_chain, bench_chain_scaling, bench_transponder);
+criterion_group!(
+    benches,
+    bench_chain,
+    bench_pipeline_workers,
+    bench_chain_scaling,
+    bench_transponder
+);
 criterion_main!(benches);

@@ -151,7 +151,9 @@ mod tests {
     fn timing_offset_delays_sine() {
         let omega: f64 = 0.3;
         let mut t_off = TimingOffset::new(0.4);
-        let data: Vec<Cpx> = (0..100).map(|n| Cpx::from_angle(omega * n as f64)).collect();
+        let data: Vec<Cpx> = (0..100)
+            .map(|n| Cpx::from_angle(omega * n as f64))
+            .collect();
         let mut out = Vec::new();
         t_off.apply(&data, &mut out);
         // out[k] ≈ wave(k + 2 − 0.4) given the window alignment.

@@ -55,7 +55,11 @@ where
         .map(|i| UserSignal {
             samples: make(i),
             amplitude: 10f64.powf(power_db / 20.0),
-            delay: if max_delay == 0 { 0 } else { rng.gen_range(0..max_delay) },
+            delay: if max_delay == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_delay)
+            },
             phase: rng.gen_range(0.0..std::f64::consts::TAU),
         })
         .collect()

@@ -131,7 +131,12 @@ mod tests {
 
     #[test]
     fn attach_check_roundtrip_all_kinds() {
-        for kind in [CrcKind::Crc8, CrcKind::Crc12, CrcKind::Crc16, CrcKind::Crc24] {
+        for kind in [
+            CrcKind::Crc8,
+            CrcKind::Crc12,
+            CrcKind::Crc16,
+            CrcKind::Crc24,
+        ] {
             let crc = Crc::new(kind);
             let msg: Vec<u8> = (0..100).map(|i| ((i * 5) % 7 < 3) as u8).collect();
             let block = crc.attach(&msg);
@@ -142,7 +147,12 @@ mod tests {
 
     #[test]
     fn detects_single_bit_errors() {
-        for kind in [CrcKind::Crc8, CrcKind::Crc12, CrcKind::Crc16, CrcKind::Crc24] {
+        for kind in [
+            CrcKind::Crc8,
+            CrcKind::Crc12,
+            CrcKind::Crc16,
+            CrcKind::Crc24,
+        ] {
             let crc = Crc::new(kind);
             let msg: Vec<u8> = (0..64).map(|i| (i % 3 == 1) as u8).collect();
             let block = crc.attach(&msg);

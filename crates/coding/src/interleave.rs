@@ -33,7 +33,10 @@ impl Interleaver {
     /// write row-wise into `cols` columns, permute columns by bit-reversal
     /// order, read column-wise. `n` must be a multiple of `cols`.
     pub fn block(n: usize, cols: usize) -> Self {
-        assert!(cols >= 1 && n.is_multiple_of(cols), "n must be a multiple of cols");
+        assert!(
+            cols >= 1 && n.is_multiple_of(cols),
+            "n must be a multiple of cols"
+        );
         let rows = n / cols;
         // Inter-column permutation: bit-reversed order when cols is a power
         // of two (matching the spec's patterns for C = 1,2,4,8), otherwise
@@ -121,7 +124,10 @@ fn gcd(mut a: usize, mut b: usize) -> usize {
 /// deterministic derived pattern (documented in DESIGN.md); encoder and
 /// decoder share the permutation, so performance is equivalent.
 pub fn prime_interleaver(k: usize) -> Interleaver {
-    assert!((40..=5114).contains(&k), "25.212 turbo K range is 40..=5114, got {k}");
+    assert!(
+        (40..=5114).contains(&k),
+        "25.212 turbo K range is 40..=5114, got {k}"
+    );
     // Number of rows.
     let r = if (40..=159).contains(&k) {
         5
@@ -350,7 +356,11 @@ mod tests {
         // apart. No adjacent input pair may stay adjacent, and the mean
         // displacement must be a sizeable fraction of the block.
         let il = prime_interleaver(1024);
-        assert!(il.min_adjacent_spread() >= 2, "min spread {}", il.min_adjacent_spread());
+        assert!(
+            il.min_adjacent_spread() >= 2,
+            "min spread {}",
+            il.min_adjacent_spread()
+        );
         let mean: f64 = il
             .table()
             .windows(2)

@@ -45,7 +45,12 @@ impl RateMatcher {
                 }
             }
         }
-        assert_eq!(map.len(), n_out, "rate matching produced {} of {n_out}", map.len());
+        assert_eq!(
+            map.len(),
+            n_out,
+            "rate matching produced {} of {n_out}",
+            map.len()
+        );
         RateMatcher { n_in, n_out, map }
     }
 

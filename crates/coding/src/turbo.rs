@@ -191,7 +191,11 @@ impl TurboDecoder {
                 if a <= NEG {
                     continue;
                 }
-                let inputs: &[u8] = if t < k { &[0, 1] } else { &[RscTrellis::term_input(s)] };
+                let inputs: &[u8] = if t < k {
+                    &[0, 1]
+                } else {
+                    &[RscTrellis::term_input(s)]
+                };
                 for &d in inputs {
                     let (g, ns) = gamma(t, s, d);
                     let m = a + g;
@@ -209,7 +213,11 @@ impl TurboDecoder {
         for t in (0..steps).rev() {
             let mut prev = [NEG; STATES];
             for s in 0..STATES {
-                let inputs: &[u8] = if t < k { &[0, 1] } else { &[RscTrellis::term_input(s)] };
+                let inputs: &[u8] = if t < k {
+                    &[0, 1]
+                } else {
+                    &[RscTrellis::term_input(s)]
+                };
                 for &d in inputs {
                     let (g, ns) = gamma(t, s, d);
                     let m = g + beta[t + 1][ns];
@@ -252,7 +260,11 @@ impl TurboDecoder {
     /// returning the K hard-decided information bits.
     pub fn decode_block(&mut self, llrs: &[f64], iterations: usize) -> Vec<u8> {
         let k = self.code.info_len();
-        assert_eq!(llrs.len(), self.code.coded_len(), "LLR block length mismatch");
+        assert_eq!(
+            llrs.len(),
+            self.code.coded_len(),
+            "LLR block length mismatch"
+        );
         assert!(iterations >= 1);
 
         // De-multiplex the streams.

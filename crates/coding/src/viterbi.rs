@@ -55,7 +55,11 @@ impl ViterbiDecoder {
     /// `llrs.len() == (k + memory) * n_outputs`.
     pub fn decode_block(&mut self, llrs: &[f64]) -> Vec<u8> {
         let n_out = self.code.n_outputs();
-        assert_eq!(llrs.len() % n_out, 0, "LLR length not a multiple of code outputs");
+        assert_eq!(
+            llrs.len() % n_out,
+            0,
+            "LLR length not a multiple of code outputs"
+        );
         let steps = llrs.len() / n_out;
         let memory = self.code.memory() as usize;
         assert!(steps > memory, "block too short to contain the tail");

@@ -2,8 +2,8 @@
 //! decode-inverts-encode invariants.
 
 use gsp_coding::bits::bits_to_llrs;
-use gsp_coding::{Crc, CrcKind};
 use gsp_coding::{ConvCode, ConvEncoder, TurboCode, TurboDecoder, ViterbiDecoder};
+use gsp_coding::{Crc, CrcKind};
 use proptest::prelude::*;
 
 fn bitvec(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {

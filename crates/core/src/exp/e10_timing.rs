@@ -39,7 +39,9 @@ fn trial(
     cfg.loop_bw = 0.05;
     let modulator = TdmaBurstModulator::new(cfg.clone());
     let mut demod = TdmaBurstDemodulator::new(cfg);
-    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let wave = modulator.modulate(&bits);
     // Random fractional timing offset, then sample-clock drift, then noise.
     let mu = rng.gen_range(0.05..0.95);
@@ -73,7 +75,12 @@ fn trial(
 pub fn e10_timing(scale: Scale, seed: u64) -> ExpTable {
     let mut t = ExpTable::new(
         "E10 — Gardner [5] vs Oerder-Meyr [6] vs burst length (Es/N0 = 12 dB, 500 ppm clock drift)",
-        &["Payload (sym)", "Scheme", "Burst success", "BER (detected bursts)"],
+        &[
+            "Payload (sym)",
+            "Scheme",
+            "Burst success",
+            "BER (detected bursts)",
+        ],
     );
     let trials = scale.trials(30, 400);
     let esn0 = 12.0;

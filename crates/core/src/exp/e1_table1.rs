@@ -8,7 +8,12 @@ use gsp_radiation::device::Mh1rtDevice;
 pub fn e1_table1() -> ExpTable {
     let mut t = ExpTable::new(
         "E1 / Table 1 — MH1RT characteristics (paper §4.1)",
-        &["Characteristic", "MH1RT", "0.25 um (proj.)", "0.18 um (proj.)"],
+        &[
+            "Characteristic",
+            "MH1RT",
+            "0.25 um (proj.)",
+            "0.18 um (proj.)",
+        ],
     );
     let devs = [
         Mh1rtDevice::mh1rt(),

@@ -12,7 +12,13 @@ pub fn e2_gates() -> ExpTable {
     let dev = FpgaDevice::virtex_like_1m();
     let mut t = ExpTable::new(
         "E2 — modem gate complexity (paper §2.3)",
-        &["Personality", "Gates", "Paper anchor", "CLB frames", "Fits 1 Mgate device"],
+        &[
+            "Personality",
+            "Gates",
+            "Paper anchor",
+            "CLB frames",
+            "Fits 1 Mgate device",
+        ],
     );
     let mut push = |label: String, gates: u64, anchor: &str| {
         let placed = place(gates, &dev);
@@ -20,8 +26,12 @@ pub fn e2_gates() -> ExpTable {
             label,
             format!("{gates}"),
             anchor.to_string(),
-            placed.map(|p| p.frames_used.to_string()).unwrap_or_else(|_| "-".into()),
-            placed.map(|_| "yes".to_string()).unwrap_or_else(|_| "NO".into()),
+            placed
+                .map(|p| p.frames_used.to_string())
+                .unwrap_or_else(|_| "-".into()),
+            placed
+                .map(|_| "yes".to_string())
+                .unwrap_or_else(|_| "NO".into()),
         ]);
     };
     push(
@@ -30,14 +40,20 @@ pub fn e2_gates() -> ExpTable {
         "≈200 000",
     );
     for users in [1usize, 2, 4, 8] {
-        let anchor = if users == 1 { "≈200 000" } else { "> 1-user case" };
+        let anchor = if users == 1 {
+            "≈200 000"
+        } else {
+            "> 1-user case"
+        };
         push(
             format!("CDMA demodulator, {users} user(s)"),
             cdma_demodulator(users).total(),
             anchor,
         );
     }
-    t.note("paper: 'a change to a TDMA demodulator is compatible with the existing hardware profile'");
+    t.note(
+        "paper: 'a change to a TDMA demodulator is compatible with the existing hardware profile'",
+    );
     t
 }
 

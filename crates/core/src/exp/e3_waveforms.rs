@@ -21,7 +21,9 @@ fn tdma_trial(ebn0_db: f64, seed: u64) -> (usize, usize) {
     let cfg = TdmaConfig::new(fmt.clone(), TimingRecoveryKind::OerderMeyr);
     let modulator = TdmaBurstModulator::new(cfg.clone());
     let mut demod = TdmaBurstDemodulator::new(cfg);
-    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let mut wave = modulator.modulate(&bits);
     let mut ch = AwgnChannel::from_esn0_db(ebn0_db + 3.01);
     ch.apply(&mut wave, &mut rng);
@@ -39,7 +41,9 @@ fn cdma_trial(cfg: &CdmaConfig, ebn0_db: f64, seed: u64) -> (usize, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let tx = CdmaTransmitter::new(cfg.clone());
     let mut rx = CdmaReceiver::new(cfg.clone());
-    let bits: Vec<u8> = (0..cfg.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..cfg.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let mut wave = tx.transmit(&bits);
     // Chip-sample noise level x gives symbol Es/N0 = x + 10·log10(SF).
     let x = ebn0_db + 3.01 - 10.0 * (cfg.sf as f64).log10();
@@ -69,7 +73,13 @@ where
 pub fn e3_waveforms(scale: Scale, seed: u64) -> ExpTable {
     let mut t = ExpTable::new(
         "E3 / Fig. 3 — CDMA and TDMA personalities over AWGN",
-        &["Waveform", "Eb/N0 (dB)", "BER measured", "QPSK theory", "within 2.5x"],
+        &[
+            "Waveform",
+            "Eb/N0 (dB)",
+            "BER measured",
+            "QPSK theory",
+            "within 2.5x",
+        ],
     );
     let points: &[f64] = match scale {
         Scale::Smoke => &[4.0, 6.0],

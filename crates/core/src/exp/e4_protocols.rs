@@ -11,7 +11,13 @@ pub fn e4_protocols(seed: u64) -> ExpTable {
     let link = LinkConfig::geo_default();
     let mut t = ExpTable::new(
         "E4 / Fig. 4 (N3) — transfer protocols over the GEO link (250 ms RTT, 256 kbps up)",
-        &["File size", "Protocol", "Time (s)", "Goodput (kbps)", "Delivered"],
+        &[
+            "File size",
+            "Protocol",
+            "Time (s)",
+            "Goodput (kbps)",
+            "Delivered",
+        ],
     );
     let sizes: &[(usize, &str)] = &[
         (512, "512 B (small test)"),
@@ -33,7 +39,11 @@ pub fn e4_protocols(seed: u64) -> ExpTable {
                 proto.label(),
                 format!("{:.2}", st.duration_s),
                 format!("{:.1}", st.goodput_bps / 1000.0),
-                if st.delivered { "yes".into() } else { "NO".into() },
+                if st.delivered {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]);
         }
     }
@@ -58,7 +68,10 @@ mod tests {
         let tftp_96k: f64 = t.cell(8, 2).parse().unwrap();
         let bulk_96k: f64 = t.cell(10, 2).parse().unwrap();
         let scps_96k: f64 = t.cell(11, 2).parse().unwrap();
-        assert!(scps_96k <= bulk_96k * 1.2, "SCPS-FP {scps_96k} vs TCP {bulk_96k}");
+        assert!(
+            scps_96k <= bulk_96k * 1.2,
+            "SCPS-FP {scps_96k} vs TCP {bulk_96k}"
+        );
         assert!(
             tftp_96k > 4.0 * bulk_96k,
             "TFTP {tftp_96k}s vs bulk {bulk_96k}s"

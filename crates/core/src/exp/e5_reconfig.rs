@@ -89,13 +89,15 @@ pub fn e5_reconfig(seed: u64) -> ExpTable {
             Telecommand::Validate { equipment: 3 },
         ];
         let obpc = Obpc::new(OnboardMemory::new(8 << 20, true), standard_payload());
-        let (tm, stats, _) =
-            run_ops_session(commands, 3, obpc, LinkConfig::geo_default(), seed);
-        let success = matches!(tm.get(1), Some(Telemetry::ReconfigDone { success: true, .. }));
+        let (tm, stats, _) = run_ops_session(commands, 3, obpc, LinkConfig::geo_default(), seed);
+        let success = matches!(
+            tm.get(1),
+            Some(Telemetry::ReconfigDone { success: true, .. })
+        );
         let interruption_ms = match tm.get(1) {
-            Some(Telemetry::ReconfigDone { interruption_ns, .. }) => {
-                *interruption_ns as f64 / 1e6
-            }
+            Some(Telemetry::ReconfigDone {
+                interruption_ns, ..
+            }) => *interruption_ns as f64 / 1e6,
             _ => f64::NAN,
         };
         let total_s = stats.end_ns as f64 / 1e9;

@@ -53,7 +53,11 @@ pub fn e6_tmr(scale: Scale, seed: u64) -> ExpTable {
             format!("{law:.2e}"),
             format!("{:.2e}", detected as f64 / total as f64),
             format!("{:.2e}", silent as f64 / total as f64),
-            format!("{:.1}x / {:.1}x", TmrVoter::GATE_OVERHEAD, DuplicateCompare::GATE_OVERHEAD),
+            format!(
+                "{:.1}x / {:.1}x",
+                TmrVoter::GATE_OVERHEAD,
+                DuplicateCompare::GATE_OVERHEAD
+            ),
         ]);
     }
     t.note("paper: 'the probability of false event is equal to (pe)²' — the quadratic law, constant 3·(1−pe)+pe");
@@ -66,7 +70,13 @@ pub fn e6_tmr(scale: Scale, seed: u64) -> ExpTable {
 pub fn e6_readback() -> ExpTable {
     let mut t = ExpTable::new(
         "E6b — read-back SEU detection storage (paper §4.3)",
-        &["Device", "Frames", "Full-compare storage", "CRC-compare storage", "Ratio"],
+        &[
+            "Device",
+            "Frames",
+            "Full-compare storage",
+            "CRC-compare storage",
+            "Ratio",
+        ],
     );
     for dev in [FpgaDevice::virtex_like_1m(), FpgaDevice::small_100k()] {
         let full = ReadbackStrategy::FullCompare.storage_bytes(dev.frames, dev.frame_bytes);
@@ -89,7 +99,12 @@ pub fn e6_readback() -> ExpTable {
 pub fn e6_scrub(scale: Scale, seed: u64) -> ExpTable {
     let mut t = ExpTable::new(
         "E6c — SEU scrubbing period vs function unavailability (solar flare, 100x GEO rate)",
-        &["Scrub period", "Unavailability", "Broken at window end", "Upsets/trial"],
+        &[
+            "Scrub period",
+            "Unavailability",
+            "Broken at window end",
+            "Upsets/trial",
+        ],
     );
     let trials = scale.trials(48, 400);
     let base = CampaignConfig {

@@ -62,17 +62,26 @@ pub fn e7_latchup(scale: Scale, seed: u64) -> ExpTable {
     );
     let trials = scale.trials(200, 2000);
     for (model, label) in [
-        (LatchupModel::qualified(), "space-qualified + current limiting"),
-        (LatchupModel::commercial_unprotected(), "commercial, unprotected"),
+        (
+            LatchupModel::qualified(),
+            "space-qualified + current limiting",
+        ),
+        (
+            LatchupModel::commercial_unprotected(),
+            "commercial, unprotected",
+        ),
     ] {
         let results = par_trials(trials, seed, |s| {
             let mut rng = StdRng::seed_from_u64(s);
-            simulate_mission(&model, &RadiationEnvironment::geo_quiet(), 15.0 * 365.0, &mut rng)
+            simulate_mission(
+                &model,
+                &RadiationEnvironment::geo_quiet(),
+                15.0 * 365.0,
+                &mut rng,
+            )
         });
-        let events: f64 =
-            results.iter().map(|r| r.events as f64).sum::<f64>() / trials as f64;
-        let downtime: f64 =
-            results.iter().map(|r| r.downtime_s).sum::<f64>() / trials as f64;
+        let events: f64 = results.iter().map(|r| r.events as f64).sum::<f64>() / trials as f64;
+        let downtime: f64 = results.iter().map(|r| r.downtime_s).sum::<f64>() / trials as f64;
         let burned = results.iter().filter(|r| r.burned_out).count();
         t.row(vec![
             label.to_string(),

@@ -21,7 +21,9 @@ fn trial(ecn0_db: f64, seed: u64) -> AcqTrial {
     let cfg = CdmaConfig::sumts(16, 3, 64);
     let tx = CdmaTransmitter::new(cfg.clone());
     let mut rx = CdmaReceiver::new(cfg.clone());
-    let bits: Vec<u8> = (0..cfg.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..cfg.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let wave = tx.transmit(&bits);
     // Random whole-sample delay inside the search window.
     let delay = rng.gen_range(0..40usize);
@@ -98,7 +100,9 @@ pub fn e9_acquisition(scale: Scale, seed: u64) -> ExpTable {
             },
         ]);
     }
-    t.note("128-chip coherent search, CFAR peak/floor threshold 12, ±1 sample offset counted correct");
+    t.note(
+        "128-chip coherent search, CFAR peak/floor threshold 12, ±1 sample offset counted correct",
+    );
     t.note("paper: CDMA needs acquisition ([7]) and code tracking ([8]); TDMA replaces both with timing recovery");
     t
 }

@@ -8,6 +8,9 @@
 
 use crate::table::ExpTable;
 
+pub mod e10_timing;
+pub mod e11_partition;
+pub mod e12_regeneration;
 pub mod e1_table1;
 pub mod e2_gates;
 pub mod e3_waveforms;
@@ -17,11 +20,11 @@ pub mod e6_seu;
 pub mod e7_environment;
 pub mod e8_coding;
 pub mod e9_acquisition;
-pub mod e10_timing;
-pub mod e11_partition;
-pub mod e12_regeneration;
 pub mod f2_payload;
 
+pub use e10_timing::e10_timing;
+pub use e11_partition::e11_partition;
+pub use e12_regeneration::e12_regeneration;
 pub use e1_table1::e1_table1;
 pub use e2_gates::e2_gates;
 pub use e3_waveforms::e3_waveforms;
@@ -31,9 +34,6 @@ pub use e6_seu::{e6_maintenance, e6_readback, e6_scrub, e6_tmr};
 pub use e7_environment::{e7_environment, e7_latchup};
 pub use e8_coding::e8_coding;
 pub use e9_acquisition::e9_acquisition;
-pub use e10_timing::e10_timing;
-pub use e11_partition::e11_partition;
-pub use e12_regeneration::e12_regeneration;
 pub use f2_payload::f2_payload;
 
 /// Monte-Carlo effort level.
@@ -55,8 +55,18 @@ impl Scale {
     }
 }
 
-/// Fans `n` independent seeded trials out over `crossbeam` workers and
-/// collects the results in seed order (deterministic for a fixed `seed`).
+/// Derives the seed of trial `i` from the campaign `seed`: the index is
+/// pushed through a full SplitMix64 mix before combining, so distinct
+/// `(seed, i)` pairs cannot collide the way the old `seed ^ i*CONST`
+/// scheme could (e.g. two seeds that differ by a multiple of the
+/// constant).
+pub fn trial_seed(seed: u64, i: usize) -> u64 {
+    seed ^ rand::splitmix64_mix(0x5EED_0000_0000_0000 ^ i as u64)
+}
+
+/// Fans `n` independent seeded trials out over scoped `std::thread`
+/// workers and collects the results in trial order (deterministic for a
+/// fixed `seed`, independent of the worker count).
 pub fn par_trials<T, F>(n: usize, seed: u64, f: F) -> Vec<T>
 where
     T: Send,
@@ -67,16 +77,15 @@ where
         .unwrap_or(4)
         .min(n.max(1));
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut results = Vec::new();
                 let mut i = w;
                 while i < n {
-                    let trial_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                    results.push((i, f(trial_seed)));
+                    results.push((i, f(trial_seed(seed, i))));
                     i += workers;
                 }
                 results
@@ -89,8 +98,7 @@ where
         for (i, v) in collected {
             out[i] = Some(v);
         }
-    })
-    .expect("trial scope");
+    });
     out.into_iter().map(|v| v.expect("trial filled")).collect()
 }
 
@@ -128,8 +136,18 @@ mod tests {
         let b = par_trials(17, 9, |s| s.wrapping_mul(3));
         assert_eq!(a, b);
         assert_eq!(a.len(), 17);
-        // Seed of trial 0 is the base seed.
-        assert_eq!(a[0], 9u64.wrapping_mul(3));
+        // Trials are collected in index order with the documented seeds.
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(*v, trial_seed(9, i).wrapping_mul(3));
+        }
+    }
+
+    #[test]
+    fn trial_seeds_never_collide_within_a_campaign() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(trial_seed(42, i)), "collision at trial {i}");
+        }
     }
 
     #[test]

@@ -35,18 +35,21 @@ impl Ncc {
     /// Registers a modem personality's bitstream for a target device.
     pub fn register_waveform(&mut self, name: &str, wf: &ModemWaveform, device: &FpgaDevice) {
         let bs = wf.bitstream_for(device);
-        self.catalogue.insert(name.to_string(), bs.serialise().to_vec());
+        self.catalogue
+            .insert(name.to_string(), bs.serialise().to_vec());
     }
 
     /// Registers a decoder personality's bitstream.
     pub fn register_decoder(&mut self, name: &str, dec: &DecoderPersonality, device: &FpgaDevice) {
         let bs = dec.bitstream_for(device);
-        self.catalogue.insert(name.to_string(), bs.serialise().to_vec());
+        self.catalogue
+            .insert(name.to_string(), bs.serialise().to_vec());
     }
 
     /// Registers a raw bitstream.
     pub fn register_bitstream(&mut self, name: &str, bs: &Bitstream) {
-        self.catalogue.insert(name.to_string(), bs.serialise().to_vec());
+        self.catalogue
+            .insert(name.to_string(), bs.serialise().to_vec());
     }
 
     /// Catalogue lookup.
@@ -56,7 +59,12 @@ impl Ncc {
 
     /// Simulates uploading a catalogued design over the link with the
     /// given protocol; returns the transfer statistics.
-    pub fn upload(&mut self, name: &str, proto: TransferProtocol, seed: u64) -> Option<TransferStats> {
+    pub fn upload(
+        &mut self,
+        name: &str,
+        proto: TransferProtocol,
+        seed: u64,
+    ) -> Option<TransferStats> {
         let size = self.catalogue.get(name)?.len();
         let st = simulate_transfer(proto, size, self.link, seed);
         self.uploads += 1;

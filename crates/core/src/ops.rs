@@ -152,8 +152,7 @@ pub fn decode_tm(data: &[u8]) -> Option<Telemetry> {
     match *data.first()? {
         1 => {
             let name = String::from_utf8(take_bytes(data, &mut pos)?).ok()?;
-            let bytes =
-                u32::from_be_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            let bytes = u32::from_be_bytes(data.get(pos..pos + 4)?.try_into().ok()?) as usize;
             Some(Telemetry::BitstreamStored { name, bytes })
         }
         2 => Some(Telemetry::ReconfigDone {

@@ -98,7 +98,9 @@ pub fn waveform_switch(cfg: &WaveformSwitchConfig, seed: u64) -> WaveformSwitchO
     let command_rtt_s = cfg.link.rtt_ns() as f64 / 1e9;
 
     // Phase 3: the five-step on-board process.
-    let report = obpc.reconfigure(3, "tdma.bit", cfg.fault).expect("service runs");
+    let report = obpc
+        .reconfigure(3, "tdma.bit", cfg.fault)
+        .expect("service runs");
 
     // Phase 4: functional verification of whatever is now in service.
     let tdma_verified = if report.success {
@@ -148,7 +150,9 @@ pub struct DecoderStage {
 /// the new decoder over a reference Eb/N0 = 3 dB AWGN link.
 pub fn decoder_switch(seed: u64) -> DecoderSwitchOutcome {
     use gsp_channel::awgn::GaussianSampler;
-    use gsp_coding::{CodingScheme, ConvCode, ConvEncoder, TurboCode, TurboDecoder, ViterbiDecoder};
+    use gsp_coding::{
+        CodingScheme, ConvCode, ConvEncoder, TurboCode, TurboDecoder, ViterbiDecoder,
+    };
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -233,7 +237,10 @@ mod tests {
         assert!(out.success && !out.rolled_back);
         assert!(out.cdma_verified.clean(), "CDMA must work before");
         assert!(out.tdma_verified.clean(), "TDMA must work after");
-        assert!(out.upload_s > 1.0, "a 96 KiB bitstream takes seconds on 256 kbps");
+        assert!(
+            out.upload_s > 1.0,
+            "a 96 KiB bitstream takes seconds on 256 kbps"
+        );
         // Interruption is milliseconds — service loss is brief even though
         // the end-to-end change takes seconds (upload dominates).
         assert!(out.interruption_ms < 100.0, "{}", out.interruption_ms);

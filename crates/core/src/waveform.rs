@@ -95,14 +95,18 @@ impl ModemWaveform {
     pub fn gates(&self) -> u64 {
         match self {
             ModemWaveform::Cdma { users, .. } => ModemPersonality::Cdma { users: *users }.gates(),
-            ModemWaveform::Tdma { carriers, .. } => {
-                ModemPersonality::Tdma { carriers: *carriers }.gates()
+            ModemWaveform::Tdma { carriers, .. } => ModemPersonality::Tdma {
+                carriers: *carriers,
             }
+            .gates(),
         }
     }
 
     /// Places the design on a device, checking capacity.
-    pub fn place_on(&self, device: &FpgaDevice) -> Result<Placement, gsp_fpga::resources::CapacityExceeded> {
+    pub fn place_on(
+        &self,
+        device: &FpgaDevice,
+    ) -> Result<Placement, gsp_fpga::resources::CapacityExceeded> {
         place(self.gates(), device)
     }
 
@@ -124,18 +128,14 @@ impl ModemWaveform {
             ModemWaveform::Cdma { config, .. } => {
                 let tx = CdmaTransmitter::new(config.clone());
                 let mut rx = CdmaReceiver::new(config.clone());
-                let bits: Vec<u8> =
-                    (0..config.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+                let bits: Vec<u8> = (0..config.payload_bits())
+                    .map(|_| rng.gen_range(0..2u8))
+                    .collect();
                 let wave = tx.transmit(&bits);
                 match rx.demodulate(&wave, 64) {
                     Some(res) => SelfTest {
                         acquired: true,
-                        bit_errors: res
-                            .bits
-                            .iter()
-                            .zip(&bits)
-                            .filter(|(a, b)| a != b)
-                            .count(),
+                        bit_errors: res.bits.iter().zip(&bits).filter(|(a, b)| a != b).count(),
                         bits: bits.len(),
                     },
                     None => SelfTest {
@@ -155,12 +155,7 @@ impl ModemWaveform {
                 match demod.demodulate(&wave) {
                     Some(res) => SelfTest {
                         acquired: true,
-                        bit_errors: res
-                            .bits
-                            .iter()
-                            .zip(&bits)
-                            .filter(|(a, b)| a != b)
-                            .count(),
+                        bit_errors: res.bits.iter().zip(&bits).filter(|(a, b)| a != b).count(),
                         bits: bits.len(),
                     },
                     None => SelfTest {
@@ -196,7 +191,7 @@ impl DecoderPersonality {
     pub fn gates(&self) -> u64 {
         match self.scheme {
             CodingScheme::Uncoded => 5_000,
-            CodingScheme::ConvHalf => 90_000,  // 256-state Viterbi
+            CodingScheme::ConvHalf => 90_000, // 256-state Viterbi
             CodingScheme::ConvThird => 110_000,
             CodingScheme::Turbo { .. } => 250_000, // two SISO units + interleaver
         }
@@ -263,9 +258,18 @@ mod tests {
 
     #[test]
     fn decoder_gate_ordering_matches_complexity() {
-        let u = DecoderPersonality { scheme: CodingScheme::Uncoded }.gates();
-        let c = DecoderPersonality { scheme: CodingScheme::ConvHalf }.gates();
-        let t = DecoderPersonality { scheme: CodingScheme::Turbo { iterations: 6 } }.gates();
+        let u = DecoderPersonality {
+            scheme: CodingScheme::Uncoded,
+        }
+        .gates();
+        let c = DecoderPersonality {
+            scheme: CodingScheme::ConvHalf,
+        }
+        .gates();
+        let t = DecoderPersonality {
+            scheme: CodingScheme::Turbo { iterations: 6 },
+        }
+        .gates();
         assert!(u < c && c < t);
     }
 }

@@ -159,7 +159,10 @@ pub fn plane_wave_snapshots(
     sources: &[(f64, Vec<Cpx>)],
     len: usize,
 ) -> Vec<Vec<Cpx>> {
-    let svs: Vec<Vec<Cpx>> = sources.iter().map(|(a, _)| array.steering_vector(*a)).collect();
+    let svs: Vec<Vec<Cpx>> = sources
+        .iter()
+        .map(|(a, _)| array.steering_vector(*a))
+        .collect();
     (0..len)
         .map(|t| {
             (0..array.elements)
@@ -238,14 +241,27 @@ mod tests {
         dbfn.process(&snaps, &mut beams);
         // Beam 0 ≈ wave_a, beam 1 ≈ wave_b: correlate.
         let corr = |x: &[Cpx], y: &[Cpx]| -> f64 {
-            let num = x.iter().zip(y).map(|(a, b)| a.mul_conj(*b)).sum::<Cpx>().abs();
+            let num = x
+                .iter()
+                .zip(y)
+                .map(|(a, b)| a.mul_conj(*b))
+                .sum::<Cpx>()
+                .abs();
             let dx: f64 = x.iter().map(|v| v.norm_sqr()).sum();
             let dy: f64 = y.iter().map(|v| v.norm_sqr()).sum();
             num / (dx * dy).sqrt()
         };
-        assert!(corr(&beams[0], &wave_a) > 0.95, "beam0↔srcA {}", corr(&beams[0], &wave_a));
+        assert!(
+            corr(&beams[0], &wave_a) > 0.95,
+            "beam0↔srcA {}",
+            corr(&beams[0], &wave_a)
+        );
         assert!(corr(&beams[1], &wave_b) > 0.95);
-        assert!(corr(&beams[0], &wave_b) < 0.30, "beam0↔srcB {}", corr(&beams[0], &wave_b));
+        assert!(
+            corr(&beams[0], &wave_b) < 0.30,
+            "beam0↔srcB {}",
+            corr(&beams[0], &wave_b)
+        );
         assert!(corr(&beams[1], &wave_a) < 0.30);
     }
 

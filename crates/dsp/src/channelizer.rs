@@ -36,7 +36,10 @@ impl PolyphaseChannelizer {
     /// Builds a channelizer for `m` channels (power of two) with a prototype
     /// low-pass of `taps_per_branch` taps per polyphase branch.
     pub fn new(m: usize, taps_per_branch: usize) -> Self {
-        assert!(m.is_power_of_two() && m >= 2, "channel count must be a power of two");
+        assert!(
+            m.is_power_of_two() && m >= 2,
+            "channel count must be a power of two"
+        );
         assert!(taps_per_branch >= 2);
         let proto_len = m * taps_per_branch;
         // Prototype cutoff at half the channel spacing: 1/(2M) of input rate.
@@ -60,6 +63,17 @@ impl PolyphaseChannelizer {
     #[inline]
     pub fn channels(&self) -> usize {
         self.m
+    }
+
+    /// Clears the per-branch delay lines and the commutator position,
+    /// returning the channelizer to its freshly-built state without
+    /// re-deriving the prototype filter or FFT plan. Lets a long-lived
+    /// demux stage start each frame from a clean slate.
+    pub fn reset(&mut self) {
+        for line in &mut self.delay {
+            line.fill(Cpx::ZERO);
+        }
+        self.fill = self.m;
     }
 
     /// Pushes one input sample; when a block of `M` completes, writes one
@@ -186,6 +200,32 @@ mod tests {
         assert!((last[0].abs() - 1.0).abs() < 0.05, "ch0 {}", last[0].abs());
         for (k, s) in last.iter().enumerate().skip(1) {
             assert!(s.abs() < 0.05, "ch{k} {}", s.abs());
+        }
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let m = 8;
+        let mut used = PolyphaseChannelizer::new(m, 12);
+        let mut fresh = PolyphaseChannelizer::new(m, 12);
+        let mut nco = Nco::from_step(0.37);
+        let mut frame = vec![Cpx::ZERO; m];
+        for _ in 0..m * 17 + 3 {
+            used.push(nco.tick(), &mut frame);
+        }
+        used.reset();
+        // After reset, the used channelizer must track a fresh one exactly.
+        let mut nco = Nco::from_step(0.91);
+        let mut fa = vec![Cpx::ZERO; m];
+        let mut fb = vec![Cpx::ZERO; m];
+        for _ in 0..m * 10 {
+            let x = nco.tick();
+            let ea = used.push(x, &mut fa);
+            let eb = fresh.push(x, &mut fb);
+            assert_eq!(ea, eb);
+            if ea {
+                assert_eq!(fa, fb);
+            }
         }
     }
 

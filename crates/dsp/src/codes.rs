@@ -36,23 +36,23 @@ impl Lfsr {
     pub fn m_sequence(degree: u32, seed: u64) -> Self {
         // Low coefficients of standard primitive polynomials.
         let taps: u64 = match degree {
-            3 => 0x3,   // x^3+x+1
-            4 => 0x3,   // x^4+x+1
-            5 => 0x5,   // x^5+x^2+1
-            6 => 0x3,   // x^6+x+1
-            7 => 0x9,   // x^7+x^3+1
-            8 => 0x1D,  // x^8+x^4+x^3+x^2+1
-            9 => 0x11,  // x^9+x^4+1
-            10 => 0x9,  // x^10+x^3+1
-            11 => 0x5,  // x^11+x^2+1
-            12 => 0x53, // x^12+x^6+x^4+x+1
-            13 => 0x1B, // x^13+x^4+x^3+x+1
-            14 => 0x443, // x^14+x^10+x^6+x+1
-            15 => 0x3,  // x^15+x+1
+            3 => 0x3,     // x^3+x+1
+            4 => 0x3,     // x^4+x+1
+            5 => 0x5,     // x^5+x^2+1
+            6 => 0x3,     // x^6+x+1
+            7 => 0x9,     // x^7+x^3+1
+            8 => 0x1D,    // x^8+x^4+x^3+x^2+1
+            9 => 0x11,    // x^9+x^4+1
+            10 => 0x9,    // x^10+x^3+1
+            11 => 0x5,    // x^11+x^2+1
+            12 => 0x53,   // x^12+x^6+x^4+x+1
+            13 => 0x1B,   // x^13+x^4+x^3+x+1
+            14 => 0x443,  // x^14+x^10+x^6+x+1
+            15 => 0x3,    // x^15+x+1
             16 => 0x100B, // x^16+x^12+x^3+x+1
-            17 => 0x9,  // x^17+x^3+1
-            18 => 0x81, // x^18+x^7+1
-            25 => 0x9,  // x^25+x^3+1 (UMTS long-code degree)
+            17 => 0x9,    // x^17+x^3+1
+            18 => 0x81,   // x^18+x^7+1
+            25 => 0x9,    // x^25+x^3+1 (UMTS long-code degree)
             _ => panic!("no primitive polynomial registered for degree {degree}"),
         };
         Lfsr::new(degree, taps, seed)
@@ -196,7 +196,7 @@ impl ScramblingCode {
     pub fn new(code_number: u64) -> Self {
         let mut x = Lfsr::new(18, 0x81, 1); // x^18 + x^7 + 1
         let y = Lfsr::new(18, 0x4A1, (1 << 18) - 1); // x^18+x^10+x^7+x^5+1
-        // Phase the first register by the code number.
+                                                     // Phase the first register by the code number.
         for _ in 0..(code_number % ((1 << 18) - 1)) {
             x.next_bit();
         }
@@ -302,7 +302,11 @@ mod tests {
                 for j in 0..sf.min(8) {
                     let a = OvsfTree::code(sf, i);
                     let b = OvsfTree::code(sf, j);
-                    let dot: i32 = a.iter().zip(&b).map(|(x, y)| (*x as i32) * (*y as i32)).sum();
+                    let dot: i32 = a
+                        .iter()
+                        .zip(&b)
+                        .map(|(x, y)| (*x as i32) * (*y as i32))
+                        .sum();
                     if i == j {
                         assert_eq!(dot, sf as i32);
                     } else {

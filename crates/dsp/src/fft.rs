@@ -20,7 +20,10 @@ pub struct Fft {
 impl Fft {
     /// Creates a plan for transform size `n` (power of two, ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two ≥ 2, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT size must be a power of two ≥ 2, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Cpx::from_angle(-std::f64::consts::TAU * k as f64 / n as f64))
             .collect();

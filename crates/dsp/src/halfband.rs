@@ -17,7 +17,10 @@ use crate::window::Window;
 /// The windowed-sinc design at cutoff 0.25 naturally zeroes the even taps
 /// (other than the centre); we force exact zeros to keep the structure.
 pub fn design_halfband(len: usize, window: Window) -> FirKernel {
-    assert!(len >= 7 && len % 4 == 3, "half-band length must be ≡3 mod 4 and ≥7, got {len}");
+    assert!(
+        len >= 7 && len % 4 == 3,
+        "half-band length must be ≡3 mod 4 and ≥7, got {len}"
+    );
     let mid = (len - 1) / 2;
     let mut taps: Vec<f64> = (0..len)
         .map(|n| {
@@ -98,7 +101,11 @@ impl HalfBandDecimator {
     /// input.
     #[inline]
     pub fn push(&mut self, x: Cpx) -> Option<Cpx> {
-        self.pos = if self.pos == 0 { self.full_len - 1 } else { self.pos - 1 };
+        self.pos = if self.pos == 0 {
+            self.full_len - 1
+        } else {
+            self.pos - 1
+        };
         self.history[self.pos] = x;
         self.phase = !self.phase;
         if !self.phase {
@@ -190,8 +197,10 @@ mod tests {
                 os.push(y);
             }
         }
-        let p_pass: f64 = op[100..].iter().map(|v| v.norm_sqr()).sum::<f64>() / (op.len() - 100) as f64;
-        let p_stop: f64 = os[100..].iter().map(|v| v.norm_sqr()).sum::<f64>() / (os.len() - 100) as f64;
+        let p_pass: f64 =
+            op[100..].iter().map(|v| v.norm_sqr()).sum::<f64>() / (op.len() - 100) as f64;
+        let p_stop: f64 =
+            os[100..].iter().map(|v| v.norm_sqr()).sum::<f64>() / (os.len() - 100) as f64;
         assert!(p_pass > 0.9, "passband power {p_pass}");
         assert!(p_stop < 1e-4, "stopband power {p_stop}");
     }

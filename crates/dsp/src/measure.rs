@@ -108,9 +108,8 @@ mod tests {
             let sigma = (0.5 / snr).sqrt(); // unit-power signal, per-dim var
             let x: Vec<Cpx> = (0..200_000)
                 .map(|_| {
-                    let sym = Cpx::from_angle(
-                        std::f64::consts::FRAC_PI_2 * rng.gen_range(0..4) as f64,
-                    );
+                    let sym =
+                        Cpx::from_angle(std::f64::consts::FRAC_PI_2 * rng.gen_range(0..4) as f64);
                     // Box-Muller gaussian noise
                     let u1: f64 = rng.gen_range(1e-12..1.0);
                     let u2: f64 = rng.gen_range(0.0..1.0);

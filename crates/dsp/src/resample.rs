@@ -86,6 +86,13 @@ impl RationalResampler {
         }
     }
 
+    /// Returns the resampler to its freshly-built state (empty window,
+    /// zero phase) while keeping the configured rate.
+    pub fn reset(&mut self) {
+        self.farrow.reset();
+        self.next_pos = 0.0;
+    }
+
     /// Pushes one input sample, appending any output samples due to `out`.
     pub fn push(&mut self, x: Cpx, out: &mut Vec<Cpx>) {
         self.farrow.push(x);
@@ -158,6 +165,24 @@ mod tests {
             "got {} outputs",
             out.len()
         );
+    }
+
+    #[test]
+    fn reset_matches_fresh_resampler() {
+        let mut used = RationalResampler::new(1.0, 8.0);
+        let mut sink = Vec::new();
+        for i in 0..37 {
+            used.push(Cpx::new(i as f64, -1.0), &mut sink);
+        }
+        used.reset();
+        let mut fresh = RationalResampler::new(1.0, 8.0);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for t in 0..50 {
+            let x = Cpx::from_angle(0.21 * t as f64);
+            used.push(x, &mut a);
+            fresh.push(x, &mut b);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

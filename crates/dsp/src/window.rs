@@ -30,9 +30,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
             Window::Kaiser(beta) => {
                 let t = 2.0 * x - 1.0; // -1..=1
                 bessel_i0(beta * (1.0 - t * t).sqrt()) / bessel_i0(beta)
@@ -82,7 +80,12 @@ mod tests {
 
     #[test]
     fn windows_peak_at_centre() {
-        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(8.0)] {
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(8.0),
+        ] {
             let v = w.build(65);
             let peak = v.iter().cloned().fold(f64::MIN, f64::max);
             assert!((v[32] - peak).abs() < 1e-12, "{w:?}");

@@ -95,7 +95,13 @@ impl Bitstream {
         let frames: Vec<Vec<u8>> = (0..device.frames)
             .map(|f| {
                 (0..device.frame_bytes)
-                    .map(|_| if f < frames_used { (next() >> 24) as u8 } else { 0 })
+                    .map(|_| {
+                        if f < frames_used {
+                            (next() >> 24) as u8
+                        } else {
+                            0
+                        }
+                    })
                     .collect()
             })
             .collect();

@@ -69,7 +69,9 @@ impl FpgaDevice {
             frame_bytes: 1_024,
             gate_capacity: 1_000_000,
             partial_reconfig: true,
-            port: ConfigPort::SelectMap { clock_hz: 50_000_000 },
+            port: ConfigPort::SelectMap {
+                clock_hz: 50_000_000,
+            },
             essential_fraction: 0.2,
         }
     }
@@ -86,7 +88,9 @@ impl FpgaDevice {
             frame_bytes: 1_024,
             gate_capacity: 600_000,
             partial_reconfig: false,
-            port: ConfigPort::Jtag { clock_hz: 10_000_000 },
+            port: ConfigPort::Jtag {
+                clock_hz: 10_000_000,
+            },
             essential_fraction: 0.2,
         }
     }
@@ -101,7 +105,9 @@ impl FpgaDevice {
             frame_bytes: 512,
             gate_capacity: 100_000,
             partial_reconfig: true,
-            port: ConfigPort::Jtag { clock_hz: 10_000_000 },
+            port: ConfigPort::Jtag {
+                clock_hz: 10_000_000,
+            },
             essential_fraction: 0.2,
         }
     }
@@ -128,16 +134,27 @@ mod tests {
 
     #[test]
     fn port_throughput() {
-        assert_eq!(ConfigPort::Jtag { clock_hz: 10_000_000 }.bits_per_second(), 10_000_000);
         assert_eq!(
-            ConfigPort::SelectMap { clock_hz: 50_000_000 }.bits_per_second(),
+            ConfigPort::Jtag {
+                clock_hz: 10_000_000
+            }
+            .bits_per_second(),
+            10_000_000
+        );
+        assert_eq!(
+            ConfigPort::SelectMap {
+                clock_hz: 50_000_000
+            }
+            .bits_per_second(),
             400_000_000
         );
     }
 
     #[test]
     fn load_time_scales_with_size() {
-        let p = ConfigPort::Jtag { clock_hz: 1_000_000 };
+        let p = ConfigPort::Jtag {
+            clock_hz: 1_000_000,
+        };
         assert_eq!(p.load_time_ns(1_000_000), 1_000_000_000); // 1 s
         assert_eq!(p.load_time_ns(500_000), 500_000_000);
     }

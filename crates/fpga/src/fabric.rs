@@ -132,9 +132,7 @@ impl FpgaFabric {
         if bs.device_name != self.device.name {
             return Err(FabricError::DeviceMismatch);
         }
-        if bs.frames.len() != self.device.frames
-            || bs.frames[0].len() != self.device.frame_bytes
-        {
+        if bs.frames.len() != self.device.frames || bs.frames[0].len() != self.device.frame_bytes {
             return Err(FabricError::GeometryMismatch);
         }
         for (dst, src) in self.config.iter_mut().zip(&bs.frames) {
@@ -178,7 +176,10 @@ impl FpgaFabric {
         if self.state == FabricState::Off {
             return Err(FabricError::WrongState { state: self.state });
         }
-        self.config.get(frame).map(|f| f.as_slice()).ok_or(FabricError::BadFrame)
+        self.config
+            .get(frame)
+            .map(|f| f.as_slice())
+            .ok_or(FabricError::BadFrame)
     }
 
     /// CRC-16 of a live frame — the paper's gate-cheap alternative to

@@ -145,7 +145,11 @@ impl ReadbackStrategy {
     }
 
     /// Scans the fabric and returns the frames detected as corrupted.
-    pub fn detect(self, fabric: &FpgaFabric, golden: &Bitstream) -> Result<Vec<usize>, FabricError> {
+    pub fn detect(
+        self,
+        fabric: &FpgaFabric,
+        golden: &Bitstream,
+    ) -> Result<Vec<usize>, FabricError> {
         let mut bad = Vec::new();
         for f in 0..fabric.device().frames {
             let corrupt = match self {

@@ -31,7 +31,11 @@ pub struct CapacityExceeded {
 
 impl std::fmt::Display for CapacityExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "design needs {} gates, device has {}", self.gates, self.capacity)
+        write!(
+            f,
+            "design needs {} gates, device has {}",
+            self.gates, self.capacity
+        )
     }
 }
 

@@ -379,7 +379,11 @@ mod tests {
         let wave = tx.transmit(&bits);
         let res = rx.demodulate(&wave, 64).expect("acquire");
         assert_eq!(res.bits, bits);
-        assert!(res.acquisition.metric > 20.0, "peak/floor {}", res.acquisition.metric);
+        assert!(
+            res.acquisition.metric > 20.0,
+            "peak/floor {}",
+            res.acquisition.metric
+        );
     }
 
     #[test]

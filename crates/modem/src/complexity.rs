@@ -81,7 +81,10 @@ fn complex_fir_gates(taps: u64) -> u64 {
 pub fn tdma_timing_recovery_per_carrier() -> GateBudget {
     let mut b = GateBudget::default();
     b.push("matched filter (24-tap RRC)", complex_fir_gates(24));
-    b.push("Farrow cubic interpolator", 8 * REAL_MULT + 12 * REAL_ADD + 600);
+    b.push(
+        "Farrow cubic interpolator",
+        8 * REAL_MULT + 12 * REAL_ADD + 600,
+    );
     b.push("Gardner TED", COMPLEX_MULT + 2 * REAL_ADD);
     b.push("PI loop filter", 2 * REAL_MULT + 2 * REAL_ADD + 200);
     b.push("strobe NCO / counter", 900);
@@ -108,7 +111,10 @@ pub fn cdma_acquisition(parallel_lanes: u64, window_chips: u64) -> GateBudget {
         "parallel correlator bank",
         parallel_lanes * window_chips * CORRELATOR_LANE_PER_CHIP / 16,
     );
-    b.push("non-coherent |·|² + threshold", 4 * REAL_MULT + 4 * REAL_ADD + 1_000);
+    b.push(
+        "non-coherent |·|² + threshold",
+        4 * REAL_MULT + 4 * REAL_ADD + 1_000,
+    );
     b.push("search sequencer", CONTROL_LARGE);
     b
 }
@@ -118,8 +124,14 @@ pub fn cdma_acquisition(parallel_lanes: u64, window_chips: u64) -> GateBudget {
 pub fn cdma_per_user() -> GateBudget {
     let mut b = GateBudget::default();
     b.push("E/L/P correlators (3 lanes)", 3 * 2 * REAL_ADD * 16 + 2_000);
-    b.push("DLL discriminator + loop", 6 * REAL_MULT + 6 * REAL_ADD + 800);
-    b.push("fractional-delay interpolator", 8 * REAL_MULT + 12 * REAL_ADD + 600);
+    b.push(
+        "DLL discriminator + loop",
+        6 * REAL_MULT + 6 * REAL_ADD + 800,
+    );
+    b.push(
+        "fractional-delay interpolator",
+        8 * REAL_MULT + 12 * REAL_ADD + 600,
+    );
     b.push("despreader integrate&dump", 2 * REAL_ADD * 16 + 1_000);
     b.push("code generators", CODE_GENERATOR);
     b.push("per-user control", CONTROL_SMALL);
@@ -132,10 +144,7 @@ pub fn cdma_demodulator(n_users: usize) -> GateBudget {
     assert!(n_users >= 1);
     let mut b = GateBudget::default();
     b.push("chip matched filter (32-tap RRC)", complex_fir_gates(32));
-    b.push(
-        "acquisition engine",
-        cdma_acquisition(64, 256).total(),
-    );
+    b.push("acquisition engine", cdma_acquisition(64, 256).total());
     b.push("pilot phase estimator", COMPLEX_MULT + 500);
     b.push("common control", CONTROL_LARGE);
     b.push(

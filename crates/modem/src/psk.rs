@@ -37,10 +37,7 @@ impl Modulation {
                 let a = std::f64::consts::FRAC_1_SQRT_2;
                 out.reserve(bits.len() / 2);
                 out.extend(bits.chunks_exact(2).map(|p| {
-                    Cpx::new(
-                        a * (1.0 - 2.0 * p[0] as f64),
-                        a * (1.0 - 2.0 * p[1] as f64),
-                    )
+                    Cpx::new(a * (1.0 - 2.0 * p[0] as f64), a * (1.0 - 2.0 * p[1] as f64))
                 }));
             }
         }

@@ -179,6 +179,27 @@ impl TdmaBurstDemodulator {
             .abs()
     }
 
+    /// Decision-quality metric: mean squared distance from each payload
+    /// symbol to its nearest QPSK point (error-vector magnitude). Unlike
+    /// [`Self::vv_drift`], which compares a handful of noisy fourth-power
+    /// phase estimates, this averages over every payload symbol, so at low
+    /// SNR it still separates a well-corrected burst from one corrupted by
+    /// a residual ramp or a bad fine-tracking pass.
+    fn evm(symbols: &[Cpx]) -> f64 {
+        if symbols.is_empty() {
+            return 0.0;
+        }
+        let a = std::f64::consts::FRAC_1_SQRT_2;
+        symbols
+            .iter()
+            .map(|s| {
+                let d = Cpx::new(a * s.re.signum(), a * s.im.signum());
+                (*s - d).norm_sqr()
+            })
+            .sum::<f64>()
+            / symbols.len() as f64
+    }
+
     /// Pass 1: payload symbols corrected by the UW correlation phase only.
     fn correct_static(&self, uw: &UwDetection, start: usize, end: usize) -> Vec<Cpx> {
         let mut symbols = self.symbol_buf[start..end].to_vec();
@@ -202,16 +223,31 @@ impl TdmaBurstDemodulator {
         // (the first half sits inside the matched-filter warm-up)
         // concatenated with the UW.
         let half_pre = cfg.format.preamble_len / 2;
-        let df = if uw.position >= half_pre {
+        let (df, n_known) = if uw.position >= half_pre {
             let preamble = cfg.format.preamble_symbols();
             let mut reference = preamble[preamble.len() - half_pre..].to_vec();
             reference.extend_from_slice(&cfg.format.unique_word);
             let known_rx = &self.symbol_buf[uw.position - half_pre..payload_start];
-            frequency_estimate_da(known_rx, &reference)
+            (frequency_estimate_da(known_rx, &reference), known_rx.len())
         } else {
             let uw_rx = &self.symbol_buf[uw.position..payload_start];
-            frequency_estimate_da(uw_rx, &cfg.format.unique_word)
+            (
+                frequency_estimate_da(uw_rx, &cfg.format.unique_word),
+                uw_rx.len(),
+            )
         };
+        // Significance gate: a frequency estimate from N known symbols at
+        // linear SNR ρ cannot beat the Cramer-Rao bound
+        // σ_df = sqrt(12 / (ρ·N·(N²−1))) rad/symbol. An estimate inside
+        // ~2σ of zero is indistinguishable from estimator noise, and
+        // extrapolating it across a payload hundreds of symbols long does
+        // more damage than the (unmeasurably small) offset it might fix —
+        // so treat it as zero. A blind M2M4 estimate supplies ρ; `None`
+        // means "no measurable noise", where the gate must stay open.
+        let rho = snr_estimate_m2m4(&self.symbol_buf[start..end]).unwrap_or(f64::INFINITY);
+        let n = n_known as f64;
+        let sigma_df = (12.0 / (rho * n * (n * n - 1.0))).sqrt();
+        let df = if df.abs() < 2.0 * sigma_df { 0.0 } else { df };
         // Ramp removal, phase-continuous from the UW midpoint where the
         // correlation-phase anchor lives.
         let uw_mid = (cfg.format.unique_word.len() as f64 - 1.0) / 2.0;
@@ -220,22 +256,69 @@ impl TdmaBurstDemodulator {
             let n = cfg.format.unique_word.len() as f64 - uw_mid + k as f64;
             *s = s.rotate(-(uw.phase + df * n));
         }
-        // Blockwise V&V, each block corrected independently around the
-        // ramp (branch nearest zero, bounded step): estimator noise cannot
-        // random-walk across blocks.
+        // Fine tracking: blockwise V&V phases, unwrapped across the π/2
+        // ambiguity from block to block, then least-squares fitted to a
+        // line over the whole payload. The fitted slope absorbs the
+        // residual frequency error left by the short data-aided estimate
+        // (whose noise near the Cramer-Rao bound can reach ~1e-2
+        // rad/symbol at low SNR — several radians of drift over a burst),
+        // while per-block estimator noise is averaged by the fit instead
+        // of being applied verbatim. Independent per-block corrections —
+        // the previous scheme — random-walk at low SNR and can destroy an
+        // otherwise clean burst with block-boundary phase jumps.
+        // Below ~7 dB the fourth-power estimator crosses its threshold
+        // region: block-phase noise grows past the π/4 unwrap branch
+        // spacing and the fit chases estimator noise instead of carrier
+        // phase, so the fine stage is disabled there.
         const VV_BLOCK: usize = 32;
-        let mut idx = 0usize;
-        while idx < symbols.len() {
-            let blk_end = (idx + VV_BLOCK).min(symbols.len());
-            if blk_end - idx >= 8 {
-                let raw = viterbi_viterbi_qpsk(&symbols[idx..blk_end]);
-                let theta =
-                    raw.clamp(-std::f64::consts::FRAC_PI_6, std::f64::consts::FRAC_PI_6);
-                derotate(&mut symbols[idx..blk_end], theta);
+        const VV_MIN_SNR: f64 = 5.0;
+        let n_blocks = symbols.len() / VV_BLOCK;
+        let mut df_fine = 0.0;
+        if n_blocks >= 2 && rho >= VV_MIN_SNR {
+            let mut centres = Vec::with_capacity(n_blocks);
+            let mut thetas = Vec::with_capacity(n_blocks);
+            let mut prev = 0.0f64;
+            for b in 0..n_blocks {
+                let s = b * VV_BLOCK;
+                let e = if b + 1 == n_blocks {
+                    symbols.len()
+                } else {
+                    s + VV_BLOCK
+                };
+                let mut th = viterbi_viterbi_qpsk(&symbols[s..e]);
+                // Unwrap onto the branch nearest the previous block: valid
+                // while the true inter-block step stays below π/4, i.e.
+                // |residual df| < π/(4·VV_BLOCK) ≈ 0.05 rad/symbol — well
+                // above the short estimator's error spread.
+                while th - prev > std::f64::consts::FRAC_PI_4 {
+                    th -= std::f64::consts::FRAC_PI_2;
+                }
+                while prev - th > std::f64::consts::FRAC_PI_4 {
+                    th += std::f64::consts::FRAC_PI_2;
+                }
+                centres.push((s + e - 1) as f64 / 2.0);
+                thetas.push(th);
+                prev = th;
             }
-            idx = blk_end;
+            let n = n_blocks as f64;
+            let c_mean = centres.iter().sum::<f64>() / n;
+            let t_mean = thetas.iter().sum::<f64>() / n;
+            let (mut num, mut den) = (0.0, 0.0);
+            for (c, t) in centres.iter().zip(&thetas) {
+                num += (c - c_mean) * (t - t_mean);
+                den += (c - c_mean) * (c - c_mean);
+            }
+            let slope = if den > 0.0 { num / den } else { 0.0 };
+            for (k, s) in symbols.iter_mut().enumerate() {
+                *s = s.rotate(-(t_mean + slope * (k as f64 - c_mean)));
+            }
+            df_fine = slope;
+        } else if symbols.len() >= 8 && rho >= VV_MIN_SNR {
+            let theta = viterbi_viterbi_qpsk(&symbols)
+                .clamp(-std::f64::consts::FRAC_PI_6, std::f64::consts::FRAC_PI_6);
+            derotate(&mut symbols, theta);
         }
-        (symbols, df)
+        (symbols, df + df_fine)
     }
 
     /// Demodulates one received burst (samples at `sps` per symbol).
@@ -271,11 +354,7 @@ impl TdmaBurstDemodulator {
         }
 
         // 3. Unique-word sync (position + unambiguous phase).
-        let uw = detect_unique_word(
-            &self.symbol_buf,
-            &cfg.format.unique_word,
-            cfg.uw_threshold,
-        )?;
+        let uw = detect_unique_word(&self.symbol_buf, &cfg.format.unique_word, cfg.uw_threshold)?;
         let payload_start = uw.position + cfg.format.unique_word.len();
         let payload_end = payload_start + cfg.format.payload_len;
         if payload_end > self.symbol_buf.len() {
@@ -308,8 +387,11 @@ impl TdmaBurstDemodulator {
             } else {
                 let (ramp_syms, df) =
                     self.correct_ramp_vv(&uw, payload_start, payload_end, force_ramp);
-                let drift_ramp = Self::vv_drift(&ramp_syms);
-                if drift_ramp < drift_static || force_ramp {
+                // The winner is decided on decision quality (EVM over the
+                // whole payload), not on the drift metric: at low SNR the
+                // four-point drift estimate is noisy enough to hand a
+                // clean static burst to a mis-estimated ramp correction.
+                if force_ramp || Self::evm(&ramp_syms) < Self::evm(&static_syms) {
                     (ramp_syms, df)
                 } else {
                     (static_syms, 0.0)
@@ -324,7 +406,9 @@ impl TdmaBurstDemodulator {
         let mut bits = Vec::new();
         cfg.format.modulation.demap_hard(&symbols, &mut bits);
         let mut llrs = Vec::new();
-        cfg.format.modulation.demap_soft(&symbols, sigma2, &mut llrs);
+        cfg.format
+            .modulation
+            .demap_soft(&symbols, sigma2, &mut llrs);
 
         Some(TdmaDemodResult {
             bits,
@@ -361,7 +445,9 @@ mod tests {
         let cfg = TdmaConfig::new(fmt.clone(), timing);
         let modulator = TdmaBurstModulator::new(cfg.clone());
         let mut demod = TdmaBurstDemodulator::new(cfg);
-        let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+        let bits: Vec<u8> = (0..fmt.payload_bits())
+            .map(|_| rng.gen_range(0..2u8))
+            .collect();
         let mut tx = modulator.modulate(&bits);
         if phase != 0.0 {
             PhaseOffset::new(phase).apply(&mut tx);
@@ -443,8 +529,9 @@ mod tests {
         let modulator = TdmaBurstModulator::new(cfg.clone());
         let mut demod = TdmaBurstDemodulator::new(cfg);
         for &df_symbol in &[1e-3f64, -2e-3, 4e-3] {
-            let bits: Vec<u8> =
-                (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+            let bits: Vec<u8> = (0..fmt.payload_bits())
+                .map(|_| rng.gen_range(0..2u8))
+                .collect();
             let mut wave = modulator.modulate(&bits);
             // rad/symbol → cycles/sample at sps=4.
             let mut cfo = FrequencyOffset::new(df_symbol / std::f64::consts::TAU / 4.0, 1.0);

@@ -252,7 +252,10 @@ mod tests {
             if err > 0.5 {
                 err = 1.0 - err;
             }
-            assert!(err < 0.02, "delay {delay}: tau {tau} tau0 {tau0} want {want}");
+            assert!(
+                err < 0.02,
+                "delay {delay}: tau {tau} tau0 {tau0} want {want}"
+            );
         }
     }
 
@@ -269,9 +272,7 @@ mod tests {
         // symbols over candidate integer offsets.
         let mut best = (0usize, 0.0f64);
         for off in 0..out.len().saturating_sub(100) {
-            let c: f64 = (0..100)
-                .map(|k| (out[off + k].mul_conj(syms[k])).re)
-                .sum();
+            let c: f64 = (0..100).map(|k| (out[off + k].mul_conj(syms[k])).re).sum();
             if c > best.1 {
                 best = (off, c);
             }
@@ -336,5 +337,4 @@ mod tests {
             / 500.0;
         assert!(mean_dev < 0.25, "late-burst symbol deviation {mean_dev}");
     }
-
 }

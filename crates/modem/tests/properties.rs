@@ -1,11 +1,11 @@
 //! Property tests for the modem layer: mapping/burst invariants that hold
 //! for arbitrary payloads and channel phases.
 
+use gsp_dsp::Cpx;
 use gsp_modem::carrier::{data_aided_phase, derotate, viterbi_viterbi_qpsk};
 use gsp_modem::framing::{detect_unique_word, BurstFormat};
 use gsp_modem::psk::Modulation;
 use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
-use gsp_dsp::Cpx;
 use proptest::prelude::*;
 
 fn bits(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {

@@ -59,7 +59,9 @@ impl Agent for BulkSender {
     }
 
     fn on_frame(&mut self, io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         self.conn.on_packet(io, &ip);
         if self.conn.is_established() && !self.pushed {
             self.pushed = true;
@@ -122,16 +124,16 @@ impl BulkReceiver {
                 Some(String::from_utf8_lossy(&self.buffer[2..2 + name_len]).into_owned());
         }
         let size = u32::from_be_bytes(
-            self.buffer[2 + name_len..2 + name_len + 4].try_into().unwrap(),
+            self.buffer[2 + name_len..2 + name_len + 4]
+                .try_into()
+                .unwrap(),
         ) as usize;
         let need = 2 + name_len + 4 + size + 4;
         if self.buffer.len() < need {
             return;
         }
         let data = self.buffer[2 + name_len + 4..2 + name_len + 4 + size].to_vec();
-        let want = u32::from_be_bytes(
-            self.buffer[need - 4..need].try_into().unwrap(),
-        );
+        let want = u32::from_be_bytes(self.buffer[need - 4..need].try_into().unwrap());
         if file_checksum(&data) == want {
             self.file = Some(data);
         } else {
@@ -144,7 +146,9 @@ impl Agent for BulkReceiver {
     fn start(&mut self, _io: &mut Io) {}
 
     fn on_frame(&mut self, io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         self.conn.on_packet(io, &ip);
         let new = self.conn.take_delivered();
         if !new.is_empty() {

@@ -108,11 +108,15 @@ impl Agent for CopsPdp {
     }
 
     fn on_frame(&mut self, _io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         if ip.proto != IpProto::Udp {
             return;
         }
-        let Some(udp) = UdpDatagram::decode(&ip.payload) else { return };
+        let Some(udp) = UdpDatagram::decode(&ip.payload) else {
+            return;
+        };
         if udp.payload.len() >= 6 && udp.payload[0] == OP_REPORT {
             let pid = u32::from_be_bytes(udp.payload[1..5].try_into().unwrap());
             if pid == self.decision.policy_id {
@@ -161,11 +165,15 @@ impl<F: FnMut(&PolicyDecision) -> bool> Agent for CopsPep<F> {
     fn start(&mut self, _io: &mut Io) {}
 
     fn on_frame(&mut self, io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         if ip.proto != IpProto::Udp || ip.dst != self.local {
             return;
         }
-        let Some(udp) = UdpDatagram::decode(&ip.payload) else { return };
+        let Some(udp) = UdpDatagram::decode(&ip.payload) else {
+            return;
+        };
         if udp.payload.is_empty() || udp.payload[0] != OP_DECISION {
             return;
         }

@@ -229,7 +229,9 @@ impl FrameService {
             FrameMode::Controlled { window } => {
                 let mut sent_any = false;
                 while self.outstanding.len() < window {
-                    let Some(f) = self.backlog.pop_front() else { break };
+                    let Some(f) = self.backlog.pop_front() else {
+                        break;
+                    };
                     let seq = f[2];
                     io.send(f.clone());
                     self.outstanding.push_back((seq, f));
@@ -334,7 +336,8 @@ impl FrameService {
         }
         self.assembling.extend_from_slice(&frame.payload);
         if frame.flags & FLAG_LAST != 0 {
-            out.pdus.push(Bytes::from(std::mem::take(&mut self.assembling)));
+            out.pdus
+                .push(Bytes::from(std::mem::take(&mut self.assembling)));
             self.in_progress = false;
         }
     }

@@ -253,7 +253,13 @@ mod tests {
 
     #[test]
     fn full_udp_ip_stack_roundtrip() {
-        let raw = udp_packet(ADDR_NCC, ADDR_EQUIPMENT_BASE + 3, 1000, 69, Bytes::from_static(b"hi"));
+        let raw = udp_packet(
+            ADDR_NCC,
+            ADDR_EQUIPMENT_BASE + 3,
+            1000,
+            69,
+            Bytes::from_static(b"hi"),
+        );
         let ip = IpPacket::decode(&raw).unwrap();
         assert_eq!(ip.proto, IpProto::Udp);
         assert_eq!(ip.dst, ADDR_EQUIPMENT_BASE + 3);

@@ -48,7 +48,11 @@ impl LinkConfig {
 
     /// Serialisation time for `bytes` in the given direction, nanoseconds.
     pub fn tx_time_ns(&self, bytes: usize, uplink: bool) -> u64 {
-        let rate = if uplink { self.up_rate_bps } else { self.down_rate_bps };
+        let rate = if uplink {
+            self.up_rate_bps
+        } else {
+            self.down_rate_bps
+        };
         (bytes as u128 * 8 * 1_000_000_000 / rate as u128) as u64
     }
 

@@ -62,7 +62,8 @@ pub fn simulate_transfer(
     let deadline = 48 * 3_600_000_000_000u64;
     let (stats, delivered) = match proto {
         TransferProtocol::Tftp => {
-            let mut w = TftpWriter::new(1, 2, "file.bit", data.clone(), rto);
+            let mut w = TftpWriter::new(1, 2, "file.bit", data.clone(), rto)
+                .expect("transfer sizes in this scenario fit the TFTP block limit");
             let mut s = TftpServer::new(2);
             let mut sim = Sim::new(link, seed);
             let st = sim.run(&mut w, &mut s, deadline);
@@ -121,7 +122,10 @@ mod tests {
 
     #[test]
     fn both_protocols_deliver_on_geo() {
-        for proto in [TransferProtocol::Tftp, TransferProtocol::Bulk { window: 16 * 1024 }] {
+        for proto in [
+            TransferProtocol::Tftp,
+            TransferProtocol::Bulk { window: 16 * 1024 },
+        ] {
             let st = simulate_transfer(proto, 20_000, LinkConfig::geo_default(), 1);
             assert!(st.delivered, "{proto:?}");
             assert!(st.goodput_bps > 0.0);

@@ -115,11 +115,15 @@ impl Agent for ScpsFpSender {
     }
 
     fn on_frame(&mut self, io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         if ip.proto != IpProto::Udp {
             return;
         }
-        let Some(udp) = UdpDatagram::decode(&ip.payload) else { return };
+        let Some(udp) = UdpDatagram::decode(&ip.payload) else {
+            return;
+        };
         if udp.payload.is_empty() {
             return;
         }
@@ -129,8 +133,7 @@ impl Agent for ScpsFpSender {
                 self.repair_rounds += 1;
                 for k in 0..n {
                     let off = 3 + 4 * k;
-                    let idx =
-                        u32::from_be_bytes(udp.payload[off..off + 4].try_into().unwrap());
+                    let idx = u32::from_be_bytes(udp.payload[off..off + 4].try_into().unwrap());
                     self.send_segment(io, idx);
                 }
                 self.send_eof(io);
@@ -191,7 +194,9 @@ impl ScpsFpReceiver {
     }
 
     fn try_complete(&mut self, io: &mut Io, peer: IpAddr) {
-        let Some(n) = self.expected_segments else { return };
+        let Some(n) = self.expected_segments else {
+            return;
+        };
         let missing = self.missing();
         if missing.is_empty() {
             if self.file.is_none() {
@@ -227,11 +232,15 @@ impl Agent for ScpsFpReceiver {
     fn start(&mut self, _io: &mut Io) {}
 
     fn on_frame(&mut self, io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         if ip.proto != IpProto::Udp || ip.dst != self.local {
             return;
         }
-        let Some(udp) = UdpDatagram::decode(&ip.payload) else { return };
+        let Some(udp) = UdpDatagram::decode(&ip.payload) else {
+            return;
+        };
         if udp.payload.is_empty() {
             return;
         }

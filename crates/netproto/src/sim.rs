@@ -301,7 +301,8 @@ mod tests {
         let mut echo = Echo { echoes: 0 };
         let stats = sim.run(&mut ping, &mut echo, 10_000_000_000);
         assert!(stats.completed);
-        let expect = link.tx_time_ns(4, true) + link.delay_ns + link.tx_time_ns(4, false) + link.delay_ns;
+        let expect =
+            link.tx_time_ns(4, true) + link.delay_ns + link.tx_time_ns(4, false) + link.delay_ns;
         assert_eq!(ping.rtt_seen, Some(expect));
         assert_eq!(stats.frames_sent, [1, 1]);
         assert_eq!(stats.frames_delivered[Side::Space.index()], 1);

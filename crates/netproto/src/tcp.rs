@@ -128,17 +128,26 @@ impl TcpConnection {
         rto_ns: u64,
         timer_base: u64,
     ) -> Self {
-        Self::new(local, remote, TcpState::Closed, max_window, rto_ns, timer_base)
+        Self::new(
+            local,
+            remote,
+            TcpState::Closed,
+            max_window,
+            rto_ns,
+            timer_base,
+        )
     }
 
     /// Creates a listening endpoint.
-    pub fn listener(
-        local: (IpAddr, u16),
-        max_window: usize,
-        rto_ns: u64,
-        timer_base: u64,
-    ) -> Self {
-        Self::new(local, (0, 0), TcpState::Listen, max_window, rto_ns, timer_base)
+    pub fn listener(local: (IpAddr, u16), max_window: usize, rto_ns: u64, timer_base: u64) -> Self {
+        Self::new(
+            local,
+            (0, 0),
+            TcpState::Listen,
+            max_window,
+            rto_ns,
+            timer_base,
+        )
     }
 
     fn new(
@@ -354,51 +363,48 @@ impl TcpConnection {
             return;
         }
         match self.state {
-            TcpState::Listen
-                if seg.flags & FLAG_SYN != 0 => {
-                    self.remote_addr = ip.src;
-                    self.remote_port = seg.src_port;
-                    self.rcv_nxt = seg.seq.wrapping_add(1);
-                    self.state = TcpState::SynReceived;
-                    let syn_ack = Segment {
-                        src_port: self.local_port,
-                        dst_port: self.remote_port,
-                        seq: 0,
-                        ack: self.rcv_nxt,
-                        flags: FLAG_SYN | FLAG_ACK,
-                        payload: Bytes::new(),
-                    };
-                    self.emit(io, syn_ack);
-                    self.arm_timer(io);
-                }
-            TcpState::SynSent
-                if seg.flags & (FLAG_SYN | FLAG_ACK) == FLAG_SYN | FLAG_ACK => {
-                    self.rcv_nxt = seg.seq.wrapping_add(1);
-                    self.snd_una = 1;
-                    self.snd_nxt = 1;
-                    self.state = TcpState::Established;
-                    self.cancel_timer();
-                    let ack = Segment {
-                        src_port: self.local_port,
-                        dst_port: self.remote_port,
-                        seq: self.snd_nxt,
-                        ack: self.rcv_nxt,
-                        flags: FLAG_ACK,
-                        payload: Bytes::new(),
-                    };
-                    self.emit(io, ack);
-                    self.pump(io);
-                }
-            TcpState::SynReceived
-                if seg.flags & FLAG_ACK != 0 && seg.flags & FLAG_SYN == 0 => {
-                    self.snd_una = 1;
-                    self.snd_nxt = 1;
-                    self.state = TcpState::Established;
-                    self.cancel_timer();
-                    // The handshake ACK may carry data already.
-                    self.accept_data(io, &seg);
-                    self.pump(io);
-                }
+            TcpState::Listen if seg.flags & FLAG_SYN != 0 => {
+                self.remote_addr = ip.src;
+                self.remote_port = seg.src_port;
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.state = TcpState::SynReceived;
+                let syn_ack = Segment {
+                    src_port: self.local_port,
+                    dst_port: self.remote_port,
+                    seq: 0,
+                    ack: self.rcv_nxt,
+                    flags: FLAG_SYN | FLAG_ACK,
+                    payload: Bytes::new(),
+                };
+                self.emit(io, syn_ack);
+                self.arm_timer(io);
+            }
+            TcpState::SynSent if seg.flags & (FLAG_SYN | FLAG_ACK) == FLAG_SYN | FLAG_ACK => {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.snd_una = 1;
+                self.snd_nxt = 1;
+                self.state = TcpState::Established;
+                self.cancel_timer();
+                let ack = Segment {
+                    src_port: self.local_port,
+                    dst_port: self.remote_port,
+                    seq: self.snd_nxt,
+                    ack: self.rcv_nxt,
+                    flags: FLAG_ACK,
+                    payload: Bytes::new(),
+                };
+                self.emit(io, ack);
+                self.pump(io);
+            }
+            TcpState::SynReceived if seg.flags & FLAG_ACK != 0 && seg.flags & FLAG_SYN == 0 => {
+                self.snd_una = 1;
+                self.snd_nxt = 1;
+                self.state = TcpState::Established;
+                self.cancel_timer();
+                // The handshake ACK may carry data already.
+                self.accept_data(io, &seg);
+                self.pump(io);
+            }
             TcpState::Established => {
                 // ACK processing.
                 if seg.flags & FLAG_ACK != 0 && seg.ack > self.snd_una {
@@ -439,11 +445,12 @@ impl TcpConnection {
                 self.accept_data(io, &seg);
             }
             TcpState::FinWait
-                if (seg.flags & FLAG_FIN != 0 || (seg.flags & FLAG_ACK != 0 && seg.ack > self.snd_nxt))
-                => {
-                    self.state = TcpState::Done;
-                    self.cancel_timer();
-                }
+                if (seg.flags & FLAG_FIN != 0
+                    || (seg.flags & FLAG_ACK != 0 && seg.ack > self.snd_nxt)) =>
+            {
+                self.state = TcpState::Done;
+                self.cancel_timer();
+            }
             _ => {}
         }
     }
@@ -526,7 +533,12 @@ mod tests {
         }
     }
 
-    fn run_transfer(size: usize, window: usize, link: LinkConfig, seed: u64) -> (bool, Vec<u8>, u64, u64) {
+    fn run_transfer(
+        size: usize,
+        window: usize,
+        link: LinkConfig,
+        seed: u64,
+    ) -> (bool, Vec<u8>, u64, u64) {
         let rto = 2 * link.rtt_ns() + 400_000_000;
         let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         let mut client = Client {

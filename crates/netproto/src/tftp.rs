@@ -16,6 +16,39 @@ pub const BLOCK: usize = 512;
 /// Well-known TFTP port.
 pub const TFTP_PORT: u16 = 69;
 
+/// Largest file one RFC 1350 transfer can carry. Block numbers are u16
+/// counting from 1 and the transfer must end with a short (possibly
+/// empty) block, so at most `u16::MAX` data blocks fit: 65534 full
+/// blocks plus a final short one.
+pub const MAX_FILE_BYTES: usize = BLOCK * u16::MAX as usize - 1;
+
+/// Errors from constructing a TFTP endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TftpError {
+    /// The file needs more data blocks than the u16 block number can
+    /// count; the block counter would wrap mid-transfer.
+    FileTooLarge {
+        /// Requested file size.
+        bytes: usize,
+        /// Largest representable size ([`MAX_FILE_BYTES`]).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for TftpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TftpError::FileTooLarge { bytes, max } => write!(
+                f,
+                "file of {bytes} bytes exceeds the TFTP u16 block-number \
+                 limit ({max} bytes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TftpError {}
+
 const OP_WRQ: u16 = 2;
 const OP_DATA: u16 = 3;
 const OP_ACK: u16 = 4;
@@ -47,6 +80,7 @@ fn msg_ack(block: u16) -> Bytes {
 }
 
 /// TFTP write client (the NCC uploading a file to the satellite).
+#[derive(Debug)]
 pub struct TftpWriter {
     local: IpAddr,
     remote: IpAddr,
@@ -63,8 +97,24 @@ pub struct TftpWriter {
 
 impl TftpWriter {
     /// New writer for `data` named `filename`.
-    pub fn new(local: IpAddr, remote: IpAddr, filename: &str, data: Vec<u8>, rto_ns: u64) -> Self {
-        TftpWriter {
+    ///
+    /// Fails with [`TftpError::FileTooLarge`] when `data` would need more
+    /// than `u16::MAX` blocks: block numbers would silently wrap and the
+    /// transfer could never terminate correctly.
+    pub fn new(
+        local: IpAddr,
+        remote: IpAddr,
+        filename: &str,
+        data: Vec<u8>,
+        rto_ns: u64,
+    ) -> Result<Self, TftpError> {
+        if data.len() > MAX_FILE_BYTES {
+            return Err(TftpError::FileTooLarge {
+                bytes: data.len(),
+                max: MAX_FILE_BYTES,
+            });
+        }
+        Ok(TftpWriter {
             local,
             remote,
             filename: filename.to_string(),
@@ -74,7 +124,7 @@ impl TftpWriter {
             rto_ns,
             timer_gen: 0,
             retransmissions: 0,
-        }
+        })
     }
 
     fn current_payload(&self) -> Bytes {
@@ -89,13 +139,20 @@ impl TftpWriter {
 
     fn transmit(&mut self, io: &mut Io) {
         let payload = self.current_payload();
-        io.send(udp_packet(self.local, self.remote, 3069, TFTP_PORT, payload));
+        io.send(udp_packet(
+            self.local,
+            self.remote,
+            3069,
+            TFTP_PORT,
+            payload,
+        ));
         self.timer_gen += 1;
         io.set_timer(self.rto_ns, self.timer_gen);
     }
 
     /// Number of data blocks in the file (a final short/empty block ends
-    /// the transfer per RFC 1350).
+    /// the transfer per RFC 1350). The constructor bounds `data` so this
+    /// always fits in u16 without wrapping.
     fn total_blocks(&self) -> u16 {
         (self.data.len() / BLOCK + 1) as u16
     }
@@ -110,11 +167,15 @@ impl Agent for TftpWriter {
         if self.done {
             return;
         }
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         if ip.proto != IpProto::Udp {
             return;
         }
-        let Some(udp) = UdpDatagram::decode(&ip.payload) else { return };
+        let Some(udp) = UdpDatagram::decode(&ip.payload) else {
+            return;
+        };
         if udp.payload.len() < 4 {
             return;
         }
@@ -175,11 +236,15 @@ impl Agent for TftpServer {
     fn start(&mut self, _io: &mut Io) {}
 
     fn on_frame(&mut self, io: &mut Io, raw: Bytes) {
-        let Some(ip) = IpPacket::decode(&raw) else { return };
+        let Some(ip) = IpPacket::decode(&raw) else {
+            return;
+        };
         if ip.proto != IpProto::Udp || ip.dst != self.local {
             return;
         }
-        let Some(udp) = UdpDatagram::decode(&ip.payload) else { return };
+        let Some(udp) = UdpDatagram::decode(&ip.payload) else {
+            return;
+        };
         if udp.dst_port != TFTP_PORT || udp.payload.len() < 2 {
             return;
         }
@@ -193,7 +258,13 @@ impl Agent for TftpServer {
                     self.expected_block = 1;
                 }
                 // (Re-)acknowledge the request.
-                io.send(udp_packet(self.local, ip.src, TFTP_PORT, udp.src_port, msg_ack(0)));
+                io.send(udp_packet(
+                    self.local,
+                    ip.src,
+                    TFTP_PORT,
+                    udp.src_port,
+                    msg_ack(0),
+                ));
             }
             OP_DATA => {
                 if udp.payload.len() < 4 {
@@ -214,7 +285,11 @@ impl Agent for TftpServer {
                     ip.src,
                     TFTP_PORT,
                     udp.src_port,
-                    msg_ack(self.expected_block.wrapping_sub(1).max(if blk < self.expected_block { blk } else { 0 })),
+                    msg_ack(
+                        self.expected_block
+                            .wrapping_sub(1)
+                            .max(if blk < self.expected_block { blk } else { 0 }),
+                    ),
                 ));
             }
             _ => {}
@@ -232,12 +307,49 @@ impl Agent for TftpServer {
 mod tests {
     use super::*;
     use crate::link::LinkConfig;
-    use crate::sim::Sim;
+    use crate::sim::{Action, Side, Sim};
+
+    /// A free-standing Io handle for driving an agent callback directly
+    /// (no simulator), so timer and duplicate handling can be tested
+    /// deterministically.
+    fn mk_io() -> Io {
+        Io {
+            now_ns: 0,
+            side: Side::Ground,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Frames the agent queued on this Io.
+    fn sends(io: &Io) -> Vec<Bytes> {
+        io.actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send(f) => Some(f.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// (opcode, block) of a TFTP frame the writer sent.
+    fn tftp_header(frame: &Bytes) -> (u16, u16) {
+        let ip = IpPacket::decode(frame).expect("ip");
+        let udp = UdpDatagram::decode(&ip.payload).expect("udp");
+        (
+            u16::from_be_bytes([udp.payload[0], udp.payload[1]]),
+            u16::from_be_bytes([udp.payload[2], udp.payload[3]]),
+        )
+    }
+
+    /// An ACK frame as the server at address 2 would send it.
+    fn ack_frame(block: u16) -> Bytes {
+        udp_packet(2, 1, TFTP_PORT, 3069, msg_ack(block))
+    }
 
     fn run(size: usize, link: LinkConfig, seed: u64) -> (bool, Vec<u8>, u64, u64) {
         let data: Vec<u8> = (0..size).map(|i| (i * 13 % 251) as u8).collect();
         let rto = 2 * link.rtt_ns() + 300_000_000;
-        let mut w = TftpWriter::new(1, 2, "design.bit", data.clone(), rto);
+        let mut w = TftpWriter::new(1, 2, "design.bit", data.clone(), rto).unwrap();
         let mut s = TftpServer::new(2);
         let mut sim = Sim::new(link, seed);
         let stats = sim.run(&mut w, &mut s, 24 * 3_600_000_000_000);
@@ -302,10 +414,91 @@ mod tests {
     }
 
     #[test]
+    fn retransmits_after_timeout_and_ignores_stale_timers() {
+        let mut w = TftpWriter::new(1, 2, "f.bit", vec![7u8; 700], 1_000_000).unwrap();
+        let mut io0 = mk_io();
+        w.start(&mut io0);
+        let first = sends(&io0);
+        assert_eq!(first.len(), 1, "start sends exactly the WRQ");
+        assert_eq!(tftp_header(&first[0]).0, OP_WRQ);
+
+        // No ACK arrives, the RTO fires (generation 1 is current): the
+        // writer must resend the identical frame and count it.
+        let mut io1 = mk_io();
+        w.on_timer(&mut io1, 1);
+        let retx = sends(&io1);
+        assert_eq!(w.retransmissions, 1);
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0], first[0], "retransmission repeats the frame");
+
+        // The resend armed generation 2; the old generation-1 timer is
+        // now stale and must be ignored (no spurious retransmission).
+        let mut io2 = mk_io();
+        w.on_timer(&mut io2, 1);
+        assert_eq!(w.retransmissions, 1);
+        assert!(sends(&io2).is_empty(), "stale timer must not retransmit");
+    }
+
+    #[test]
+    fn duplicate_acks_do_not_advance_or_resend() {
+        // 700 bytes = DATA 1 (512) + DATA 2 (188, short → final).
+        let data = vec![3u8; 700];
+        let mut w = TftpWriter::new(1, 2, "f.bit", data, 1_000_000).unwrap();
+        let mut io = mk_io();
+        w.start(&mut io);
+
+        let mut io = mk_io();
+        w.on_frame(&mut io, ack_frame(0));
+        let s = sends(&io);
+        assert_eq!(s.len(), 1);
+        assert_eq!(tftp_header(&s[0]), (OP_DATA, 1));
+
+        // Duplicate ACK 0 (e.g. the server re-ACKed a repeated WRQ): the
+        // writer is waiting for ACK 1 and must neither advance the block
+        // counter nor inject another frame into the link.
+        let mut io = mk_io();
+        w.on_frame(&mut io, ack_frame(0));
+        assert!(sends(&io).is_empty(), "duplicate ACK must be ignored");
+        assert_eq!(w.retransmissions, 0);
+
+        // The expected ACK still advances the transfer normally.
+        let mut io = mk_io();
+        w.on_frame(&mut io, ack_frame(1));
+        let s = sends(&io);
+        assert_eq!(s.len(), 1);
+        assert_eq!(tftp_header(&s[0]), (OP_DATA, 2));
+
+        let mut io = mk_io();
+        w.on_frame(&mut io, ack_frame(2));
+        assert!(sends(&io).is_empty());
+        assert!(w.finished(), "final short block ACKed → done");
+    }
+
+    #[test]
+    fn oversized_file_errors_cleanly_instead_of_wrapping() {
+        // One byte past the limit needs a 65536th block — the u16 block
+        // number would wrap to 0 and the transfer could never finish.
+        assert_eq!(MAX_FILE_BYTES + 1, BLOCK * u16::MAX as usize);
+        let err = TftpWriter::new(1, 2, "huge.bit", vec![0u8; MAX_FILE_BYTES + 1], 1).unwrap_err();
+        assert_eq!(
+            err,
+            TftpError::FileTooLarge {
+                bytes: MAX_FILE_BYTES + 1,
+                max: MAX_FILE_BYTES
+            }
+        );
+        assert!(err.to_string().contains("block-number limit"));
+
+        // The largest representable file still constructs fine.
+        let w = TftpWriter::new(1, 2, "big.bit", vec![0u8; MAX_FILE_BYTES], 1).unwrap();
+        assert_eq!(w.total_blocks(), u16::MAX);
+    }
+
+    #[test]
     fn filename_is_recorded() {
         let data = vec![1u8; 100];
         let rto = 300_000_000;
-        let mut w = TftpWriter::new(1, 2, "cdma_to_tdma.bit", data, rto);
+        let mut w = TftpWriter::new(1, 2, "cdma_to_tdma.bit", data, rto).unwrap();
         let mut s = TftpServer::new(2);
         let mut sim = Sim::new(LinkConfig::clean_fast(), 6);
         sim.run(&mut w, &mut s, 1_000_000_000_000);

@@ -9,17 +9,9 @@
 //! (the paper's §2.3 carrier count); each active carrier bears one QPSK
 //! burst per frame, convolutionally coded per UMTS.
 
-use crate::switch::{BasebandPacket, PacketSwitch};
-use gsp_channel::awgn::AwgnChannel;
-use gsp_coding::{ConvCode, ConvEncoder, Crc, CrcKind, ViterbiDecoder};
-use gsp_dsp::channelizer::PolyphaseChannelizer;
-use gsp_dsp::nco::Nco;
-use gsp_dsp::resample::RationalResampler;
-use gsp_dsp::Cpx;
-use gsp_modem::framing::BurstFormat;
-use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::pipeline::PipelineEngine;
+use crate::switch::PacketSwitch;
+use gsp_modem::tdma::TimingRecoveryKind;
 
 /// Chain configuration.
 #[derive(Clone, Debug)]
@@ -68,7 +60,7 @@ pub struct CarrierOutcome {
 }
 
 /// Frame-level report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainReport {
     /// Per-carrier outcomes.
     pub carriers: Vec<CarrierOutcome>,
@@ -101,129 +93,16 @@ impl ChainReport {
     }
 }
 
-fn burst_format(coded_bits: usize) -> BurstFormat {
-    BurstFormat::standard(24, 24, coded_bits / 2)
-}
-
 /// Runs one MF-TDMA frame through the whole chain.
+///
+/// Convenience wrapper over [`crate::pipeline::PipelineEngine`]: builds a
+/// fresh engine (auto worker count — the report is bitwise independent of
+/// it), runs one frame and returns its report. Callers processing many
+/// frames should hold a [`PipelineEngine`] instead, which keeps the
+/// per-carrier demodulators, decoders and the channelizer alive between
+/// frames.
 pub fn run_mf_tdma_frame(cfg: &ChainConfig, seed: u64) -> ChainReport {
-    assert!(cfg.active_carriers <= cfg.channels);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let crc = Crc::new(CrcKind::Crc16);
-    let code = ConvCode::umts_half();
-    let coded_bits = (cfg.info_bits + 16 + 8) * 2;
-    let fmt = burst_format(coded_bits);
-    let tdma_cfg = TdmaConfig::new(fmt.clone(), cfg.timing);
-    let modulator = TdmaBurstModulator::new(tdma_cfg.clone());
-
-    // Transmit side: per-carrier info bits → CRC → conv code → burst.
-    let mut info: Vec<Vec<u8>> = Vec::new();
-    let mut carrier_waves: Vec<Vec<Cpx>> = Vec::new();
-    for _ in 0..cfg.active_carriers {
-        let bits: Vec<u8> = (0..cfg.info_bits).map(|_| rng.gen_range(0..2u8)).collect();
-        let protected = crc.attach(&bits);
-        let coded = ConvEncoder::new(code.clone()).encode_block(&protected);
-        carrier_waves.push(modulator.modulate(&coded));
-        info.push(bits);
-    }
-
-    // FDM composite at channels × channel rate: interpolate ×M, mix to the
-    // carrier centre k/M, sum. Idle guard samples pad the frame edges.
-    let m = cfg.channels;
-    let guard = 64 * m;
-    let burst_len = carrier_waves[0].len();
-    let composite_len = burst_len * m + 2 * guard;
-    let mut composite = vec![Cpx::ZERO; composite_len];
-    for (k, wave) in carrier_waves.iter().enumerate() {
-        let mut rs = RationalResampler::new(1.0, m as f64);
-        let mut up = Vec::with_capacity(wave.len() * m);
-        for &s in wave {
-            rs.push(s, &mut up);
-        }
-        let mut nco = Nco::from_step(std::f64::consts::TAU * k as f64 / m as f64);
-        for (i, s) in up.iter().enumerate() {
-            if guard + i < composite.len() {
-                composite[guard + i] += nco.mix(*s);
-            }
-        }
-    }
-
-    // ADC noise.
-    if let Some(db) = cfg.esn0_db {
-        // Per-carrier Es/N0 calibration: the channelizer passes an
-        // on-centre carrier with unit gain while keeping only the channel's
-        // share of the composite noise (measured noise bandwidth ≈ 1.1/m of
-        // the prototype), so composite noise must be 1.1·m times the
-        // per-channel target to realise the requested symbol-level Es/N0.
-        let mut ch = AwgnChannel::from_esn0_db(db - 10.0 * (1.1 * m as f64).log10());
-        ch.apply(&mut composite, &mut rng);
-    }
-
-    // DEMUX: polyphase channelizer.
-    let mut chan = PolyphaseChannelizer::new(m, 12);
-    let mut per_channel: Vec<Vec<Cpx>> = vec![Vec::with_capacity(composite_len / m); m];
-    let mut frame = vec![Cpx::ZERO; m];
-    for &s in &composite {
-        if chan.push(s, &mut frame) {
-            for (ch_buf, &v) in per_channel.iter_mut().zip(&frame) {
-                ch_buf.push(v);
-            }
-        }
-    }
-
-    // Per-carrier DEMOD + DECOD + CRC + switch ingress.
-    let mut switch = PacketSwitch::new(cfg.beams, 1024);
-    let mut viterbi = ViterbiDecoder::new(code);
-    let mut outcomes = Vec::with_capacity(cfg.active_carriers);
-    let mut demod = TdmaBurstDemodulator::new(tdma_cfg);
-    for (k, bits) in info.iter().enumerate() {
-        let samples = &per_channel[k];
-        let result = demod.demodulate(samples);
-        let outcome = match result {
-            Some(res) => {
-                let decoded = viterbi.decode_block(&res.llrs);
-                let crc_ok = crc.check(&decoded).is_some();
-                let recovered = &decoded[..decoded.len().saturating_sub(16)];
-                let bit_errors = recovered
-                    .iter()
-                    .zip(bits)
-                    .filter(|(a, b)| a != b)
-                    .count()
-                    + bits.len().saturating_sub(recovered.len());
-                if crc_ok {
-                    switch.ingress(BasebandPacket {
-                        source: k as u16,
-                        dest_beam: (k % cfg.beams) as u8,
-                        data: gsp_coding::bits::pack_bits(recovered),
-                    });
-                }
-                CarrierOutcome {
-                    carrier: k,
-                    detected: true,
-                    crc_ok,
-                    bit_errors,
-                    bits: bits.len(),
-                }
-            }
-            None => CarrierOutcome {
-                carrier: k,
-                detected: false,
-                crc_ok: false,
-                bit_errors: bits.len(),
-                bits: bits.len(),
-            },
-        };
-        outcomes.push(outcome);
-    }
-
-    let (forwarded, _, _) = switch.stats();
-    ChainReport {
-        carriers: outcomes,
-        packets_forwarded: forwarded,
-        composite_samples: composite_len,
-        switch,
-        info_bits: info,
-    }
+    PipelineEngine::new(cfg.clone()).run_frame(seed)
 }
 
 #[cfg(test)]

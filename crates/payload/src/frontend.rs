@@ -159,8 +159,16 @@ mod tests {
                 .sum::<f64>()
                 / 2000.0
         };
-        assert!((slope(&a) - 2.0 * delta).abs() < 0.01, "A slope {}", slope(&a));
-        assert!((slope(&b) + 2.0 * delta).abs() < 0.01, "B slope {}", slope(&b));
+        assert!(
+            (slope(&a) - 2.0 * delta).abs() < 0.01,
+            "A slope {}",
+            slope(&a)
+        );
+        assert!(
+            (slope(&b) + 2.0 * delta).abs() < 0.01,
+            "B slope {}",
+            slope(&b)
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   regenerative (routing at packet level, §2.1);
 //! * [`chain`] — the full Fig. 2 receive chain, driven end-to-end with
 //!   synthetic MF-TDMA traffic (experiment F2);
+//! * [`pipeline`] — the reusable chain engine: long-lived per-carrier
+//!   state, the per-carrier DEMOD→DECOD→CRC fan-out across a scoped
+//!   worker pool, and per-stage counters;
 //! * [`txchain`] — the Tx part of Fig. 2: per-beam downlink chains (CRC +
 //!   convolutional coding + QPSK burst + TWTA) and the matching ground
 //!   receiver, closing the regenerative loop;
@@ -34,6 +37,7 @@ pub mod frontend;
 pub mod memory;
 pub mod obpc;
 pub mod partition;
+pub mod pipeline;
 pub mod platform;
 pub mod scheduler;
 pub mod switch;
@@ -43,4 +47,5 @@ pub mod txchain;
 pub use equipment::{Equipment, EquipmentId, EquipmentKind};
 pub use memory::OnboardMemory;
 pub use obpc::{Obpc, ReconfigError, ReconfigReport};
+pub use pipeline::{PipelineEngine, PipelineStats};
 pub use platform::{Platform, Telecommand, Telemetry};

@@ -1,0 +1,487 @@
+//! The reusable Fig. 2 pipeline engine: per-carrier DEMOD → DECOD → CRC
+//! fanned across a scoped worker pool, with long-lived per-carrier state.
+//!
+//! [`crate::chain::run_mf_tdma_frame`] builds the whole chain from scratch
+//! for every frame: encoders, modulator, resamplers, channelizer,
+//! demodulator and Viterbi trellis are reallocated per call, and the six
+//! carriers are demodulated one after another even though their bursts are
+//! completely independent. This module keeps all of that state alive in a
+//! [`PipelineEngine`] instead:
+//!
+//! * each active carrier owns a **lane** — encoder, upconversion resampler
+//!   with NCO, burst demodulator and Viterbi decoder — that persists
+//!   across frames and is merely `reset()` between them;
+//! * the per-carrier receive half (DEMOD → DECOD → CRC) fans out across a
+//!   scoped `std::thread` pool ([`PipelineEngine::workers`] wide);
+//! * per-stage counters (frames, samples, UW misses, CRC failures, packets,
+//!   nanoseconds per stage) accumulate in [`PipelineStats`].
+//!
+//! # Determinism
+//!
+//! Everything that consumes randomness — information bits and ADC noise —
+//! runs serially on one `StdRng` before the fan-out, in carrier order, and
+//! the switch ingests CRC-clean packets serially in carrier order after the
+//! join. The parallel section is pure per-lane arithmetic on disjoint
+//! state, so a frame's [`ChainReport`] is **bitwise identical** for any
+//! worker count, including the serial `workers == 1` path.
+
+use crate::chain::{CarrierOutcome, ChainConfig, ChainReport};
+use crate::switch::{BasebandPacket, PacketSwitch};
+use gsp_channel::awgn::AwgnChannel;
+use gsp_coding::{ConvCode, ConvEncoder, Crc, CrcKind, ViterbiDecoder};
+use gsp_dsp::channelizer::PolyphaseChannelizer;
+use gsp_dsp::nco::Nco;
+use gsp_dsp::resample::RationalResampler;
+use gsp_dsp::Cpx;
+use gsp_modem::framing::BurstFormat;
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Accumulated per-stage counters across every frame an engine has run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Frames processed.
+    pub frames: u64,
+    /// Composite (ADC-rate) samples processed.
+    pub composite_samples: u64,
+    /// Bursts whose unique word was not found.
+    pub uw_misses: u64,
+    /// Bursts that demodulated but failed the CRC after decoding.
+    pub crc_failures: u64,
+    /// Packets the switch accepted and forwarded.
+    pub packets_forwarded: u64,
+    /// Nanoseconds in burst synthesis + FDM composite + noise (Tx side).
+    pub tx_ns: u64,
+    /// Nanoseconds in the polyphase DEMUX.
+    pub demux_ns: u64,
+    /// Nanoseconds in burst demodulation, summed across lanes (CPU time,
+    /// not wall time, when workers > 1).
+    pub demod_ns: u64,
+    /// Nanoseconds in Viterbi decoding + CRC, summed across lanes.
+    pub decode_ns: u64,
+    /// Nanoseconds in switch ingress.
+    pub switch_ns: u64,
+}
+
+/// Derives the seed of frame `i` of a batched run from the run `seed`
+/// (SplitMix64-mixed so distinct `(seed, i)` pairs cannot collide).
+pub fn frame_seed(seed: u64, i: usize) -> u64 {
+    seed ^ rand::splitmix64_mix(0xF2A3_0000_0000_0000 ^ i as u64)
+}
+
+/// One carrier's long-lived processing state plus per-frame scratch.
+struct CarrierLane {
+    carrier: usize,
+    encoder: ConvEncoder,
+    resampler: RationalResampler,
+    carrier_step: f64,
+    demod: TdmaBurstDemodulator,
+    viterbi: ViterbiDecoder,
+    crc: Crc,
+    beams: usize,
+    /// Per-frame Tx scratch: this carrier's modulated burst.
+    wave: Vec<Cpx>,
+    /// Per-frame Tx scratch: the burst upsampled to composite rate.
+    upsampled: Vec<Cpx>,
+    /// Per-frame Tx ground truth: the information bits sent.
+    info: Vec<u8>,
+    /// Per-frame Rx output, filled inside the parallel section.
+    outcome: Option<CarrierOutcome>,
+    /// Per-frame Rx output: the CRC-clean packet, if any.
+    packet: Option<BasebandPacket>,
+    demod_ns: u64,
+    decode_ns: u64,
+}
+
+impl CarrierLane {
+    /// Tx half (serial): draw info bits, encode, modulate, upsample ×M and
+    /// mix onto the carrier centre, accumulating into `composite`.
+    fn transmit(
+        &mut self,
+        cfg: &ChainConfig,
+        modulator: &TdmaBurstModulator,
+        rng: &mut StdRng,
+        composite: &mut [Cpx],
+        guard: usize,
+    ) {
+        self.info.clear();
+        self.info
+            .extend((0..cfg.info_bits).map(|_| rng.gen_range(0..2u8)));
+        let protected = self.crc.attach(&self.info);
+        let coded = self.encoder.encode_block(&protected);
+        self.wave = modulator.modulate(&coded);
+
+        self.resampler.reset();
+        self.upsampled.clear();
+        for i in 0..self.wave.len() {
+            let s = self.wave[i];
+            self.resampler.push(s, &mut self.upsampled);
+        }
+        let mut nco = Nco::from_step(self.carrier_step);
+        for (i, s) in self.upsampled.iter().enumerate() {
+            if guard + i < composite.len() {
+                composite[guard + i] += nco.mix(*s);
+            }
+        }
+    }
+
+    /// Rx half (parallel-safe): demodulate, decode, CRC-check one channel's
+    /// samples. Touches only lane-local state.
+    fn receive(&mut self, samples: &[Cpx]) {
+        let k = self.carrier;
+        let bits = &self.info;
+        self.packet = None;
+
+        let t0 = Instant::now();
+        let result = self.demod.demodulate(samples);
+        self.demod_ns = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let outcome = match result {
+            Some(res) => {
+                let decoded = self.viterbi.decode_block(&res.llrs);
+                let crc_ok = self.crc.check(&decoded).is_some();
+                let recovered = &decoded[..decoded.len().saturating_sub(16)];
+                let bit_errors = recovered.iter().zip(bits).filter(|(a, b)| a != b).count()
+                    + bits.len().saturating_sub(recovered.len());
+                if crc_ok {
+                    self.packet = Some(BasebandPacket {
+                        source: k as u16,
+                        dest_beam: (k % self.beams) as u8,
+                        data: gsp_coding::bits::pack_bits(recovered),
+                    });
+                }
+                CarrierOutcome {
+                    carrier: k,
+                    detected: true,
+                    crc_ok,
+                    bit_errors,
+                    bits: bits.len(),
+                }
+            }
+            None => CarrierOutcome {
+                carrier: k,
+                detected: false,
+                crc_ok: false,
+                bit_errors: bits.len(),
+                bits: bits.len(),
+            },
+        };
+        self.decode_ns = t1.elapsed().as_nanos() as u64;
+        self.outcome = Some(outcome);
+    }
+}
+
+/// Reusable Fig. 2 payload pipeline with a scoped per-carrier worker pool.
+pub struct PipelineEngine {
+    cfg: ChainConfig,
+    workers: usize,
+    lanes: Vec<CarrierLane>,
+    modulator: TdmaBurstModulator,
+    /// Samples per modulated burst (fixed by the burst format).
+    burst_len: usize,
+    channelizer: PolyphaseChannelizer,
+    stats: PipelineStats,
+    /// Per-frame scratch: the FDM composite at ADC rate.
+    composite: Vec<Cpx>,
+    /// Per-frame scratch: one sample stream per channelizer output.
+    per_channel: Vec<Vec<Cpx>>,
+}
+
+impl PipelineEngine {
+    /// Engine with one worker per available CPU (at most one per carrier).
+    pub fn new(cfg: ChainConfig) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_workers(cfg, cores)
+    }
+
+    /// Engine with an explicit worker count (`1` = fully serial receive).
+    pub fn with_workers(cfg: ChainConfig, workers: usize) -> Self {
+        assert!(cfg.active_carriers <= cfg.channels);
+        assert!(workers >= 1);
+        let m = cfg.channels;
+        let code = ConvCode::umts_half();
+        let coded_bits = (cfg.info_bits + 16 + 8) * 2;
+        let fmt = BurstFormat::standard(24, 24, coded_bits / 2);
+        let tdma_cfg = TdmaConfig::new(fmt, cfg.timing);
+        let lanes = (0..cfg.active_carriers)
+            .map(|k| CarrierLane {
+                carrier: k,
+                encoder: ConvEncoder::new(code.clone()),
+                resampler: RationalResampler::new(1.0, m as f64),
+                carrier_step: std::f64::consts::TAU * k as f64 / m as f64,
+                demod: TdmaBurstDemodulator::new(tdma_cfg.clone()),
+                viterbi: ViterbiDecoder::new(code.clone()),
+                crc: Crc::new(CrcKind::Crc16),
+                beams: cfg.beams,
+                wave: Vec::new(),
+                upsampled: Vec::new(),
+                info: Vec::new(),
+                outcome: None,
+                packet: None,
+                demod_ns: 0,
+                decode_ns: 0,
+            })
+            .collect();
+        let modulator = TdmaBurstModulator::new(tdma_cfg);
+        let burst_len = modulator.modulate(&vec![0u8; coded_bits]).len();
+        PipelineEngine {
+            workers: workers.min(cfg.active_carriers.max(1)),
+            lanes,
+            modulator,
+            burst_len,
+            channelizer: PolyphaseChannelizer::new(m, 12),
+            stats: PipelineStats::default(),
+            composite: Vec::new(),
+            per_channel: (0..m).map(|_| Vec::new()).collect(),
+            cfg,
+        }
+    }
+
+    /// The engine's chain configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.cfg
+    }
+
+    /// Receive-side worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Accumulated per-stage counters since construction (or the last
+    /// [`PipelineEngine::reset_stats`]).
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Zeroes the accumulated counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PipelineStats::default();
+    }
+
+    /// Runs one MF-TDMA frame; equivalent to
+    /// [`crate::chain::run_mf_tdma_frame`] but reusing all per-carrier
+    /// state and fanning the receive half across the worker pool.
+    pub fn run_frame(&mut self, seed: u64) -> ChainReport {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = cfg.channels;
+        let guard = 64 * m;
+
+        // ---- Tx (serial): bits → CRC → conv → burst → FDM composite.
+        let t_tx = Instant::now();
+        let composite_len = self.burst_len * m + 2 * guard;
+        self.composite.clear();
+        self.composite.resize(composite_len, Cpx::ZERO);
+        let modulator = &self.modulator;
+        for lane in &mut self.lanes {
+            lane.transmit(cfg, modulator, &mut rng, &mut self.composite, guard);
+        }
+
+        // ---- ADC noise (serial, same RNG).
+        if let Some(db) = cfg.esn0_db {
+            // Per-carrier Es/N0 calibration: the channelizer passes an
+            // on-centre carrier with unit gain while keeping only the
+            // channel's share of the composite noise (measured noise
+            // bandwidth ≈ 1.1/m of the prototype), so composite noise is
+            // 1.1·m times the per-channel target.
+            let mut ch = AwgnChannel::from_esn0_db(db - 10.0 * (1.1 * m as f64).log10());
+            ch.apply(&mut self.composite, &mut rng);
+        }
+        self.stats.tx_ns += t_tx.elapsed().as_nanos() as u64;
+
+        // ---- DEMUX (serial): polyphase channelizer.
+        let t_demux = Instant::now();
+        self.channelizer.reset();
+        for buf in &mut self.per_channel {
+            buf.clear();
+            buf.reserve(composite_len / m);
+        }
+        let mut frame = vec![Cpx::ZERO; m];
+        for &s in &self.composite {
+            if self.channelizer.push(s, &mut frame) {
+                for (ch_buf, &v) in self.per_channel.iter_mut().zip(&frame) {
+                    ch_buf.push(v);
+                }
+            }
+        }
+        self.stats.demux_ns += t_demux.elapsed().as_nanos() as u64;
+
+        // ---- Per-carrier Rx: DEMOD → DECOD → CRC, fanned across workers.
+        // Lanes are handed out in contiguous chunks; each worker touches
+        // only its own lanes plus a shared read-only view of the channel
+        // streams, so results cannot depend on scheduling.
+        let per_channel = &self.per_channel;
+        if self.workers <= 1 || self.lanes.len() <= 1 {
+            for lane in &mut self.lanes {
+                lane.receive(&per_channel[lane.carrier]);
+            }
+        } else {
+            let chunk = self.lanes.len().div_ceil(self.workers);
+            std::thread::scope(|scope| {
+                for lanes in self.lanes.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for lane in lanes {
+                            lane.receive(&per_channel[lane.carrier]);
+                        }
+                    });
+                }
+            });
+        }
+
+        // ---- Switch ingress (serial, carrier order) + report assembly.
+        let t_switch = Instant::now();
+        let mut switch = PacketSwitch::new(cfg.beams, 1024);
+        let mut outcomes = Vec::with_capacity(self.lanes.len());
+        let mut info = Vec::with_capacity(self.lanes.len());
+        for lane in &mut self.lanes {
+            let outcome = lane.outcome.take().expect("lane ran");
+            if !outcome.detected {
+                self.stats.uw_misses += 1;
+            } else if !outcome.crc_ok {
+                self.stats.crc_failures += 1;
+            }
+            if let Some(pkt) = lane.packet.take() {
+                switch.ingress(pkt);
+            }
+            self.stats.demod_ns += lane.demod_ns;
+            self.stats.decode_ns += lane.decode_ns;
+            outcomes.push(outcome);
+            info.push(lane.info.clone());
+        }
+        self.stats.switch_ns += t_switch.elapsed().as_nanos() as u64;
+
+        let (forwarded, _, _) = switch.stats();
+        self.stats.frames += 1;
+        self.stats.composite_samples += composite_len as u64;
+        self.stats.packets_forwarded += forwarded;
+
+        ChainReport {
+            carriers: outcomes,
+            packets_forwarded: forwarded,
+            composite_samples: composite_len,
+            switch,
+            info_bits: info,
+        }
+    }
+
+    /// Runs `n_frames` frames, frame `i` seeded with
+    /// [`frame_seed`]`(seed, i)`, and returns the per-frame reports.
+    pub fn run_frames(&mut self, n_frames: usize, seed: u64) -> Vec<ChainReport> {
+        (0..n_frames)
+            .map(|i| self.run_frame(frame_seed(seed, i)))
+            .collect()
+    }
+}
+
+/// Batched convenience entry: runs `n_frames` frames of `cfg` on a fresh
+/// engine (auto worker count) and returns the reports with the engine's
+/// accumulated stage counters.
+pub fn run_frames(
+    cfg: &ChainConfig,
+    n_frames: usize,
+    seed: u64,
+) -> (Vec<ChainReport>, PipelineStats) {
+    let mut engine = PipelineEngine::new(cfg.clone());
+    let reports = engine.run_frames(n_frames, seed);
+    (reports, engine.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsp_modem::tdma::TimingRecoveryKind;
+
+    #[test]
+    fn engine_matches_itself_across_worker_counts() {
+        let cfg = ChainConfig {
+            esn0_db: Some(12.0),
+            ..ChainConfig::default()
+        };
+        let mut serial = PipelineEngine::with_workers(cfg.clone(), 1);
+        let mut parallel = PipelineEngine::with_workers(cfg, 6);
+        for seed in [0u64, 7, 41] {
+            let a = serial.run_frame(seed);
+            let b = parallel.run_frame(seed);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engine_state_reuse_does_not_leak_between_frames() {
+        // The same frame run twice by one engine (state reused) must match
+        // a fresh engine bit for bit.
+        let cfg = ChainConfig {
+            esn0_db: Some(10.0),
+            ..ChainConfig::default()
+        };
+        let mut engine = PipelineEngine::new(cfg.clone());
+        let _ = engine.run_frame(3); // dirty every lane
+        let again = engine.run_frame(5);
+        let fresh = PipelineEngine::new(cfg).run_frame(5);
+        assert_eq!(again, fresh);
+    }
+
+    #[test]
+    fn stats_count_frames_and_packets() {
+        let cfg = ChainConfig::default(); // noiseless: everything decodes
+        let mut engine = PipelineEngine::new(cfg);
+        let reports = engine.run_frames(3, 11);
+        let s = engine.stats();
+        assert_eq!(s.frames, 3);
+        assert_eq!(s.uw_misses, 0);
+        assert_eq!(s.crc_failures, 0);
+        assert_eq!(s.packets_forwarded, 18);
+        assert_eq!(
+            s.composite_samples,
+            reports
+                .iter()
+                .map(|r| r.composite_samples as u64)
+                .sum::<u64>()
+        );
+        assert!(s.demod_ns > 0 && s.decode_ns > 0);
+    }
+
+    #[test]
+    fn heavy_noise_shows_up_in_failure_counters() {
+        let cfg = ChainConfig {
+            esn0_db: Some(-2.0),
+            ..ChainConfig::default()
+        };
+        let mut engine = PipelineEngine::new(cfg);
+        engine.run_frames(2, 4);
+        let s = engine.stats();
+        assert!(
+            s.uw_misses + s.crc_failures > 0,
+            "noise this heavy should break bursts: {s:?}"
+        );
+        assert_eq!(
+            s.packets_forwarded + s.crc_failures + s.uw_misses,
+            s.frames * 6
+        );
+    }
+
+    #[test]
+    fn frame_seeds_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096 {
+            assert!(seen.insert(frame_seed(33, i)), "collision at frame {i}");
+        }
+    }
+
+    #[test]
+    fn gardner_personality_runs_through_the_engine() {
+        let cfg = ChainConfig {
+            timing: TimingRecoveryKind::Gardner,
+            esn0_db: Some(14.0),
+            ..ChainConfig::default()
+        };
+        let report = PipelineEngine::new(cfg).run_frame(9);
+        let clean = report.carriers.iter().filter(|c| c.crc_ok).count();
+        assert!(clean >= 5, "Gardner engine: {clean}/6 clean");
+    }
+}

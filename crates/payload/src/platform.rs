@@ -148,8 +148,14 @@ mod tests {
         p.uplink(Telecommand::StatusRequest { equipment: 1 });
         p.uplink(Telecommand::StatusRequest { equipment: 2 });
         assert_eq!(p.pending_commands(), 2);
-        assert_eq!(p.next_command(), Some(Telecommand::StatusRequest { equipment: 1 }));
-        assert_eq!(p.next_command(), Some(Telecommand::StatusRequest { equipment: 2 }));
+        assert_eq!(
+            p.next_command(),
+            Some(Telecommand::StatusRequest { equipment: 1 })
+        );
+        assert_eq!(
+            p.next_command(),
+            Some(Telecommand::StatusRequest { equipment: 2 })
+        );
         assert_eq!(p.next_command(), None);
     }
 
@@ -161,9 +167,7 @@ mod tests {
             running: true,
             design_id: Some(1),
         });
-        p.report(Telemetry::CommandFailed {
-            reason: "x".into(),
-        });
+        p.report(Telemetry::CommandFailed { reason: "x".into() });
         let tm = p.downlink();
         assert_eq!(tm.len(), 2);
         assert!(p.downlink().is_empty());

@@ -199,8 +199,7 @@ mod tests {
         assert_eq!(plan.granted(30), 40);
         assert_eq!(plan.granted(20), 8);
         assert_eq!(plan.granted(10), 0);
-        let denied: std::collections::HashMap<u16, usize> =
-            plan.denied.iter().copied().collect();
+        let denied: std::collections::HashMap<u16, usize> = plan.denied.iter().copied().collect();
         assert_eq!(denied[&20], 32);
         assert_eq!(denied[&10], 40);
     }

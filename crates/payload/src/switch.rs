@@ -19,7 +19,7 @@ pub struct BasebandPacket {
 }
 
 /// Output-queued packet switch with per-beam queues and drop accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PacketSwitch {
     queues: Vec<VecDeque<BasebandPacket>>,
     queue_limit: usize,

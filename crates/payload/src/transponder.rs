@@ -3,7 +3,8 @@
 //! terminals. This is §2.1's payoff made executable: each hop is decoded
 //! independently, so uplink noise does not accumulate onto the downlink.
 
-use crate::chain::{run_mf_tdma_frame, ChainConfig, ChainReport};
+use crate::chain::{ChainConfig, ChainReport};
+use crate::pipeline::{PipelineEngine, PipelineStats};
 use crate::txchain::{DownlinkConfig, DownlinkPacket, GroundReceiver, TxChain};
 use gsp_channel::awgn::AwgnChannel;
 use gsp_coding::bits::pack_bits;
@@ -11,8 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Transponder scenario configuration.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TransponderConfig {
     /// Uplink chain parameters.
     pub uplink: ChainConfig,
@@ -21,7 +21,6 @@ pub struct TransponderConfig {
     /// Downlink Es/N0 at the ground terminal, dB; `None` = noiseless.
     pub downlink_esn0_db: Option<f64>,
 }
-
 
 /// Scenario outcome.
 #[derive(Clone, Debug)]
@@ -36,57 +35,87 @@ pub struct TransponderReport {
     pub end_to_end_exact: usize,
 }
 
-/// Runs one frame through the whole regenerative transponder.
-pub fn run_transponder(cfg: &TransponderConfig, seed: u64) -> TransponderReport {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_177E);
-    let uplink = run_mf_tdma_frame(&cfg.uplink, seed);
+/// The transponder as a persistent simulator: the uplink half runs on a
+/// [`PipelineEngine`] (long-lived per-carrier chains, parallel demod fan-
+/// out) and the downlink half on per-beam Tx chains plus a ground
+/// receiver, all reused from frame to frame.
+pub struct TransponderSim {
+    cfg: TransponderConfig,
+    engine: PipelineEngine,
+}
 
-    let mut switch = uplink.switch.clone();
-    let mut tx = TxChain::new(cfg.downlink.clone());
-    let mut rx = GroundReceiver::new(cfg.downlink.clone());
-    let mut delivered = Vec::new();
-    for beam in 0..switch.beams() {
-        for mut wave in tx.drain_beam(&mut switch, beam, 64) {
-            // Normalise the TWTA output back to the matched-filter
-            // calibration before the calibrated-noise channel.
-            let p: f64 = wave.iter().map(|s| s.norm_sqr()).sum::<f64>() / wave.len() as f64;
-            if p > 0.0 {
-                let g = (0.25 / p).sqrt();
-                for s in wave.iter_mut() {
-                    *s = s.scale(g);
+impl TransponderSim {
+    /// Builds the simulator (uplink engine with auto worker count).
+    pub fn new(cfg: TransponderConfig) -> Self {
+        let engine = PipelineEngine::new(cfg.uplink.clone());
+        TransponderSim { cfg, engine }
+    }
+
+    /// Uplink engine stage counters accumulated so far.
+    pub fn uplink_stats(&self) -> PipelineStats {
+        self.engine.stats()
+    }
+
+    /// Runs one frame through the whole regenerative transponder.
+    pub fn run_frame(&mut self, seed: u64) -> TransponderReport {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD0_177E);
+        let uplink = self.engine.run_frame(seed);
+
+        let mut switch = uplink.switch.clone();
+        let mut tx = TxChain::new(cfg.downlink.clone());
+        let mut rx = GroundReceiver::new(cfg.downlink.clone());
+        let mut delivered = Vec::new();
+        for beam in 0..switch.beams() {
+            for mut wave in tx.drain_beam(&mut switch, beam, 64) {
+                // Normalise the TWTA output back to the matched-filter
+                // calibration before the calibrated-noise channel.
+                let p: f64 = wave.iter().map(|s| s.norm_sqr()).sum::<f64>() / wave.len() as f64;
+                if p > 0.0 {
+                    let g = (0.25 / p).sqrt();
+                    for s in wave.iter_mut() {
+                        *s = s.scale(g);
+                    }
+                }
+                if let Some(db) = cfg.downlink_esn0_db {
+                    let mut ch = AwgnChannel::from_esn0_db(db - 6.0);
+                    ch.apply(&mut wave, &mut rng);
+                }
+                if let Some(pkt) = rx.receive(&wave) {
+                    delivered.push(pkt);
                 }
             }
-            if let Some(db) = cfg.downlink_esn0_db {
-                let mut ch = AwgnChannel::from_esn0_db(db - 6.0);
-                ch.apply(&mut wave, &mut rng);
-            }
-            if let Some(pkt) = rx.receive(&wave) {
-                delivered.push(pkt);
-            }
+        }
+
+        // Bit-exact end-to-end verification against the uplink ground truth.
+        let end_to_end_exact = delivered
+            .iter()
+            .filter(|p| {
+                uplink
+                    .info_bits
+                    .get(p.source as usize)
+                    .map(|bits| {
+                        let want = pack_bits(bits);
+                        p.data[..want.len().min(p.data.len())]
+                            == want[..want.len().min(p.data.len())]
+                    })
+                    .unwrap_or(false)
+            })
+            .count();
+
+        TransponderReport {
+            uplink,
+            delivered,
+            downlink_crc_failures: rx.crc_failures(),
+            end_to_end_exact,
         }
     }
+}
 
-    // Bit-exact end-to-end verification against the uplink ground truth.
-    let end_to_end_exact = delivered
-        .iter()
-        .filter(|p| {
-            uplink
-                .info_bits
-                .get(p.source as usize)
-                .map(|bits| {
-                    let want = pack_bits(bits);
-                    p.data[..want.len().min(p.data.len())] == want[..want.len().min(p.data.len())]
-                })
-                .unwrap_or(false)
-        })
-        .count();
-
-    TransponderReport {
-        uplink,
-        delivered,
-        downlink_crc_failures: rx.crc_failures(),
-        end_to_end_exact,
-    }
+/// Runs one frame through the whole regenerative transponder (convenience
+/// wrapper building a one-shot [`TransponderSim`]).
+pub fn run_transponder(cfg: &TransponderConfig, seed: u64) -> TransponderReport {
+    TransponderSim::new(cfg.clone()).run_frame(seed)
 }
 
 #[cfg(test)]
@@ -123,6 +152,28 @@ mod tests {
             "delivered {} exact of {forwarded} forwarded",
             rep.end_to_end_exact
         );
+    }
+
+    #[test]
+    fn persistent_sim_matches_one_shot_runs() {
+        // Reusing the uplink engine across frames must not change any
+        // outcome relative to a fresh transponder per frame.
+        let cfg = TransponderConfig {
+            uplink: ChainConfig {
+                esn0_db: Some(12.0),
+                ..ChainConfig::default()
+            },
+            downlink_esn0_db: Some(10.0),
+            ..TransponderConfig::default()
+        };
+        let mut sim = TransponderSim::new(cfg.clone());
+        for seed in [4u64, 5, 6] {
+            let persistent = sim.run_frame(seed);
+            let one_shot = run_transponder(&cfg, seed);
+            assert_eq!(persistent.uplink, one_shot.uplink, "seed {seed}");
+            assert_eq!(persistent.end_to_end_exact, one_shot.end_to_end_exact);
+        }
+        assert_eq!(sim.uplink_stats().frames, 3);
     }
 
     #[test]

@@ -112,7 +112,9 @@ impl TxChain {
     ) -> Vec<Vec<Cpx>> {
         let mut out = Vec::new();
         while out.len() < max {
-            let Some(pkt) = switch.egress(beam) else { break };
+            let Some(pkt) = switch.egress(beam) else {
+                break;
+            };
             out.push(self.transmit_packet(&pkt));
         }
         out
@@ -233,8 +235,7 @@ mod tests {
             let mut wave = tx.transmit_packet(&pkt);
             // Normalise the TWTA's small-signal gain before adding
             // calibrated noise.
-            let p: f64 =
-                wave.iter().map(|s| s.norm_sqr()).sum::<f64>() / wave.len() as f64;
+            let p: f64 = wave.iter().map(|s| s.norm_sqr()).sum::<f64>() / wave.len() as f64;
             let target = 0.25; // matched-filter calibration for sps=4
             let g = (target / p).sqrt();
             for s in wave.iter_mut() {

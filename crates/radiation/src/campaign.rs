@@ -7,9 +7,9 @@
 //! the fraction of time at least one *essential* configuration bit is
 //! corrupted — plus upset counters.
 //!
-//! Trials are independent, so the campaign fans out over a `crossbeam`
-//! scope with one deterministic RNG per worker (guides: data-parallel map,
-//! no shared mutable state).
+//! Trials are independent, so the campaign fans out over a scoped
+//! `std::thread` worker pool with one deterministic RNG per trial
+//! (guides: data-parallel map, no shared mutable state).
 
 use crate::environment::{PoissonArrivals, RadiationEnvironment};
 use gsp_fpga::device::FpgaDevice;
@@ -154,7 +154,10 @@ fn run_trial(cfg: &CampaignConfig, fabric: &FpgaFabric, rng: &mut StdRng) -> Cam
     }
 }
 
-/// Runs the campaign, fanning trials out across `crossbeam` workers.
+/// Runs the campaign, fanning trials out across scoped `std::thread`
+/// workers. Each trial derives its own SplitMix64-mixed seed from
+/// `(cfg.seed, trial index)`, so results are independent of the worker
+/// count (and never collide the way plain `seed ^ i*CONST` can).
 pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -165,18 +168,16 @@ pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
     let fabric = FpgaFabric::new(cfg.device.clone());
 
     let mut partials: Vec<CampaignResult> = Vec::with_capacity(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let fabric = &fabric;
             let cfg = &cfg;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = CampaignResult::default();
-                let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
                 let mut t = w;
                 while t < cfg.trials {
+                    let mut rng = StdRng::seed_from_u64(rand::splitmix64_mix(cfg.seed ^ t as u64));
                     let r = run_trial(cfg, fabric, &mut rng);
                     local.merge(&r);
                     t += workers;
@@ -187,8 +188,7 @@ pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
         for h in handles {
             partials.push(h.join().expect("campaign worker panicked"));
         }
-    })
-    .expect("campaign scope");
+    });
 
     let mut total = CampaignResult::default();
     for p in &partials {

@@ -54,7 +54,10 @@ impl Mh1rtDevice {
     /// Renders the device as Table 1 rows: (characteristic, value).
     pub fn table1_rows(&self) -> Vec<(String, String)> {
         vec![
-            ("Number of gates".into(), format!("{:.1} million", self.gates as f64 / 1e6)),
+            (
+                "Number of gates".into(),
+                format!("{:.1} million", self.gates as f64 / 1e6),
+            ),
             (
                 "Voltage".into(),
                 format!("{} to {}V", self.voltage_min, self.voltage_max),

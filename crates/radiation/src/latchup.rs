@@ -75,8 +75,8 @@ pub fn simulate_mission<R: Rng>(
     rng: &mut R,
 ) -> LatchupOutcome {
     let window_s = mission_days * 86_400.0;
-    let arrivals = PoissonArrivals::new(model.rate_per_second(env))
-        .arrivals_in_window(window_s, rng);
+    let arrivals =
+        PoissonArrivals::new(model.rate_per_second(env)).arrivals_in_window(window_s, rng);
     let mut out = LatchupOutcome {
         survived_s: window_s,
         ..LatchupOutcome::default()
@@ -156,13 +156,8 @@ mod tests {
         let mut events = 0u64;
         let trials = 200;
         for _ in 0..trials {
-            events += simulate_mission(
-                &model,
-                &RadiationEnvironment::geo_quiet(),
-                100.0,
-                &mut rng,
-            )
-            .events;
+            events += simulate_mission(&model, &RadiationEnvironment::geo_quiet(), 100.0, &mut rng)
+                .events;
         }
         let mean = events as f64 / trials as f64;
         assert!((mean - 10.0).abs() < 1.0, "mean events {mean}");

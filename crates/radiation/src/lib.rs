@@ -14,7 +14,7 @@
 //! * [`latchup`] — §4.2's "other effects": single-event latch-up with
 //!   power-cycle recovery, and burnout (permanent loss);
 //! * [`campaign`] — Monte-Carlo SEU campaigns over a simulated FPGA with a
-//!   chosen mitigation policy, parallelised with `crossbeam` worker scopes
+//!   chosen mitigation policy, parallelised with scoped `std::thread` workers
 //!   (one RNG per worker, seeds split deterministically).
 
 #![warn(missing_docs)]

@@ -52,7 +52,11 @@ fn main() {
     let report = obpc.reconfigure(3, "tdma.bit", None).expect("service runs");
     println!("\nreconfiguration of equipment 3 (DEMOD):");
     for step in &report.steps {
-        println!("  {:<38} {:>9.3} ms", step.label, step.duration_ns as f64 / 1e6);
+        println!(
+            "  {:<38} {:>9.3} ms",
+            step.label,
+            step.duration_ns as f64 / 1e6
+        );
     }
     println!(
         "  -> success = {}, service interruption = {:.2} ms",

@@ -65,5 +65,7 @@ fn main() {
             acc.status()
         );
     }
-    println!("\npaper: scrubbing 'is the most interesting solution for satellite applications' (§4.3)");
+    println!(
+        "\npaper: scrubbing 'is the most interesting solution for satellite applications' (§4.3)"
+    );
 }

@@ -14,7 +14,10 @@ use gsp_payload::obpc::FaultInjection;
 fn show(label: &str, cfg: &WaveformSwitchConfig, seed: u64) {
     let out = waveform_switch(cfg, seed);
     println!("-- {label} --");
-    println!("  CDMA before the change : clean = {}", out.cdma_verified.clean());
+    println!(
+        "  CDMA before the change : clean = {}",
+        out.cdma_verified.clean()
+    );
     println!("  bitstream upload       : {:.2} s", out.upload_s);
     println!("  command + telemetry    : {:.2} s", out.command_rtt_s);
     println!("  on-board steps:");

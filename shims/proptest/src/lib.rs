@@ -1,0 +1,343 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a dependency-light equivalent: seeded random case
+//! generation over [`Strategy`] values, the [`proptest!`] macro, and the
+//! `prop_assert*` family.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - no shrinking — a failing case panics with the case index so the run
+//!   is reproducible (generation is deterministic per test name);
+//! - no persisted failure regressions.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SampleUniform, SeedableRng, StandardSample};
+
+/// Runner configuration (`ProptestConfig` shape).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG: the test name fixes the stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A value generator (`proptest::strategy::Strategy` shape, minus
+/// shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a default "any value" strategy (`Arbitrary` shape).
+pub trait Arbitrary: Sized {
+    /// Full-range strategy for the type.
+    fn arbitrary() -> AnyStrategy<Self>;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: StandardSample> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: StandardSample> Arbitrary for T {
+    fn arbitrary() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Full-range strategy for `T` (`proptest::prelude::any` shape).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    T::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection` shape).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(*self.start()..*self.end() + 1)
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Strategy always yielding a clone of one value (`Just` shape).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// RangeInclusive works as an element strategy too (e.g. `0u8..=7`).
+impl<T: SampleUniform + InclusiveSample> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, self)
+    }
+}
+
+// `start..` samples uniformly from `[start, T::MAX]`.
+impl<T: InclusiveSample> Strategy for std::ops::RangeFrom<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, &(self.start..=T::max_value()))
+    }
+}
+
+/// Inclusive-range sampling for integer types.
+pub trait InclusiveSample: Sized + Copy {
+    /// The largest value of the type.
+    fn max_value() -> Self;
+    /// Uniform sample from `[start, end]`.
+    fn sample_inclusive(rng: &mut TestRng, r: &RangeInclusive<Self>) -> Self;
+}
+
+macro_rules! impl_inclusive_sample {
+    ($($t:ty),*) => {$(
+        impl InclusiveSample for $t {
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+            fn sample_inclusive(rng: &mut TestRng, r: &RangeInclusive<Self>) -> Self {
+                if *r.end() == <$t>::MAX {
+                    if *r.start() == 0 {
+                        return rng.gen::<$t>();
+                    }
+                    let span = <$t>::MAX - *r.start() + 1;
+                    return *r.start() + rng.gen::<$t>() % span;
+                }
+                rng.gen_range(*r.start()..*r.end() + 1)
+            }
+        }
+    )*};
+}
+
+impl_inclusive_sample!(u8, u16, u32, u64, usize);
+
+pub mod prelude {
+    //! One-stop import (`proptest::prelude` shape).
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property; panics with case context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Property-test block (`proptest!` shape): each `fn name(pat in strategy,
+/// ...)` becomes a `#[test]` running `cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $p = $crate::Strategy::generate(&$s, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let s = collection::vec(any::<u8>(), 3..10);
+        let mut r1 = crate::rng_for("x");
+        let mut r2 = crate::rng_for("x");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..9, f in -2.0f64..2.0, n in 1usize..5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in collection::vec((0u8..2, 0usize..4).prop_map(|(b, i)| (b, i)), 2..6),
+            w in collection::vec(any::<u8>(), 4..=4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 4);
+            for (b, i) in v {
+                prop_assert!(b < 2 && i < 4);
+            }
+        }
+    }
+}

@@ -20,8 +20,12 @@ fn burst(bits: &[u8]) -> Vec<Cpx> {
 fn dbfn_separates_two_cochannel_users() {
     let mut rng = StdRng::seed_from_u64(42);
     let fmt = BurstFormat::standard(24, 24, 100);
-    let bits_a: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
-    let bits_b: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits_a: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
+    let bits_b: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let wave_a = burst(&bits_a);
     let wave_b = burst(&bits_b);
     let len = wave_a.len().max(wave_b.len());
@@ -54,22 +58,25 @@ fn without_beamforming_the_users_collide() {
     // cannot cleanly decode either user.
     let mut rng = StdRng::seed_from_u64(43);
     let fmt = BurstFormat::standard(24, 24, 100);
-    let bits_a: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
-    let bits_b: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits_a: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
+    let bits_b: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let wave_a = burst(&bits_a);
     let wave_b = burst(&bits_b);
-    let collided: Vec<Cpx> = wave_a
-        .iter()
-        .zip(&wave_b)
-        .map(|(a, b)| *a + *b)
-        .collect();
+    let collided: Vec<Cpx> = wave_a.iter().zip(&wave_b).map(|(a, b)| *a + *b).collect();
     let cfg = TdmaConfig::new(fmt, TimingRecoveryKind::OerderMeyr);
     let mut demod = TdmaBurstDemodulator::new(cfg);
     let clean = match demod.demodulate(&collided) {
         Some(res) => res.bits == bits_a || res.bits == bits_b,
         None => false,
     };
-    assert!(!clean, "equal-power co-channel users must not decode cleanly without the DBFN");
+    assert!(
+        !clean,
+        "equal-power co-channel users must not decode cleanly without the DBFN"
+    );
 }
 
 #[test]
@@ -78,7 +85,9 @@ fn repointing_the_beam_is_a_weight_reload() {
     // new weights (no bitstream change) re-points the beam.
     let mut rng = StdRng::seed_from_u64(44);
     let fmt = BurstFormat::standard(24, 24, 100);
-    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let wave = burst(&bits);
     let array = UniformLinearArray::half_wavelength(8);
     let snaps = plane_wave_snapshots(&array, &[(45.0, wave.clone())], wave.len());
@@ -94,8 +103,7 @@ fn repointing_the_beam_is_a_weight_reload() {
         beams[0].iter().map(|s| s.norm_sqr()).sum::<f64>() / beams[0].len() as f64;
 
     repointed.process(&snaps, &mut beams);
-    let new_gain: f64 =
-        beams[0].iter().map(|s| s.norm_sqr()).sum::<f64>() / beams[0].len() as f64;
+    let new_gain: f64 = beams[0].iter().map(|s| s.norm_sqr()).sum::<f64>() / beams[0].len() as f64;
     assert!(
         new_gain > 10.0 * stale_gain,
         "re-pointing must recover the user: {stale_gain} -> {new_gain}"

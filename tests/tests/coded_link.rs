@@ -108,7 +108,9 @@ fn soft_llrs_from_demod_are_usable_directly() {
     let cfg = TdmaConfig::new(fmt.clone(), TimingRecoveryKind::OerderMeyr);
     let modulator = TdmaBurstModulator::new(cfg.clone());
     let mut demod = TdmaBurstDemodulator::new(cfg);
-    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let mut wave = modulator.modulate(&bits);
     let mut ch = AwgnChannel::from_esn0_db(10.0);
     ch.apply(&mut wave, &mut rng);

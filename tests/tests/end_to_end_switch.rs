@@ -128,7 +128,11 @@ fn repeated_switches_are_stable() {
         .store("tdma.bit", tdma.bitstream_for(&device).serialise().to_vec())
         .unwrap();
     for cycle in 0..10 {
-        let name = if cycle % 2 == 0 { "cdma.bit" } else { "tdma.bit" };
+        let name = if cycle % 2 == 0 {
+            "cdma.bit"
+        } else {
+            "tdma.bit"
+        };
         let rep = obpc.reconfigure(3, name, None).expect("service");
         assert!(rep.success, "cycle {cycle}");
         assert!(rep.interruption_ns < 50_000_000, "cycle {cycle}");

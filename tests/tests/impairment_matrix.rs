@@ -23,15 +23,15 @@ fn run(imp: &Impairments, seed: u64) -> (usize, usize, bool) {
     let cfg = TdmaConfig::new(fmt.clone(), TimingRecoveryKind::OerderMeyr);
     let modulator = TdmaBurstModulator::new(cfg.clone());
     let mut demod = TdmaBurstDemodulator::new(cfg);
-    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let mut wave = modulator.modulate(&bits);
 
     PhaseOffset::new(imp.phase).apply(&mut wave);
     if imp.cfo_rad_per_symbol != 0.0 {
-        let mut cfo = FrequencyOffset::new(
-            imp.cfo_rad_per_symbol / std::f64::consts::TAU / 4.0,
-            1.0,
-        );
+        let mut cfo =
+            FrequencyOffset::new(imp.cfo_rad_per_symbol / std::f64::consts::TAU / 4.0, 1.0);
         cfo.apply(&mut wave);
     }
     let mut stage = Vec::new();
@@ -110,10 +110,46 @@ fn stacked_impairments_with_noise_stay_near_the_awgn_floor() {
 #[test]
 fn individual_impairments_never_break_the_clean_link() {
     let cases = [
-        ("phase", Impairments { phase: 3.0, timing_mu: 0.0, drift_ppm: 0.0, cfo_rad_per_symbol: 0.0, esn0_db: None }),
-        ("timing", Impairments { phase: 0.0, timing_mu: 0.9, drift_ppm: 0.0, cfo_rad_per_symbol: 0.0, esn0_db: None }),
-        ("drift", Impairments { phase: 0.0, timing_mu: 0.0, drift_ppm: 300.0, cfo_rad_per_symbol: 0.0, esn0_db: None }),
-        ("cfo", Impairments { phase: 0.0, timing_mu: 0.0, drift_ppm: 0.0, cfo_rad_per_symbol: 4e-3, esn0_db: None }),
+        (
+            "phase",
+            Impairments {
+                phase: 3.0,
+                timing_mu: 0.0,
+                drift_ppm: 0.0,
+                cfo_rad_per_symbol: 0.0,
+                esn0_db: None,
+            },
+        ),
+        (
+            "timing",
+            Impairments {
+                phase: 0.0,
+                timing_mu: 0.9,
+                drift_ppm: 0.0,
+                cfo_rad_per_symbol: 0.0,
+                esn0_db: None,
+            },
+        ),
+        (
+            "drift",
+            Impairments {
+                phase: 0.0,
+                timing_mu: 0.0,
+                drift_ppm: 300.0,
+                cfo_rad_per_symbol: 0.0,
+                esn0_db: None,
+            },
+        ),
+        (
+            "cfo",
+            Impairments {
+                phase: 0.0,
+                timing_mu: 0.0,
+                drift_ppm: 0.0,
+                cfo_rad_per_symbol: 4e-3,
+                esn0_db: None,
+            },
+        ),
     ];
     for (label, imp) in &cases {
         let (errs, _, detected) = run(imp, 11);

@@ -1,0 +1,134 @@
+//! Integration: the payload `PipelineEngine` — serial-vs-parallel bitwise
+//! equivalence across configurations, and throughput scaling of the
+//! per-carrier receive fan-out where the hardware can show it.
+
+use gsp_modem::tdma::TimingRecoveryKind;
+use gsp_payload::chain::{run_mf_tdma_frame, ChainConfig};
+use gsp_payload::pipeline::{run_frames, PipelineEngine};
+use std::time::Instant;
+
+fn configs() -> Vec<ChainConfig> {
+    vec![
+        ChainConfig::default(),
+        ChainConfig {
+            esn0_db: Some(14.0),
+            ..ChainConfig::default()
+        },
+        ChainConfig {
+            esn0_db: Some(6.0),
+            ..ChainConfig::default()
+        },
+        ChainConfig {
+            active_carriers: 3,
+            esn0_db: Some(10.0),
+            ..ChainConfig::default()
+        },
+        ChainConfig {
+            timing: TimingRecoveryKind::Gardner,
+            esn0_db: Some(14.0),
+            ..ChainConfig::default()
+        },
+    ]
+}
+
+#[test]
+fn parallel_engine_is_bitwise_identical_to_serial() {
+    // The acceptance bar: for the same (cfg, seed), an engine with as many
+    // workers as carriers (≥ cores) must produce a ChainReport identical —
+    // outcomes, switch queues, packet bytes, ground-truth bits — to the
+    // fully serial path.
+    for cfg in configs() {
+        let mut serial = PipelineEngine::with_workers(cfg.clone(), 1);
+        let mut parallel = PipelineEngine::with_workers(cfg.clone(), cfg.active_carriers);
+        for seed in [1u64, 17, 400] {
+            let a = serial.run_frame(seed);
+            let b = parallel.run_frame(seed);
+            assert_eq!(a, b, "cfg {cfg:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn engine_reproduces_the_one_shot_chain() {
+    // run_mf_tdma_frame is now a thin wrapper; a long-lived engine that
+    // has already processed other frames must still agree with it exactly.
+    let cfg = ChainConfig {
+        esn0_db: Some(12.0),
+        ..ChainConfig::default()
+    };
+    let mut engine = PipelineEngine::new(cfg.clone());
+    engine.run_frames(3, 99); // dirty all per-carrier state
+    for seed in [2u64, 23] {
+        assert_eq!(engine.run_frame(seed), run_mf_tdma_frame(&cfg, seed));
+    }
+}
+
+#[test]
+fn batched_run_frames_reports_consistent_counters() {
+    let cfg = ChainConfig {
+        esn0_db: Some(14.0),
+        ..ChainConfig::default()
+    };
+    let n = 5;
+    let (reports, stats) = run_frames(&cfg, n, 7);
+    assert_eq!(reports.len(), n);
+    assert_eq!(stats.frames, n as u64);
+    let forwarded: u64 = reports.iter().map(|r| r.packets_forwarded).sum();
+    assert_eq!(stats.packets_forwarded, forwarded);
+    // Every burst is accounted for exactly once.
+    assert_eq!(
+        stats.packets_forwarded + stats.crc_failures + stats.uw_misses,
+        (n * cfg.active_carriers) as u64
+    );
+    // Stage timers actually ran.
+    assert!(stats.tx_ns > 0 && stats.demux_ns > 0 && stats.demod_ns > 0);
+}
+
+#[test]
+fn parallel_fanout_speeds_up_multiframe_batches() {
+    // Wall-clock comparison of the same batch, serial vs fan-out. Timing
+    // asserts only make sense where the parallelism exists: on a box with
+    // ≥ 4 cores the per-carrier receive fan-out must deliver a clear
+    // speedup (the ISSUE bar is 2× on 4 cores; 1.5× here leaves margin
+    // for CI noise). On fewer cores only the no-pathological-slowdown
+    // bound is checked, since threads cannot beat serial on one core.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cfg = ChainConfig {
+        esn0_db: Some(14.0),
+        ..ChainConfig::default()
+    };
+    let frames = 6;
+    let mut serial = PipelineEngine::with_workers(cfg.clone(), 1);
+    let mut parallel = PipelineEngine::with_workers(cfg.clone(), cores);
+    // Warm-up: fault in code paths and allocations on both engines.
+    serial.run_frame(0);
+    parallel.run_frame(0);
+
+    let t0 = Instant::now();
+    let a = serial.run_frames(frames, 5);
+    let serial_t = t0.elapsed();
+    let t1 = Instant::now();
+    let b = parallel.run_frames(frames, 5);
+    let parallel_t = t1.elapsed();
+    assert_eq!(a, b, "speed must not change results");
+
+    let speedup = serial_t.as_secs_f64() / parallel_t.as_secs_f64().max(1e-9);
+    eprintln!(
+        "pipeline fan-out: {cores} cores, serial {serial_t:?}, \
+         parallel {parallel_t:?}, speedup {speedup:.2}x"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.5,
+            "{frames}-frame batch on {cores} cores only {speedup:.2}x over serial"
+        );
+    } else {
+        // Single/dual core: the scoped-thread overhead must stay small.
+        assert!(
+            speedup >= 0.5,
+            "fan-out pathologically slow on {cores} cores: {speedup:.2}x"
+        );
+    }
+}

@@ -60,10 +60,13 @@ fn scrubbing_keeps_pace_with_poisson_arrivals() {
     let golden = obpc.active_bitstream(3).unwrap().clone();
     let fab = obpc.equipments[3].fpga.as_mut().unwrap();
     let mut rng = StdRng::seed_from_u64(6);
-    let rate = RadiationEnvironment::solar_flare()
-        .seu_rate_per_second(1e-7, fab.device().config_bits());
+    let rate =
+        RadiationEnvironment::solar_flare().seu_rate_per_second(1e-7, fab.device().config_bits());
     let arrivals = PoissonArrivals::new(rate).arrivals_in_window(30.0 * 86_400.0, &mut rng);
-    assert!(arrivals.len() > 10, "flare month should produce many upsets");
+    assert!(
+        arrivals.len() > 10,
+        "flare month should produce many upsets"
+    );
 
     let mut scrubber = Scrubber::new(3_600);
     for (i, _t) in arrivals.iter().enumerate() {

@@ -14,7 +14,9 @@ fn burst_through_twta(backoff_db: f64, seed: u64) -> (f64, bool) {
     let cfg = TdmaConfig::new(fmt.clone(), TimingRecoveryKind::OerderMeyr);
     let modulator = TdmaBurstModulator::new(cfg.clone());
     let mut demod = TdmaBurstDemodulator::new(cfg.clone());
-    let bits: Vec<u8> = (0..fmt.payload_bits()).map(|_| rng.gen_range(0..2u8)).collect();
+    let bits: Vec<u8> = (0..fmt.payload_bits())
+        .map(|_| rng.gen_range(0..2u8))
+        .collect();
     let mut wave = modulator.modulate(&bits);
 
     // Drive the amplifier, then renormalise mean power so the demodulator
