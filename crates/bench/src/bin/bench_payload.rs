@@ -1,0 +1,60 @@
+//! Telemetry-driven payload benchmark: runs the Fig. 2 pipeline engine
+//! for a number of frames with the metrics registry enabled, prints the
+//! housekeeping table, and writes the snapshot as `BENCH_payload.json`
+//! (the perf-trajectory artefact — per-stage p50/p95/p99 latencies plus
+//! the UW-miss/CRC-failure/switch-drop counters).
+//!
+//! Usage: `bench_payload [--frames N] [--workers N] [--esn0 DB] [--out PATH]`
+//! (defaults: 32 frames, auto workers, 12 dB, `BENCH_payload.json`).
+//! Seed comes from `GSP_SEED` like the experiment binaries.
+
+use gsp_payload::chain::ChainConfig;
+use gsp_payload::pipeline::PipelineEngine;
+use gsp_telemetry::Registry;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let frames: usize = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let esn0: f64 = arg_value("--esn0")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12.0);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_payload.json".to_string());
+    let seed = gsp_bench::seed_from_env();
+
+    let cfg = ChainConfig {
+        esn0_db: Some(esn0),
+        ..ChainConfig::default()
+    };
+    let mut engine = match arg_value("--workers").and_then(|v| v.parse().ok()) {
+        Some(w) => PipelineEngine::with_workers(cfg, w),
+        None => PipelineEngine::new(cfg),
+    };
+    let registry = Registry::new();
+    engine.set_telemetry(&registry);
+
+    let reports = engine.run_frames(frames, seed);
+    let clean = reports.iter().filter(|r| r.all_clean()).count();
+
+    let snapshot = registry.snapshot();
+    println!(
+        "payload bench: {frames} frames @ {esn0} dB, {} workers, seed {seed}",
+        engine.workers()
+    );
+    println!("{clean}/{frames} frames fully clean\n");
+    print!("{}", snapshot.to_table());
+
+    let json = snapshot.to_json();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

@@ -28,7 +28,7 @@
 //! derived pattern; encoder and decoder share it, so link performance is
 //! statistically identical to the standard interleaver family.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bits;
 pub mod conv;

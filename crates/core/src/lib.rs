@@ -15,6 +15,9 @@
 //! * [`ops`] — the operations link: telecommands and telemetry carried
 //!   over the real N1 stack (controlled-mode frames on a dedicated
 //!   virtual channel) between NCC and on-board processor controller;
+//! * [`housekeeping`] — the observability plane on the TM channel:
+//!   metrics snapshots encoded as CRC-protected housekeeping frames that
+//!   the [`ncc`] decodes whole-or-not-at-all;
 //! * [`scenario`] — end-to-end stories: the CDMA→TDMA waveform change
 //!   while the payload flies, the decoder upgrade, the SEU-scrub routine;
 //! * [`exp`] — one driver per paper table/figure/claim (E1…E11, F2);
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod housekeeping;
 pub mod ncc;
 pub mod ops;
 pub mod scenario;

@@ -3,11 +3,14 @@
 //! operator they offer is not required since the satellite operator is
 //! equally in charge of the reconfiguration", §3.3).
 
+use crate::housekeeping;
 use crate::waveform::{DecoderPersonality, ModemWaveform};
 use gsp_fpga::bitstream::Bitstream;
 use gsp_fpga::device::FpgaDevice;
 use gsp_netproto::link::LinkConfig;
 use gsp_netproto::scenarios::{simulate_transfer, TransferProtocol, TransferStats};
+use gsp_payload::platform::Telemetry;
+use gsp_telemetry::Snapshot;
 use std::collections::HashMap;
 
 /// The NCC's design catalogue and link bookkeeping.
@@ -19,6 +22,10 @@ pub struct Ncc {
     pub link: LinkConfig,
     uploads: u64,
     upload_seconds: f64,
+    /// Latest successfully decoded housekeeping snapshot.
+    housekeeping: Option<Snapshot>,
+    hk_frames_ok: u64,
+    hk_frames_rejected: u64,
 }
 
 impl Ncc {
@@ -29,7 +36,42 @@ impl Ncc {
             link,
             uploads: 0,
             upload_seconds: 0.0,
+            housekeeping: None,
+            hk_frames_ok: 0,
+            hk_frames_rejected: 0,
         }
+    }
+
+    /// Ingests one telemetry item from the downlink. Housekeeping frames
+    /// are decoded (envelope + CRC-24 + payload parse) and, when clean,
+    /// replace the NCC's housekeeping picture; a corrupted frame is
+    /// counted and discarded whole. Returns `true` if the item was a
+    /// cleanly decoded housekeeping frame.
+    pub fn ingest_telemetry(&mut self, tm: &Telemetry) -> bool {
+        let Telemetry::Housekeeping { frame } = tm else {
+            return false;
+        };
+        match housekeeping::decode_frame(frame) {
+            Some(snap) => {
+                self.housekeeping = Some(snap);
+                self.hk_frames_ok += 1;
+                true
+            }
+            None => {
+                self.hk_frames_rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// The latest housekeeping snapshot, if any frame decoded cleanly.
+    pub fn housekeeping(&self) -> Option<&Snapshot> {
+        self.housekeeping.as_ref()
+    }
+
+    /// (housekeeping frames decoded, frames rejected as corrupted).
+    pub fn housekeeping_stats(&self) -> (u64, u64) {
+        (self.hk_frames_ok, self.hk_frames_rejected)
     }
 
     /// Registers a modem personality's bitstream for a target device.

@@ -142,6 +142,10 @@ pub fn encode_tm(tm: &Telemetry) -> Bytes {
             b.put_u8(design_id.is_some() as u8);
             b.put_u32(design_id.unwrap_or(0));
         }
+        Telemetry::Housekeeping { frame } => {
+            b.put_u8(6);
+            put_bytes(&mut b, frame);
+        }
     }
     b.freeze()
 }
@@ -180,6 +184,10 @@ pub fn decode_tm(data: &[u8]) -> Option<Telemetry> {
                 running,
                 design_id: has_design.then_some(id),
             })
+        }
+        6 => {
+            let frame = take_bytes(data, &mut pos)?;
+            Some(Telemetry::Housekeeping { frame })
         }
         _ => None,
     }
@@ -374,6 +382,9 @@ mod tests {
                 equipment: 2,
                 running: false,
                 design_id: None,
+            },
+            Telemetry::Housekeeping {
+                frame: crate::housekeeping::encode_frame(&Default::default()),
             },
         ];
         for tm in tms {

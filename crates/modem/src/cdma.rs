@@ -21,6 +21,7 @@ use gsp_dsp::filter::{FirFilter, FirKernel};
 use gsp_dsp::measure::snr_estimate_m2m4;
 use gsp_dsp::pulse::{shape_symbols, RrcPulse};
 use gsp_dsp::Cpx;
+use gsp_telemetry::{Counter, Registry};
 
 /// Static CDMA waveform parameters.
 #[derive(Clone, Debug)]
@@ -187,6 +188,16 @@ pub struct CdmaDemodResult {
     pub snr_estimate: Option<f64>,
 }
 
+/// Acquisition counters of the receiver (no-op until
+/// [`CdmaReceiver::set_telemetry`] is called).
+#[derive(Clone, Debug, Default)]
+struct CdmaRxTelemetry {
+    /// Serial-search acquisition attempts.
+    acq_attempts: Counter,
+    /// Attempts whose CFAR metric cleared the threshold.
+    acq_hits: Counter,
+}
+
 /// CDMA receiver: acquisition → DLL tracking → despreading → pilot phase.
 #[derive(Clone, Debug)]
 pub struct CdmaReceiver {
@@ -200,6 +211,7 @@ pub struct CdmaReceiver {
     /// First-order DLL gain (chips per normalised error per symbol).
     pub dll_gain: f64,
     filtered: Vec<Cpx>,
+    tel: CdmaRxTelemetry,
 }
 
 impl CdmaReceiver {
@@ -215,12 +227,23 @@ impl CdmaReceiver {
             acq_threshold: 12.0,
             dll_gain: 0.04,
             filtered: Vec::new(),
+            tel: CdmaRxTelemetry::default(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &CdmaConfig {
         &self.config
+    }
+
+    /// Registers the acquisition counters `modem.cdma.acq.attempts` and
+    /// `modem.cdma.acq.hits` on `registry`. Metrics are observed, never
+    /// consulted: acquisition results are identical either way.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.tel = CdmaRxTelemetry {
+            acq_attempts: registry.counter("modem.cdma.acq.attempts"),
+            acq_hits: registry.counter("modem.cdma.acq.hits"),
+        };
     }
 
     /// Linear interpolation of the filtered signal at fractional position.
@@ -246,6 +269,7 @@ impl CdmaReceiver {
     /// zone of ±`sps` samples around the peak is excluded from the floor
     /// estimate, since the chip pulse spreads the peak).
     fn acquire_filtered(&self, search_window: usize) -> Option<Acquisition> {
+        self.tel.acq_attempts.inc();
         let n_acq = self.acq_chips.min(self.config.burst_chips());
         let sps = self.config.sps as f64;
         let mut powers = Vec::with_capacity(search_window);
@@ -275,6 +299,9 @@ impl CdmaReceiver {
         }
         let floor = (floor / n_floor as f64).max(1e-30);
         let metric = peak / floor;
+        if metric >= self.acq_threshold {
+            self.tel.acq_hits.inc();
+        }
         (metric >= self.acq_threshold).then_some(Acquisition {
             sample_offset: peak_idx,
             metric,

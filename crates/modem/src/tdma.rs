@@ -9,6 +9,7 @@ use gsp_dsp::filter::{FirFilter, FirKernel};
 use gsp_dsp::measure::snr_estimate_m2m4;
 use gsp_dsp::pulse::{shape_symbols, RrcPulse};
 use gsp_dsp::Cpx;
+use gsp_telemetry::{Counter, Registry};
 
 /// Which timing-recovery scheme the demodulator personality uses.
 ///
@@ -121,6 +122,20 @@ pub struct TdmaDemodResult {
     pub snr_estimate: Option<f64>,
 }
 
+/// Acquisition counters of the burst demodulator (no-op until
+/// [`TdmaBurstDemodulator::set_telemetry`] is called). Counters are
+/// atomic sums, so lanes demodulating on parallel workers share them
+/// without affecting any demodulation result.
+#[derive(Clone, Debug, Default)]
+struct TdmaDemodTelemetry {
+    /// Bursts offered to the demodulator.
+    bursts: Counter,
+    /// Bursts whose unique word was not found (or arrived truncated).
+    uw_miss: Counter,
+    /// Bursts acquired (UW found, payload complete).
+    detected: Counter,
+}
+
 /// Burst demodulator: matched filter → timing recovery → UW sync → phase
 /// correction → (soft) decisions.
 #[derive(Clone, Debug)]
@@ -130,6 +145,7 @@ pub struct TdmaBurstDemodulator {
     // Reused buffers (hot path: one call per slot per carrier per frame).
     filtered: Vec<Cpx>,
     symbol_buf: Vec<Cpx>,
+    tel: TdmaDemodTelemetry,
 }
 
 impl TdmaBurstDemodulator {
@@ -141,12 +157,25 @@ impl TdmaBurstDemodulator {
             matched,
             filtered: Vec::new(),
             symbol_buf: Vec::new(),
+            tel: TdmaDemodTelemetry::default(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &TdmaConfig {
         &self.config
+    }
+
+    /// Registers the acquisition counters `modem.tdma.bursts`,
+    /// `modem.tdma.uw_miss` and `modem.tdma.detected` on `registry`.
+    /// Metrics are observed, never consulted: demodulation results are
+    /// identical with or without telemetry.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.tel = TdmaDemodTelemetry {
+            bursts: registry.counter("modem.tdma.bursts"),
+            uw_miss: registry.counter("modem.tdma.uw_miss"),
+            detected: registry.counter("modem.tdma.detected"),
+        };
     }
 
     /// Phase-drift metric: total Viterbi&Viterbi phase movement across
@@ -325,6 +354,7 @@ impl TdmaBurstDemodulator {
     ///
     /// Returns `None` when the unique word is not found — a missed burst.
     pub fn demodulate(&mut self, samples: &[Cpx]) -> Option<TdmaDemodResult> {
+        self.tel.bursts.inc();
         let cfg = &self.config;
         // 1. Matched filter. Trailing zeros flush the full convolution
         //    tail so a burst whose end coincides with the slot edge (or
@@ -354,10 +384,15 @@ impl TdmaBurstDemodulator {
         }
 
         // 3. Unique-word sync (position + unambiguous phase).
-        let uw = detect_unique_word(&self.symbol_buf, &cfg.format.unique_word, cfg.uw_threshold)?;
+        let Some(uw) = detect_unique_word(&self.symbol_buf, &cfg.format.unique_word, cfg.uw_threshold)
+        else {
+            self.tel.uw_miss.inc();
+            return None;
+        };
         let payload_start = uw.position + cfg.format.unique_word.len();
         let payload_end = payload_start + cfg.format.payload_len;
         if payload_end > self.symbol_buf.len() {
+            self.tel.uw_miss.inc();
             return None; // truncated burst
         }
 
@@ -410,6 +445,7 @@ impl TdmaBurstDemodulator {
             .modulation
             .demap_soft(&symbols, sigma2, &mut llrs);
 
+        self.tel.detected.inc();
         Some(TdmaDemodResult {
             bits,
             llrs,

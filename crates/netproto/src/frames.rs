@@ -16,6 +16,7 @@
 
 use crate::sim::Io;
 use bytes::{BufMut, Bytes, BytesMut};
+use gsp_telemetry::{Counter, Registry};
 use std::collections::VecDeque;
 
 /// CRC-16 (CCITT polynomial 0x1021, MSB-first) over the frame body — the
@@ -140,6 +141,8 @@ pub struct FrameService {
     backlog: VecDeque<Bytes>,           // encoded frames not yet in window
     timer_gen: u64,
     retransmissions: u64,
+    /// Shared `netproto.n1.retransmissions` counter (no-op by default).
+    tel_retransmissions: Counter,
     // Receiver state.
     expected_seq: u8,
     assembling: Vec<u8>,
@@ -172,6 +175,7 @@ impl FrameService {
             backlog: VecDeque::new(),
             timer_gen: 0,
             retransmissions: 0,
+            tel_retransmissions: Counter::noop(),
             expected_seq: 0,
             assembling: Vec::new(),
             in_progress: false,
@@ -181,6 +185,11 @@ impl FrameService {
     /// Total controlled-mode retransmissions so far.
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// Registers the `netproto.n1.retransmissions` counter on `registry`.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.tel_retransmissions = registry.counter("netproto.n1.retransmissions");
     }
 
     /// `true` when every submitted PDU has been acknowledged (controlled)
@@ -264,6 +273,7 @@ impl FrameService {
         for (_, f) in &self.outstanding {
             io.send(f.clone());
             self.retransmissions += 1;
+            self.tel_retransmissions.inc();
         }
         self.arm_timer(io);
         true

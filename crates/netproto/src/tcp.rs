@@ -11,6 +11,7 @@
 use crate::ip::{IpAddr, IpPacket, IpProto};
 use crate::sim::Io;
 use bytes::{BufMut, Bytes, BytesMut};
+use gsp_telemetry::{Counter, Registry};
 use std::collections::VecDeque;
 
 const FLAG_SYN: u8 = 0b0001;
@@ -113,6 +114,10 @@ pub struct TcpConnection {
     snd_buf: VecDeque<u8>, // bytes from snd_una onward (unacked + unsent)
     fin_wanted: bool,
     retransmits: u64,
+    /// Shared `netproto.tcp.retransmits` counter (no-op by default).
+    tel_retransmits: Counter,
+    /// Shared `netproto.tcp.timeouts` counter (no-op by default).
+    tel_timeouts: Counter,
     // Receive side.
     rcv_nxt: u32,
     delivered: Vec<u8>,
@@ -175,6 +180,8 @@ impl TcpConnection {
             snd_buf: VecDeque::new(),
             fin_wanted: false,
             retransmits: 0,
+            tel_retransmits: Counter::noop(),
+            tel_timeouts: Counter::noop(),
             rcv_nxt: 0,
             delivered: Vec::new(),
             peer_fin: false,
@@ -189,6 +196,13 @@ impl TcpConnection {
     /// Total retransmitted segments.
     pub fn retransmits(&self) -> u64 {
         self.retransmits
+    }
+
+    /// Registers the `netproto.tcp.retransmits` and
+    /// `netproto.tcp.timeouts` counters on `registry`.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.tel_retransmits = registry.counter("netproto.tcp.retransmits");
+        self.tel_timeouts = registry.counter("netproto.tcp.timeouts");
     }
 
     /// Bytes delivered in order so far (drains the buffer).
@@ -318,6 +332,7 @@ impl TcpConnection {
         if id & 0xFFFF_FFFF != self.timer_gen {
             return true;
         }
+        self.tel_timeouts.inc();
         match self.state {
             TcpState::SynSent => {
                 let seg = Segment {
@@ -330,6 +345,7 @@ impl TcpConnection {
                 };
                 self.emit(io, seg);
                 self.retransmits += 1;
+                self.tel_retransmits.inc();
                 self.arm_timer(io);
             }
             TcpState::Established => {
@@ -338,6 +354,7 @@ impl TcpConnection {
                     return true;
                 }
                 self.retransmits += 1;
+                self.tel_retransmits.inc();
                 self.snd_nxt = self.snd_una;
                 self.cwnd = self.mss;
                 self.pump(io);
@@ -345,6 +362,7 @@ impl TcpConnection {
             TcpState::FinWait => {
                 self.send_fin(io);
                 self.retransmits += 1;
+                self.tel_retransmits.inc();
             }
             _ => {}
         }

@@ -10,6 +10,7 @@
 use crate::ip::{udp_packet, IpAddr, IpPacket, IpProto, UdpDatagram};
 use crate::sim::{Agent, Io};
 use bytes::{BufMut, Bytes, BytesMut};
+use gsp_telemetry::{Counter, Registry};
 
 /// TFTP data block size (RFC 1350).
 pub const BLOCK: usize = 512;
@@ -93,6 +94,8 @@ pub struct TftpWriter {
     timer_gen: u64,
     /// Retransmissions performed.
     pub retransmissions: u64,
+    /// Shared `netproto.tftp.retransmissions` counter (no-op by default).
+    tel_retransmissions: Counter,
 }
 
 impl TftpWriter {
@@ -124,7 +127,13 @@ impl TftpWriter {
             rto_ns,
             timer_gen: 0,
             retransmissions: 0,
+            tel_retransmissions: Counter::noop(),
         })
+    }
+
+    /// Registers the `netproto.tftp.retransmissions` counter on `registry`.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.tel_retransmissions = registry.counter("netproto.tftp.retransmissions");
     }
 
     fn current_payload(&self) -> Bytes {
@@ -199,6 +208,7 @@ impl Agent for TftpWriter {
             return;
         }
         self.retransmissions += 1;
+        self.tel_retransmissions.inc();
         self.transmit(io);
     }
 

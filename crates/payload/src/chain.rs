@@ -26,6 +26,10 @@ pub struct ChainConfig {
     pub esn0_db: Option<f64>,
     /// Downlink beams on the switch.
     pub beams: usize,
+    /// Per-beam switch queue capacity, packets. The default (1024) never
+    /// fills on a single frame; congestion scenarios shrink it to make
+    /// overflow drops observable.
+    pub switch_queue_limit: usize,
     /// Timing-recovery scheme of the per-carrier demodulators (the Fig. 3
     /// personality knob).
     pub timing: TimingRecoveryKind,
@@ -39,6 +43,7 @@ impl Default for ChainConfig {
             info_bits: 96,
             esn0_db: None,
             beams: 4,
+            switch_queue_limit: 1024,
             timing: TimingRecoveryKind::OerderMeyr,
         }
     }
@@ -66,6 +71,10 @@ pub struct ChainReport {
     pub carriers: Vec<CarrierOutcome>,
     /// Packets forwarded by the switch.
     pub packets_forwarded: u64,
+    /// Packets the switch dropped on a full beam queue.
+    pub packets_dropped_overflow: u64,
+    /// Packets the switch dropped for want of a route.
+    pub packets_dropped_no_route: u64,
     /// Composite samples processed.
     pub composite_samples: usize,
     /// The switch with its queued packets (input to the Tx chains).

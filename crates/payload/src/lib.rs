@@ -29,7 +29,7 @@
 //!   chip per equipment / chip per function) and their reconfiguration
 //!   scope and interruption costs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chain;
 pub mod equipment;

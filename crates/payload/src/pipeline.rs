@@ -35,6 +35,7 @@ use gsp_dsp::resample::RationalResampler;
 use gsp_dsp::Cpx;
 use gsp_modem::framing::BurstFormat;
 use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig};
+use gsp_telemetry::{Counter, Gauge, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -52,6 +53,10 @@ pub struct PipelineStats {
     pub crc_failures: u64,
     /// Packets the switch accepted and forwarded.
     pub packets_forwarded: u64,
+    /// Packets the switch dropped on a full beam queue.
+    pub packets_dropped_overflow: u64,
+    /// Packets the switch dropped for want of a route.
+    pub packets_dropped_no_route: u64,
     /// Nanoseconds in burst synthesis + FDM composite + noise (Tx side).
     pub tx_ns: u64,
     /// Nanoseconds in the polyphase DEMUX.
@@ -174,6 +179,43 @@ impl CarrierLane {
     }
 }
 
+/// The engine's metric handles, all no-op until
+/// [`PipelineEngine::set_telemetry`] installs live ones.
+///
+/// Everything recorded here is an order-independent sum or a per-burst
+/// observation: telemetry is observed, never consulted, so an enabled
+/// engine stays bitwise identical to a disabled one at any worker count
+/// (asserted by `tests/tests/telemetry_plane.rs`).
+#[derive(Clone, Debug, Default)]
+struct EngineTelemetry {
+    /// Whether the handles are live (gates the extra wall-clock reads).
+    enabled: bool,
+    /// `payload.frame.ns` — whole-frame wall time.
+    frame_ns: Histogram,
+    /// `payload.tx.ns` — serial Tx + noise stage, per frame.
+    tx_ns: Histogram,
+    /// `payload.demux.ns` — polyphase channelizer stage, per frame.
+    demux_ns: Histogram,
+    /// `payload.demod.ns` — burst demodulation, per carrier lane.
+    demod_ns: Histogram,
+    /// `payload.decode.ns` — Viterbi + CRC, per carrier lane.
+    decode_ns: Histogram,
+    /// `payload.switch.ns` — serial switch ingress stage, per frame.
+    switch_ns: Histogram,
+    frames: Counter,
+    composite_samples: Counter,
+    uw_misses: Counter,
+    crc_failures: Counter,
+    packets_forwarded: Counter,
+    packets_dropped_overflow: Counter,
+    packets_dropped_no_route: Counter,
+    /// `payload.workers` — configured receive-side worker count.
+    workers: Gauge,
+    /// `payload.workers.utilization` — lane CPU time over `workers` ×
+    /// parallel-section wall time, last frame.
+    utilization: Gauge,
+}
+
 /// Reusable Fig. 2 payload pipeline with a scoped per-carrier worker pool.
 pub struct PipelineEngine {
     cfg: ChainConfig,
@@ -188,6 +230,7 @@ pub struct PipelineEngine {
     composite: Vec<Cpx>,
     /// Per-frame scratch: one sample stream per channelizer output.
     per_channel: Vec<Vec<Cpx>>,
+    tel: EngineTelemetry,
 }
 
 impl PipelineEngine {
@@ -238,7 +281,45 @@ impl PipelineEngine {
             stats: PipelineStats::default(),
             composite: Vec::new(),
             per_channel: (0..m).map(|_| Vec::new()).collect(),
+            tel: EngineTelemetry::default(),
             cfg,
+        }
+    }
+
+    /// Registers the engine's metrics on `registry` and starts recording
+    /// into them: per-stage latency histograms (`payload.tx.ns`,
+    /// `payload.demux.ns`, per-lane `payload.demod.ns` /
+    /// `payload.decode.ns`, `payload.switch.ns`, `payload.frame.ns`),
+    /// outcome counters (`payload.frames`, `payload.uw_misses`,
+    /// `payload.crc.failures`, `payload.packets.*`) and worker gauges
+    /// (`payload.workers`, `payload.workers.utilization`). The lanes'
+    /// burst demodulators register their `modem.tdma.*` counters on the
+    /// same registry.
+    ///
+    /// Telemetry is observed, never consulted: frame reports stay bitwise
+    /// identical whether `registry` is live, no-op, or never installed.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.tel = EngineTelemetry {
+            enabled: registry.enabled(),
+            frame_ns: registry.histogram_ns("payload.frame.ns"),
+            tx_ns: registry.histogram_ns("payload.tx.ns"),
+            demux_ns: registry.histogram_ns("payload.demux.ns"),
+            demod_ns: registry.histogram_ns("payload.demod.ns"),
+            decode_ns: registry.histogram_ns("payload.decode.ns"),
+            switch_ns: registry.histogram_ns("payload.switch.ns"),
+            frames: registry.counter("payload.frames"),
+            composite_samples: registry.counter("payload.composite_samples"),
+            uw_misses: registry.counter("payload.uw_misses"),
+            crc_failures: registry.counter("payload.crc.failures"),
+            packets_forwarded: registry.counter("payload.packets.forwarded"),
+            packets_dropped_overflow: registry.counter("payload.packets.dropped_overflow"),
+            packets_dropped_no_route: registry.counter("payload.packets.dropped_no_route"),
+            workers: registry.gauge("payload.workers"),
+            utilization: registry.gauge("payload.workers.utilization"),
+        };
+        self.tel.workers.set(self.workers as f64);
+        for lane in &mut self.lanes {
+            lane.demod.set_telemetry(registry);
         }
     }
 
@@ -267,6 +348,7 @@ impl PipelineEngine {
     /// [`crate::chain::run_mf_tdma_frame`] but reusing all per-carrier
     /// state and fanning the receive half across the worker pool.
     pub fn run_frame(&mut self, seed: u64) -> ChainReport {
+        let frame_span = self.tel.frame_ns.span();
         let cfg = &self.cfg;
         let mut rng = StdRng::seed_from_u64(seed);
         let m = cfg.channels;
@@ -292,7 +374,9 @@ impl PipelineEngine {
             let mut ch = AwgnChannel::from_esn0_db(db - 10.0 * (1.1 * m as f64).log10());
             ch.apply(&mut self.composite, &mut rng);
         }
-        self.stats.tx_ns += t_tx.elapsed().as_nanos() as u64;
+        let tx_ns = t_tx.elapsed().as_nanos() as u64;
+        self.stats.tx_ns += tx_ns;
+        self.tel.tx_ns.record(tx_ns);
 
         // ---- DEMUX (serial): polyphase channelizer.
         let t_demux = Instant::now();
@@ -309,13 +393,18 @@ impl PipelineEngine {
                 }
             }
         }
-        self.stats.demux_ns += t_demux.elapsed().as_nanos() as u64;
+        let demux_ns = t_demux.elapsed().as_nanos() as u64;
+        self.stats.demux_ns += demux_ns;
+        self.tel.demux_ns.record(demux_ns);
 
         // ---- Per-carrier Rx: DEMOD → DECOD → CRC, fanned across workers.
         // Lanes are handed out in contiguous chunks; each worker touches
         // only its own lanes plus a shared read-only view of the channel
         // streams, so results cannot depend on scheduling.
         let per_channel = &self.per_channel;
+        // Parallel-section wall clock, read only when telemetry is live
+        // (the utilization gauge is the sole consumer).
+        let t_par = self.tel.enabled.then(Instant::now);
         if self.workers <= 1 || self.lanes.len() <= 1 {
             for lane in &mut self.lanes {
                 lane.receive(&per_channel[lane.carrier]);
@@ -332,37 +421,64 @@ impl PipelineEngine {
                 }
             });
         }
+        let par_wall_ns = t_par.map(|t| t.elapsed().as_nanos() as u64);
 
         // ---- Switch ingress (serial, carrier order) + report assembly.
         let t_switch = Instant::now();
-        let mut switch = PacketSwitch::new(cfg.beams, 1024);
+        let mut switch = PacketSwitch::new(cfg.beams, cfg.switch_queue_limit);
         let mut outcomes = Vec::with_capacity(self.lanes.len());
         let mut info = Vec::with_capacity(self.lanes.len());
+        let mut lane_busy_ns = 0u64;
         for lane in &mut self.lanes {
             let outcome = lane.outcome.take().expect("lane ran");
             if !outcome.detected {
                 self.stats.uw_misses += 1;
+                self.tel.uw_misses.inc();
             } else if !outcome.crc_ok {
                 self.stats.crc_failures += 1;
+                self.tel.crc_failures.inc();
             }
             if let Some(pkt) = lane.packet.take() {
                 switch.ingress(pkt);
             }
             self.stats.demod_ns += lane.demod_ns;
             self.stats.decode_ns += lane.decode_ns;
+            self.tel.demod_ns.record(lane.demod_ns);
+            self.tel.decode_ns.record(lane.decode_ns);
+            lane_busy_ns += lane.demod_ns + lane.decode_ns;
             outcomes.push(outcome);
             info.push(lane.info.clone());
         }
-        self.stats.switch_ns += t_switch.elapsed().as_nanos() as u64;
+        let switch_ns = t_switch.elapsed().as_nanos() as u64;
+        self.stats.switch_ns += switch_ns;
+        self.tel.switch_ns.record(switch_ns);
 
-        let (forwarded, _, _) = switch.stats();
+        let (forwarded, dropped_overflow, dropped_no_route) = switch.stats();
         self.stats.frames += 1;
         self.stats.composite_samples += composite_len as u64;
         self.stats.packets_forwarded += forwarded;
+        self.stats.packets_dropped_overflow += dropped_overflow;
+        self.stats.packets_dropped_no_route += dropped_no_route;
+
+        self.tel.frames.inc();
+        self.tel.composite_samples.add(composite_len as u64);
+        self.tel.packets_forwarded.add(forwarded);
+        self.tel.packets_dropped_overflow.add(dropped_overflow);
+        self.tel.packets_dropped_no_route.add(dropped_no_route);
+        if let Some(wall) = par_wall_ns {
+            if wall > 0 {
+                self.tel
+                    .utilization
+                    .set(lane_busy_ns as f64 / (wall as f64 * self.workers as f64));
+            }
+        }
+        drop(frame_span);
 
         ChainReport {
             carriers: outcomes,
             packets_forwarded: forwarded,
+            packets_dropped_overflow: dropped_overflow,
+            packets_dropped_no_route: dropped_no_route,
             composite_samples: composite_len,
             switch,
             info_bits: info,

@@ -87,6 +87,13 @@ pub enum Telemetry {
         /// Loaded design, if any.
         design_id: Option<u32>,
     },
+    /// A housekeeping frame: a metrics snapshot of the observability
+    /// plane, encoded as a CRC-protected payload of JSON lines (see
+    /// `gsp_core::housekeeping`).
+    Housekeeping {
+        /// Encoded housekeeping frame bytes.
+        frame: Vec<u8>,
+    },
 }
 
 /// The platform processor: command and telemetry queues plus the reference

@@ -52,6 +52,21 @@ impl PacketSwitch {
         (self.forwarded, self.dropped_overflow, self.dropped_no_route)
     }
 
+    /// Packets accepted into a beam queue.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Packets dropped because the destination queue was full.
+    pub fn dropped_overflow(&self) -> u64 {
+        self.dropped_overflow
+    }
+
+    /// Packets dropped because the destination beam does not exist.
+    pub fn dropped_no_route(&self) -> u64 {
+        self.dropped_no_route
+    }
+
     /// Routes one packet to its destination beam queue.
     pub fn ingress(&mut self, pkt: BasebandPacket) {
         let Some(q) = self.queues.get_mut(pkt.dest_beam as usize) else {

@@ -51,9 +51,25 @@ impl TransponderSim {
         TransponderSim { cfg, engine }
     }
 
-    /// Uplink engine stage counters accumulated so far.
+    /// Uplink engine stage counters accumulated so far (includes the
+    /// switch drop counters surfaced per frame in
+    /// [`ChainReport::packets_dropped_overflow`] /
+    /// [`ChainReport::packets_dropped_no_route`]).
     pub fn uplink_stats(&self) -> PipelineStats {
         self.engine.stats()
+    }
+
+    /// Total switch drops accumulated across the frames run so far, as
+    /// `(overflow, no_route)`.
+    pub fn switch_drops(&self) -> (u64, u64) {
+        let s = self.engine.stats();
+        (s.packets_dropped_overflow, s.packets_dropped_no_route)
+    }
+
+    /// Registers the uplink engine's metrics on `registry` (see
+    /// [`PipelineEngine::set_telemetry`]).
+    pub fn set_telemetry(&mut self, registry: &gsp_telemetry::Registry) {
+        self.engine.set_telemetry(registry);
     }
 
     /// Runs one frame through the whole regenerative transponder.

@@ -14,6 +14,7 @@
 use crate::environment::{PoissonArrivals, RadiationEnvironment};
 use gsp_fpga::device::FpgaDevice;
 use gsp_fpga::fabric::FpgaFabric;
+use gsp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -195,6 +196,29 @@ pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
         total.merge(p);
     }
     total
+}
+
+/// Runs the campaign and records its aggregate counters —
+/// `radiation.trials`, `radiation.seu.total`, `radiation.seu.essential`
+/// and `radiation.broken_at_end` — on `registry`.
+///
+/// The campaign itself is untouched: counters are added from the merged
+/// result after the worker fan-out joins, so the returned
+/// [`CampaignResult`] is bitwise identical to [`run_scrub_campaign`]'s.
+pub fn run_scrub_campaign_with_telemetry(
+    cfg: &CampaignConfig,
+    registry: &Registry,
+) -> CampaignResult {
+    let r = run_scrub_campaign(cfg);
+    registry.counter("radiation.trials").add(r.trials as u64);
+    registry.counter("radiation.seu.total").add(r.total_upsets);
+    registry
+        .counter("radiation.seu.essential")
+        .add(r.essential_upsets);
+    registry
+        .counter("radiation.broken_at_end")
+        .add(r.broken_at_end as u64);
+    r
 }
 
 #[cfg(test)]

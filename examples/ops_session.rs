@@ -72,6 +72,9 @@ fn main() {
                 "  status of equipment {equipment}: running={running}, design={design_id:?}"
             ),
             Telemetry::CommandFailed { reason } => println!("  COMMAND FAILED: {reason}"),
+            Telemetry::Housekeeping { frame } => {
+                println!("  housekeeping frame ({} bytes)", frame.len())
+            }
         }
     }
     println!(

@@ -134,7 +134,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Acceptable length specifications for [`vec`].
+    /// Acceptable length specifications for [`vec()`](vec()).
     pub trait SizeRange {
         /// Draw a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -158,7 +158,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](vec()).
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
