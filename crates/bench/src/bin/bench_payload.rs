@@ -1,22 +1,94 @@
-//! Telemetry-driven payload benchmark: runs the Fig. 2 pipeline engine
-//! for a number of frames with the metrics registry enabled, prints the
-//! housekeeping table, and writes the snapshot as `BENCH_payload.json`
-//! (the perf-trajectory artefact — per-stage p50/p95/p99 latencies plus
-//! the UW-miss/CRC-failure/switch-drop counters).
+//! Telemetry-driven payload benchmark: sweeps the Fig. 2 pipeline engine
+//! across worker counts, prints per-point throughput (frames/sec and
+//! Msamples/sec) plus the 1-worker housekeeping table, and writes the
+//! whole run as `BENCH_payload.json` (the perf-trajectory artefact).
 //!
-//! Usage: `bench_payload [--frames N] [--workers N] [--esn0 DB] [--out PATH]`
-//! (defaults: 32 frames, auto workers, 12 dB, `BENCH_payload.json`).
-//! Seed comes from `GSP_SEED` like the experiment binaries.
+//! The artefact keeps the historical shape — a top-level `"metrics"`
+//! array holding the 1-worker snapshot (what `perf_gate` compares
+//! against) — and adds a `"sweep"` array with one entry per worker
+//! count. Each sweep point runs on its own engine and registry, so its
+//! `payload.workers` gauge reflects that point's actual worker count and
+//! its metrics export under a distinct `label`.
+//!
+//! Usage: `bench_payload [--frames N] [--workers LIST] [--esn0 DB]
+//! [--out PATH]` (defaults: 32 frames, `1,2,4,8` sweep, 12 dB,
+//! `BENCH_payload.json`). `--workers 4` benches a single point. Seed
+//! comes from `GSP_SEED` like the experiment binaries.
 
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
-use gsp_telemetry::Registry;
+use gsp_telemetry::{Registry, Snapshot};
+use std::time::Instant;
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One worker-sweep measurement.
+struct SweepPoint {
+    /// Worker count requested on the command line.
+    requested: usize,
+    /// Effective worker count (the engine caps at one per active carrier).
+    workers: usize,
+    frames: usize,
+    wall_ns: u64,
+    frames_per_sec: f64,
+    msamples_per_sec: f64,
+    snapshot: Snapshot,
+}
+
+impl SweepPoint {
+    fn label(&self) -> String {
+        format!("workers={}", self.requested)
+    }
+}
+
+/// Formats an `f64` as a JSON number token (finite inputs only here).
+fn jf(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders `snapshot.to_json()`'s `"metrics"` array without the
+/// enclosing document, for embedding in sweep entries.
+fn metrics_array(snapshot: &Snapshot) -> String {
+    let doc = snapshot.to_json();
+    let start = doc.find('[').expect("metrics array");
+    let end = doc.rfind(']').expect("metrics array");
+    doc[start..=end].to_string()
+}
+
+fn run_point(cfg: &ChainConfig, requested: usize, frames: usize, seed: u64) -> SweepPoint {
+    let mut engine = PipelineEngine::with_workers(cfg.clone(), requested);
+    let registry = Registry::new();
+    engine.set_telemetry(&registry);
+    let t0 = Instant::now();
+    let reports = engine.run_frames(frames, seed);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let samples: u64 = reports.iter().map(|r| r.composite_samples as u64).sum();
+    let wall_s = (wall_ns as f64 / 1e9).max(1e-12);
+    let frames_per_sec = frames as f64 / wall_s;
+    let msamples_per_sec = samples as f64 / wall_s / 1e6;
+    registry.gauge("payload.frames_per_sec").set(frames_per_sec);
+    registry
+        .gauge("payload.msamples_per_sec")
+        .set(msamples_per_sec);
+    SweepPoint {
+        requested,
+        workers: engine.workers(),
+        frames,
+        wall_ns,
+        frames_per_sec,
+        msamples_per_sec,
+        snapshot: registry.snapshot(),
+    }
 }
 
 fn main() {
@@ -27,31 +99,66 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(12.0);
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_payload.json".to_string());
+    let sweep_arg = arg_value("--workers").unwrap_or_else(|| "1,2,4,8".to_string());
+    let sweep: Vec<usize> = sweep_arg
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&w| w >= 1)
+        .collect();
+    assert!(!sweep.is_empty(), "--workers needs at least one count");
     let seed = gsp_bench::seed_from_env();
 
     let cfg = ChainConfig {
         esn0_db: Some(esn0),
         ..ChainConfig::default()
     };
-    let mut engine = match arg_value("--workers").and_then(|v| v.parse().ok()) {
-        Some(w) => PipelineEngine::with_workers(cfg, w),
-        None => PipelineEngine::new(cfg),
-    };
-    let registry = Registry::new();
-    engine.set_telemetry(&registry);
 
-    let reports = engine.run_frames(frames, seed);
-    let clean = reports.iter().filter(|r| r.all_clean()).count();
+    println!("payload bench: {frames} frames @ {esn0} dB, seed {seed}, sweep {sweep:?}");
+    let points: Vec<SweepPoint> = sweep
+        .iter()
+        .map(|&w| {
+            let p = run_point(&cfg, w, frames, seed);
+            println!(
+                "  {:<11} {:>8.2} frames/s  {:>7.2} Msamples/s  ({} effective workers)",
+                p.label(),
+                p.frames_per_sec,
+                p.msamples_per_sec,
+                p.workers
+            );
+            p
+        })
+        .collect();
 
-    let snapshot = registry.snapshot();
-    println!(
-        "payload bench: {frames} frames @ {esn0} dB, {} workers, seed {seed}",
-        engine.workers()
+    // The baseline (first) point doubles as the gate snapshot; sweeps
+    // should start at 1 worker so the committed artefact stays
+    // machine-comparable.
+    let base = &points[0];
+    println!("\nhousekeeping ({}):", base.label());
+    print!("{}", base.snapshot.to_table());
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"label\":\"{}\",\"workers_requested\":{},\"workers\":{},\
+                 \"frames\":{},\"wall_ns\":{},\"frames_per_sec\":{},\
+                 \"msamples_per_sec\":{},\"metrics\":{}}}",
+                p.label(),
+                p.requested,
+                p.workers,
+                p.frames,
+                p.wall_ns,
+                jf(p.frames_per_sec),
+                jf(p.msamples_per_sec),
+                metrics_array(&p.snapshot)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
+        metrics_array(&base.snapshot),
+        sweep_json.join(",\n")
     );
-    println!("{clean}/{frames} frames fully clean\n");
-    print!("{}", snapshot.to_table());
-
-    let json = snapshot.to_json();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -1,0 +1,93 @@
+//! CI perf-regression gate for the payload pipeline.
+//!
+//! Reads the committed `BENCH_payload.json` baseline, re-runs a short
+//! 1-worker smoke of the Fig. 2 engine, and fails (exit 1) when the
+//! fresh `payload.frame.ns` p50 exceeds the committed p50 by more than
+//! `--factor` (default 2×). The generous factor absorbs shared-runner
+//! jitter while still catching order-of-magnitude regressions like a
+//! reintroduced per-frame allocation storm.
+//!
+//! Usage: `perf_gate [--baseline PATH] [--frames N] [--factor F]
+//! [--esn0 DB]` (defaults: `BENCH_payload.json`, 8 frames, 2.0, 12 dB).
+
+use gsp_payload::chain::ChainConfig;
+use gsp_payload::pipeline::PipelineEngine;
+use gsp_telemetry::Registry;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Pulls `"p50":<int>` out of the baseline's `payload.frame.ns` entry.
+///
+/// The artefact is the flat hand-rolled schema `gsp-telemetry` emits
+/// (no escapes, no nesting inside an entry), so a string scan is exact —
+/// and keeps the gate dependency-free like the rest of the workspace.
+fn baseline_frame_p50(doc: &str) -> Option<u64> {
+    let entry_at = doc.find("\"name\":\"payload.frame.ns\"")?;
+    let rest = &doc[entry_at..];
+    let entry_end = rest.find('}')?;
+    let entry = &rest[..entry_end];
+    let p50_at = entry.find("\"p50\":")? + "\"p50\":".len();
+    let tail = &entry[p50_at..];
+    let num_end = tail
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..num_end].parse().ok()
+}
+
+fn main() {
+    let baseline_path = arg_value("--baseline").unwrap_or_else(|| "BENCH_payload.json".to_string());
+    let frames: usize = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let factor: f64 = arg_value("--factor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let esn0: f64 = arg_value("--esn0")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12.0);
+    let seed = gsp_bench::seed_from_env();
+
+    let doc = match std::fs::read_to_string(&baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(baseline_p50) = baseline_frame_p50(&doc) else {
+        eprintln!("perf_gate: no payload.frame.ns p50 in {baseline_path}");
+        std::process::exit(1);
+    };
+
+    let cfg = ChainConfig {
+        esn0_db: Some(esn0),
+        ..ChainConfig::default()
+    };
+    let mut engine = PipelineEngine::with_workers(cfg, 1);
+    let registry = Registry::new();
+    engine.set_telemetry(&registry);
+    let _ = engine.run_frames(frames, seed);
+    let snapshot = registry.snapshot();
+    let Some(hist) = snapshot.histogram("payload.frame.ns") else {
+        eprintln!("perf_gate: smoke run recorded no payload.frame.ns");
+        std::process::exit(1);
+    };
+    let current_p50 = hist.p50;
+
+    let limit = (baseline_p50 as f64 * factor) as u64;
+    let ratio = current_p50 as f64 / baseline_p50 as f64;
+    println!(
+        "perf_gate: payload.frame.ns p50 {current_p50} ns vs baseline {baseline_p50} ns \
+         ({ratio:.2}x, limit {factor:.1}x, {frames} frames, seed {seed})"
+    );
+    if current_p50 > limit {
+        eprintln!("perf_gate: FAIL — frame p50 regressed past {factor:.1}x the committed baseline");
+        std::process::exit(1);
+    }
+    println!("perf_gate: OK");
+}

@@ -12,10 +12,18 @@ pub fn pack_bits(bits: &[u8]) -> Vec<u8> {
 
 /// Unpacks bytes into `n_bits` 0/1 bits, MSB first.
 pub fn unpack_bits(bytes: &[u8], n_bits: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n_bits);
+    unpack_bits_into(bytes, n_bits, &mut out);
+    out
+}
+
+/// Unpacks bytes into `n_bits` 0/1 bits (MSB first) written into `out`
+/// (cleared first). A reused buffer of sufficient capacity makes repeated
+/// calls allocation-free.
+pub fn unpack_bits_into(bytes: &[u8], n_bits: usize, out: &mut Vec<u8>) {
     assert!(n_bits <= bytes.len() * 8);
-    (0..n_bits)
-        .map(|i| (bytes[i / 8] >> (7 - i % 8)) & 1)
-        .collect()
+    out.clear();
+    out.extend((0..n_bits).map(|i| (bytes[i / 8] >> (7 - i % 8)) & 1));
 }
 
 /// Maps a code bit to an antipodal symbol: bit 0 → +1.0, bit 1 → −1.0.

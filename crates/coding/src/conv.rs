@@ -114,16 +114,25 @@ impl ConvEncoder {
     /// Encodes a whole block with 25.212 zero-tail termination, returning
     /// the coded bits. The encoder ends in (and is reset to) state 0.
     pub fn encode_block(&mut self, bits: &[u8]) -> Vec<u8> {
-        self.state = 0;
         let mut out = Vec::with_capacity(self.code.encoded_len(bits.len()));
+        self.encode_into(bits, &mut out);
+        out
+    }
+
+    /// Encodes a whole zero-tail-terminated block into `out` (cleared
+    /// first). A reused buffer of sufficient capacity makes repeated calls
+    /// allocation-free. The encoder ends in (and is reset to) state 0.
+    pub fn encode_into(&mut self, bits: &[u8], out: &mut Vec<u8>) {
+        self.state = 0;
+        out.clear();
+        out.reserve(self.code.encoded_len(bits.len()));
         for &b in bits {
-            self.push(b, &mut out);
+            self.push(b, out);
         }
         for _ in 0..self.code.memory() {
-            self.push(0, &mut out);
+            self.push(0, out);
         }
         debug_assert_eq!(self.state, 0);
-        out
     }
 }
 

@@ -84,9 +84,29 @@ impl Crc {
     /// Appends the parity to the message, returning `message ‖ crc`.
     pub fn attach(&self, bits: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(bits.len() + self.kind.len());
-        out.extend_from_slice(bits);
-        out.extend(self.compute(bits));
+        self.attach_into(bits, &mut out);
         out
+    }
+
+    /// Writes `message ‖ crc` into `out` (cleared first). A reused buffer
+    /// of sufficient capacity makes repeated calls allocation-free.
+    pub fn attach_into(&self, bits: &[u8], out: &mut Vec<u8>) {
+        let l = self.kind.len();
+        let poly = self.kind.poly();
+        out.clear();
+        out.reserve(bits.len() + l);
+        out.extend_from_slice(bits);
+        let mut reg: u32 = 0;
+        for &b in bits {
+            debug_assert!(b <= 1);
+            let fb = ((reg >> (l - 1)) as u8 ^ b) & 1;
+            reg <<= 1;
+            if fb == 1 {
+                reg ^= poly;
+            }
+            reg &= (1u32 << l) - 1;
+        }
+        out.extend((0..l).map(|i| ((reg >> (l - 1 - i)) & 1) as u8));
     }
 
     /// Checks a `message ‖ crc` block; returns `Some(message)` when the

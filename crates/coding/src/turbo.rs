@@ -114,7 +114,10 @@ impl TurboCode {
     }
 }
 
-/// Iterative max-log-MAP turbo decoder with preallocated trellis buffers.
+/// Iterative max-log-MAP turbo decoder with a fully persistent workspace:
+/// trellis buffers, extrinsic vectors and the systematic/parity stream
+/// splits are all preallocated, so steady-state decoding via
+/// [`TurboDecoder::decode_into`] performs no heap allocation.
 #[derive(Clone, Debug)]
 pub struct TurboDecoder {
     code: TurboCode,
@@ -126,6 +129,10 @@ pub struct TurboDecoder {
     apriori: Vec<f64>,
     sys_il: Vec<f64>,
     scratch: Vec<f64>,
+    /// Per-call channel-stream demux scratch (`x`, `z`, `z'`).
+    sys: Vec<f64>,
+    par1: Vec<f64>,
+    par2: Vec<f64>,
 }
 
 impl TurboDecoder {
@@ -142,6 +149,9 @@ impl TurboDecoder {
             apriori: vec![0.0; k],
             sys_il: vec![0.0; k],
             scratch: vec![0.0; k],
+            sys: vec![0.0; k],
+            par1: vec![0.0; k],
+            par2: vec![0.0; k],
         }
     }
 
@@ -258,7 +268,24 @@ impl TurboDecoder {
     /// Decodes a received block of `3K + 12` channel LLRs (same ordering as
     /// [`TurboCode::encode_block`]) with `iterations` full decoder passes,
     /// returning the K hard-decided information bits.
+    ///
+    /// Allocates the output; steady-state callers should prefer
+    /// [`TurboDecoder::decode_into`].
     pub fn decode_block(&mut self, llrs: &[f64], iterations: usize) -> Vec<u8> {
+        let mut bits = Vec::new();
+        self.decode_into(llrs, iterations, &mut bits);
+        bits
+    }
+
+    /// Decodes a received block into a caller-held buffer (cleared, then
+    /// filled with the K hard-decided information bits).
+    ///
+    /// This is the allocation-free entry point: all working storage — the
+    /// trellis, the extrinsics, the `x`/`z`/`z'` demux — lives in the
+    /// decoder, so once `out` has capacity K repeated calls touch the heap
+    /// not at all. Output is bitwise identical to
+    /// [`TurboDecoder::decode_block`] on a fresh decoder.
+    pub fn decode_into(&mut self, llrs: &[f64], iterations: usize, out: &mut Vec<u8>) {
         let k = self.code.info_len();
         assert_eq!(
             llrs.len(),
@@ -267,14 +294,11 @@ impl TurboDecoder {
         );
         assert!(iterations >= 1);
 
-        // De-multiplex the streams.
-        let mut sys = vec![0.0; k];
-        let mut par1 = vec![0.0; k];
-        let mut par2 = vec![0.0; k];
+        // De-multiplex the streams into the persistent splits.
         for i in 0..k {
-            sys[i] = llrs[3 * i];
-            par1[i] = llrs[3 * i + 1];
-            par2[i] = llrs[3 * i + 2];
+            self.sys[i] = llrs[3 * i];
+            self.par1[i] = llrs[3 * i + 1];
+            self.par2[i] = llrs[3 * i + 2];
         }
         let t = &llrs[3 * k..];
         let tail1_sys = [t[0], t[2], t[4]];
@@ -282,31 +306,36 @@ impl TurboDecoder {
         let tail2_sys = [t[6], t[8], t[10]];
         let tail2_par = [t[7], t[9], t[11]];
 
-        let il = self.code.interleaver.clone();
-        il.interleave(&sys, &mut self.sys_il);
+        self.code
+            .interleaver
+            .interleave(&self.sys, &mut self.sys_il);
 
         self.ext2.fill(0.0);
         for _ in 0..iterations {
             // DEC1: a-priori = deinterleaved extrinsic of DEC2.
-            il.deinterleave(&self.ext2, &mut self.apriori);
+            self.code
+                .interleaver
+                .deinterleave(&self.ext2, &mut self.apriori);
             Self::bcjr(
                 &mut self.alpha,
                 &mut self.beta,
-                &sys,
-                &par1,
+                &self.sys,
+                &self.par1,
                 &self.apriori,
                 &tail1_sys,
                 &tail1_par,
                 &mut self.ext1,
             );
             // DEC2: a-priori = interleaved extrinsic of DEC1.
-            il.interleave(&self.ext1, &mut self.scratch);
+            self.code
+                .interleaver
+                .interleave(&self.ext1, &mut self.scratch);
             self.apriori.copy_from_slice(&self.scratch);
             Self::bcjr(
                 &mut self.alpha,
                 &mut self.beta,
                 &self.sys_il,
-                &par2,
+                &self.par2,
                 &self.apriori,
                 &tail2_sys,
                 &tail2_par,
@@ -315,10 +344,11 @@ impl TurboDecoder {
         }
 
         // Final decision: systematic + both extrinsics.
-        il.deinterleave(&self.ext2, &mut self.scratch);
-        (0..k)
-            .map(|i| llr_to_bit(sys[i] + self.ext1[i] + self.scratch[i]))
-            .collect()
+        self.code
+            .interleaver
+            .deinterleave(&self.ext2, &mut self.scratch);
+        out.clear();
+        out.extend((0..k).map(|i| llr_to_bit(self.sys[i] + self.ext1[i] + self.scratch[i])));
     }
 }
 

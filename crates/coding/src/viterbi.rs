@@ -9,7 +9,10 @@
 use crate::conv::ConvCode;
 
 /// Reusable Viterbi decoder: the trellis tables are precomputed once per
-/// code, the path-metric arrays are reused across blocks.
+/// code, and every working buffer — path metrics, survivor matrix,
+/// per-step branch metrics — is owned by the decoder and reused across
+/// blocks, so steady-state decoding via
+/// [`ViterbiDecoder::decode_into`] performs no heap allocation.
 #[derive(Clone, Debug)]
 pub struct ViterbiDecoder {
     code: ConvCode,
@@ -20,6 +23,14 @@ pub struct ViterbiDecoder {
     /// Path metrics, double-buffered.
     metrics: Vec<f64>,
     metrics_next: Vec<f64>,
+    /// Survivor matrix scratch, `steps * n_states` bytes, grown on demand
+    /// and never shrunk. Stale contents are harmless: traceback only reads
+    /// cells on the survivor path, all of which the current block wrote.
+    decisions: Vec<u8>,
+    /// Per-step branch metrics indexed by the packed coded-output pattern
+    /// (`1 << n_outputs` entries), rebuilt once per trellis step so the
+    /// add-compare-select loop over states is a branch-free table lookup.
+    branch_metrics: Vec<f64>,
 }
 
 impl ViterbiDecoder {
@@ -34,12 +45,15 @@ impl ViterbiDecoder {
                 next.push(code.next_state(s, bit));
             }
         }
+        let n_out = code.n_outputs();
         ViterbiDecoder {
             code,
             outputs,
             next,
             metrics: vec![0.0; n_states],
             metrics_next: vec![0.0; n_states],
+            decisions: Vec::new(),
+            branch_metrics: vec![0.0; 1 << n_out],
         }
     }
 
@@ -52,8 +66,22 @@ impl ViterbiDecoder {
     /// code's output count and cover `k + memory` trellis steps), returning
     /// the `k` information bits.
     ///
-    /// `llrs.len() == (k + memory) * n_outputs`.
+    /// `llrs.len() == (k + memory) * n_outputs`. Allocates the output;
+    /// steady-state callers should prefer [`ViterbiDecoder::decode_into`].
     pub fn decode_block(&mut self, llrs: &[f64]) -> Vec<u8> {
+        let mut bits = Vec::new();
+        self.decode_into(llrs, &mut bits);
+        bits
+    }
+
+    /// Decodes a terminated block of LLRs into a caller-held buffer
+    /// (cleared, then filled with the `k` information bits).
+    ///
+    /// This is the allocation-free entry point: once the decoder has seen
+    /// a block of the current size and `out` has capacity `k`, repeated
+    /// calls touch the heap not at all. Output is bitwise identical to
+    /// [`ViterbiDecoder::decode_block`] on a fresh decoder.
+    pub fn decode_into(&mut self, llrs: &[f64], out: &mut Vec<u8>) {
         let n_out = self.code.n_outputs();
         assert_eq!(
             llrs.len() % n_out,
@@ -70,31 +98,42 @@ impl ViterbiDecoder {
         // bit of the winning predecessor* of state s at step t. The input
         // bit itself needs no storage — shifting in the input makes it the
         // successor state's MSB, so traceback reads it off the state.
-        // (256 B/step for the K=9 codes.)
-        let mut decisions = vec![0u8; steps * n_states];
+        // (256 B/step for the K=9 codes.) Grown, never zeroed: traceback
+        // only visits cells the current block wrote.
+        if self.decisions.len() < steps * n_states {
+            self.decisions.resize(steps * n_states, 0);
+        }
 
         const NEG: f64 = f64::NEG_INFINITY;
         self.metrics.fill(NEG);
         self.metrics[0] = 0.0; // encoder starts in state 0
         for t in 0..steps {
             let step_llrs = &llrs[t * n_out..(t + 1) * n_out];
+            // Branch metrics for every coded-output pattern, once per step:
+            // the ACS loop over states then pays one table lookup per
+            // transition instead of an LLR loop with a data-dependent
+            // branch per coded bit.
+            for (p, bm) in self.branch_metrics.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, &l) in step_llrs.iter().enumerate() {
+                    let coded = (p >> (n_out - 1 - i)) & 1;
+                    acc += if coded == 0 { l } else { -l };
+                }
+                *bm = acc;
+            }
+            let bms = &self.branch_metrics;
             self.metrics_next.fill(NEG);
-            let dec = &mut decisions[t * n_states..(t + 1) * n_states];
+            let dec = &mut self.decisions[t * n_states..(t + 1) * n_states];
+            // During the tail only bit 0 is transmitted.
+            let n_bits = if t >= k { 1 } else { 2 };
             for s in 0..n_states {
                 let pm = self.metrics[s];
                 if pm == NEG {
                     continue;
                 }
-                // During the tail only bit 0 is transmitted.
-                let bit_range = if t >= k { 0..1u8 } else { 0..2u8 };
-                for bit in bit_range {
-                    let idx = s * 2 + bit as usize;
-                    let out = self.outputs[idx];
-                    let mut bm = pm;
-                    for (i, &l) in step_llrs.iter().enumerate() {
-                        let coded = (out >> (n_out - 1 - i)) & 1;
-                        bm += if coded == 0 { l } else { -l };
-                    }
+                for bit in 0..n_bits {
+                    let idx = s * 2 + bit;
+                    let bm = pm + bms[self.outputs[idx] as usize];
                     let ns = self.next[idx] as usize;
                     if bm > self.metrics_next[ns] {
                         self.metrics_next[ns] = bm;
@@ -107,18 +146,21 @@ impl ViterbiDecoder {
 
         // Trace back from the terminated state 0. At each step the input
         // bit that produced the current state is its MSB, and the stored
-        // decision restores the predecessor's discarded oldest bit.
+        // decision restores the predecessor's discarded oldest bit. The
+        // tail steps are walked for their state transitions but emit no
+        // information bits, so `out` holds exactly `k` bits.
         let mem = self.code.memory();
         let mask = n_states as u32 - 1;
-        let mut bits = vec![0u8; steps];
+        out.clear();
+        out.resize(k, 0);
         let mut state = 0u32;
         for t in (0..steps).rev() {
-            bits[t] = ((state >> (mem - 1)) & 1) as u8;
-            let oldest = decisions[t * n_states + state as usize];
+            if t < k {
+                out[t] = ((state >> (mem - 1)) & 1) as u8;
+            }
+            let oldest = self.decisions[t * n_states + state as usize];
             state = ((state << 1) & mask) | oldest as u32;
         }
-        bits.truncate(k);
-        bits
     }
 }
 

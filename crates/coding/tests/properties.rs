@@ -108,4 +108,69 @@ proptest! {
         }
         prop_assert!(crc.check(&bad).is_none(), "burst at {start} len {burst_len}");
     }
+
+    #[test]
+    fn viterbi_reused_workspace_matches_fresh_decoder(
+        k1 in 1usize..160,
+        k2 in 1usize..160,
+        seed in any::<u64>(),
+    ) {
+        // The `decode_into` scratch (decisions matrix, branch-metric
+        // table) grows across calls and is never re-zeroed; stale cells
+        // must never influence a decode. Interleave two random block
+        // lengths through one decoder and compare each decode bitwise
+        // against a fresh decoder.
+        let mut s = seed | 1;
+        let mut next_llr = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0
+        };
+        for code in [ConvCode::umts_half(), ConvCode::umts_third()] {
+            let llrs1: Vec<f64> = (0..code.encoded_len(k1)).map(|_| next_llr()).collect();
+            let llrs2: Vec<f64> = (0..code.encoded_len(k2)).map(|_| next_llr()).collect();
+            let want1 = ViterbiDecoder::new(code.clone()).decode_block(&llrs1);
+            let want2 = ViterbiDecoder::new(code.clone()).decode_block(&llrs2);
+            let mut dec = ViterbiDecoder::new(code.clone());
+            let mut out = vec![9u8; 5]; // deliberately dirty output slot
+            dec.decode_into(&llrs2, &mut out); // size the workspace for k2...
+            dec.decode_into(&llrs1, &mut out); // ...then shrink/grow to k1
+            prop_assert_eq!(&out, &want1);
+            dec.decode_into(&llrs2, &mut out);
+            prop_assert_eq!(&out, &want2);
+        }
+    }
+
+    #[test]
+    fn turbo_reused_workspace_matches_fresh_decoder(
+        k in 40usize..140,
+        seed in any::<u64>(),
+        iterations in 1usize..4,
+    ) {
+        // Same contract for the turbo decoder's persistent sys/par1/par2
+        // split buffers and extrinsic arrays: a decoder that has already
+        // chewed through one LLR block must decode the next one exactly
+        // like a fresh decoder.
+        let mut s = seed | 1;
+        let mut next_llr = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 6.0 - 3.0
+        };
+        let code = TurboCode::new(k);
+        let n = code.encode_block(&vec![0u8; k]).len();
+        let llrs_a: Vec<f64> = (0..n).map(|_| next_llr()).collect();
+        let llrs_b: Vec<f64> = (0..n).map(|_| next_llr()).collect();
+        let want_a = TurboDecoder::new(code.clone()).decode_block(&llrs_a, iterations);
+        let want_b = TurboDecoder::new(code.clone()).decode_block(&llrs_b, iterations);
+        let mut dec = TurboDecoder::new(code);
+        let mut out = vec![7u8; 3]; // deliberately dirty output slot
+        dec.decode_into(&llrs_b, iterations, &mut out);
+        dec.decode_into(&llrs_a, iterations, &mut out);
+        prop_assert_eq!(&out, &want_a);
+        dec.decode_into(&llrs_b, iterations, &mut out);
+        prop_assert_eq!(&out, &want_b);
+    }
 }

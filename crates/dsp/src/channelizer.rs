@@ -76,11 +76,11 @@ impl PolyphaseChannelizer {
         self.fill = self.m;
     }
 
-    /// Pushes one input sample; when a block of `M` completes, writes one
-    /// output sample per channel into `out` (length `M`, channel `k`
-    /// centred at normalised input frequency `k/M`) and returns `true`.
-    pub fn push(&mut self, x: Cpx, out: &mut [Cpx]) -> bool {
-        assert_eq!(out.len(), self.m);
+    /// Advances the per-branch delay lines by one input sample; returns
+    /// `true` when a block of `M` samples has completed and an output
+    /// vector is due.
+    #[inline]
+    fn advance(&mut self, x: Cpx) -> bool {
         // Commutator runs backwards through the branches: sample n of a block
         // enters branch (M-1-n).
         self.fill -= 1;
@@ -95,7 +95,12 @@ impl PolyphaseChannelizer {
             return false;
         }
         self.fill = self.m;
-        // Run each polyphase branch, then an FFT across branches.
+        true
+    }
+
+    /// Runs each polyphase branch and the FFT across branches, leaving the
+    /// `M` channel samples in `self.scratch`.
+    fn compute_block(&mut self) {
         for (b, line) in self.delay.iter().enumerate() {
             let taps = &self.poly[b];
             let mut acc = Cpx::ZERO;
@@ -107,19 +112,38 @@ impl PolyphaseChannelizer {
         // The inverse FFT's 1/M normalisation combines with the ×M prototype
         // scaling to give unity channel gain.
         self.fft.inverse(&mut self.scratch);
+    }
+
+    /// Pushes one input sample; when a block of `M` completes, writes one
+    /// output sample per channel into `out` (length `M`, channel `k`
+    /// centred at normalised input frequency `k/M`) and returns `true`.
+    pub fn push(&mut self, x: Cpx, out: &mut [Cpx]) -> bool {
+        assert_eq!(out.len(), self.m);
+        if !self.advance(x) {
+            return false;
+        }
+        self.compute_block();
         out.copy_from_slice(&self.scratch);
         true
     }
 
-    /// Channelizes a block; appends, per completed input block, one `Vec`
-    /// of `M` channel samples to `out`.
-    pub fn process(&mut self, x: &[Cpx], out: &mut Vec<Vec<Cpx>>) {
-        let mut frame = vec![Cpx::ZERO; self.m];
+    /// Channelizes a block into a flat frames-major slab: per completed
+    /// input block, appends `M` channel samples (channel 0 first) to `out`,
+    /// and returns the number of blocks appended.
+    ///
+    /// The slab is the caller's reusable scratch arena: it is appended to,
+    /// never cleared, so a steady-state caller that `clear()`s and reuses
+    /// one `Vec` pays no allocation after the first frame.
+    pub fn process(&mut self, x: &[Cpx], out: &mut Vec<Cpx>) -> usize {
+        let mut blocks = 0;
         for &s in x {
-            if self.push(s, &mut frame) {
-                out.push(frame.clone());
+            if self.advance(s) {
+                self.compute_block();
+                out.extend_from_slice(&self.scratch);
+                blocks += 1;
             }
         }
+        blocks
     }
 }
 
@@ -182,8 +206,32 @@ mod tests {
         let m = 4;
         let mut chan = PolyphaseChannelizer::new(m, 8);
         let mut out = Vec::new();
-        chan.process(&vec![Cpx::ONE; 4 * 25], &mut out);
-        assert_eq!(out.len(), 25);
+        let blocks = chan.process(&vec![Cpx::ONE; 4 * 25], &mut out);
+        assert_eq!(blocks, 25);
+        assert_eq!(out.len(), 25 * m);
+    }
+
+    #[test]
+    fn process_slab_matches_push() {
+        // The flat frames-major slab must agree, sample for sample, with
+        // driving push() by hand.
+        let m = 8;
+        let mut a = PolyphaseChannelizer::new(m, 12);
+        let mut b = PolyphaseChannelizer::new(m, 12);
+        let x: Vec<Cpx> = (0..m * 23)
+            .map(|i| Cpx::new((i as f64 * 0.21).sin(), (i as f64 * 0.13).cos()))
+            .collect();
+        let mut slab = Vec::new();
+        let blocks = a.process(&x, &mut slab);
+        let mut frame = vec![Cpx::ZERO; m];
+        let mut k = 0usize;
+        for &s in &x {
+            if b.push(s, &mut frame) {
+                assert_eq!(&slab[k * m..(k + 1) * m], frame.as_slice());
+                k += 1;
+            }
+        }
+        assert_eq!(k, blocks);
     }
 
     #[test]

@@ -40,10 +40,12 @@ impl Fft {
         self.n
     }
 
-    /// Always false; plans are non-empty by construction.
+    /// Whether the transform is zero-length. Derived from [`Fft::len`]
+    /// rather than hardcoded (plans are ≥ 2 points by construction, so
+    /// this is always false — but it must track `len`, not assert it).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
     fn permute(&self, data: &mut [Cpx]) {

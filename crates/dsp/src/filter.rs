@@ -83,16 +83,19 @@ impl FirKernel {
     /// `out[n] = Σ_k h[k]·x[n-k]`, with `out.len() == x.len()`.
     ///
     /// The transient at the start corresponds to an all-zero history.
+    /// `out` is pre-sized once and written by index (the write-into-slab
+    /// convention): a reused buffer of sufficient capacity makes repeated
+    /// calls allocation-free.
     pub fn filter_block(&self, x: &[Cpx], out: &mut Vec<Cpx>) {
         out.clear();
-        out.reserve(x.len());
-        for n in 0..x.len() {
+        out.resize(x.len(), Cpx::ZERO);
+        for (n, y) in out.iter_mut().enumerate() {
             let kmax = n.min(self.taps.len() - 1);
             let mut acc = Cpx::ZERO;
             for k in 0..=kmax {
                 acc += x[n - k].scale(self.taps[k]);
             }
-            out.push(acc);
+            *y = acc;
         }
     }
 }
@@ -148,10 +151,15 @@ impl FirFilter {
     }
 
     /// Filters a block through the streaming state, appending to `out`.
+    ///
+    /// The output region is pre-sized once and written by index (the
+    /// write-into-slab convention), so a reused buffer of sufficient
+    /// capacity makes repeated calls allocation-free.
     pub fn process(&mut self, x: &[Cpx], out: &mut Vec<Cpx>) {
-        out.reserve(x.len());
-        for &s in x {
-            out.push(self.push(s));
+        let start = out.len();
+        out.resize(start + x.len(), Cpx::ZERO);
+        for (y, &s) in out[start..].iter_mut().zip(x) {
+            *y = self.push(s);
         }
     }
 }

@@ -67,21 +67,37 @@ impl BurstFormat {
 
     /// Assembles a burst's symbol stream from payload bits.
     pub fn assemble(&self, payload_bits: &[u8]) -> Vec<Cpx> {
+        let mut syms = Vec::with_capacity(self.burst_len());
+        self.assemble_into(payload_bits, &mut syms);
+        syms
+    }
+
+    /// Assembles a burst's symbol stream into `syms` (cleared first). A
+    /// reused buffer of sufficient capacity makes repeated calls
+    /// allocation-free.
+    pub fn assemble_into(&self, payload_bits: &[u8], syms: &mut Vec<Cpx>) {
         assert_eq!(
             payload_bits.len(),
             self.payload_bits(),
             "payload must fill the burst exactly"
         );
-        let mut syms = Vec::with_capacity(self.burst_len());
-        syms.extend(self.preamble_symbols());
+        syms.clear();
+        syms.reserve(self.burst_len());
+        let a = std::f64::consts::FRAC_1_SQRT_2;
+        for k in 0..self.preamble_len {
+            syms.push(if k % 2 == 0 {
+                Cpx::new(a, a)
+            } else {
+                Cpx::new(-a, -a)
+            });
+        }
         syms.extend_from_slice(&self.unique_word);
-        self.modulation.map(payload_bits, &mut syms);
-        syms
+        self.modulation.map(payload_bits, syms);
     }
 }
 
 /// Result of a unique-word search.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct UwDetection {
     /// Symbol index where the UW starts.
     pub position: usize,

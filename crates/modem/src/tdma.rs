@@ -98,15 +98,28 @@ impl TdmaBurstModulator {
 
     /// Modulates one burst of payload bits into baseband samples.
     pub fn modulate(&self, payload_bits: &[u8]) -> Vec<Cpx> {
-        let syms = self.config.format.assemble(payload_bits);
+        let mut syms = Vec::new();
         let mut out = Vec::new();
-        shape_symbols(&syms, &self.kernel, self.config.sps, &mut out);
+        self.modulate_into(payload_bits, &mut syms, &mut out);
         out
+    }
+
+    /// Modulates one burst into caller-held buffers: `syms` is symbol-
+    /// assembly scratch, `out` receives the waveform. Both are cleared
+    /// first; reused buffers of sufficient capacity make repeated calls
+    /// allocation-free.
+    pub fn modulate_into(&self, payload_bits: &[u8], syms: &mut Vec<Cpx>, out: &mut Vec<Cpx>) {
+        self.config.format.assemble_into(payload_bits, syms);
+        out.clear();
+        shape_symbols(syms, &self.kernel, self.config.sps, out);
     }
 }
 
 /// Everything the demodulator learned about one burst.
-#[derive(Clone, Debug)]
+///
+/// `Default` builds an empty result suitable as the reusable output slot
+/// of [`TdmaBurstDemodulator::demodulate_into`].
+#[derive(Clone, Debug, Default)]
 pub struct TdmaDemodResult {
     /// Hard-decided payload bits.
     pub bits: Vec<u8>,
@@ -145,6 +158,10 @@ pub struct TdmaBurstDemodulator {
     // Reused buffers (hot path: one call per slot per carrier per frame).
     filtered: Vec<Cpx>,
     symbol_buf: Vec<Cpx>,
+    /// Pass-1 (static-phase) corrected payload symbols.
+    static_buf: Vec<Cpx>,
+    /// Pass-2 (frequency-ramp + V&V) corrected payload symbols.
+    ramp_buf: Vec<Cpx>,
     tel: TdmaDemodTelemetry,
 }
 
@@ -157,6 +174,8 @@ impl TdmaBurstDemodulator {
             matched,
             filtered: Vec::new(),
             symbol_buf: Vec::new(),
+            static_buf: Vec::new(),
+            ramp_buf: Vec::new(),
             tel: TdmaDemodTelemetry::default(),
         }
     }
@@ -229,24 +248,33 @@ impl TdmaBurstDemodulator {
             / symbols.len() as f64
     }
 
-    /// Pass 1: payload symbols corrected by the UW correlation phase only.
-    fn correct_static(&self, uw: &UwDetection, start: usize, end: usize) -> Vec<Cpx> {
-        let mut symbols = self.symbol_buf[start..end].to_vec();
-        derotate(&mut symbols, uw.phase);
-        symbols
+    /// Pass 1: payload symbols corrected by the UW correlation phase only,
+    /// written into the caller's reusable buffer.
+    fn correct_static(
+        symbol_buf: &[Cpx],
+        uw: &UwDetection,
+        start: usize,
+        end: usize,
+        out: &mut Vec<Cpx>,
+    ) {
+        out.clear();
+        out.extend_from_slice(&symbol_buf[start..end]);
+        derotate(out, uw.phase);
     }
 
     /// Pass 2: data-aided frequency ramp (second preamble half + UW) plus
-    /// anchored blockwise Viterbi&Viterbi fine tracking. Returns the
-    /// corrected payload and the frequency estimate (rad/symbol).
+    /// anchored blockwise Viterbi&Viterbi fine tracking. Writes the
+    /// corrected payload into the caller's reusable buffer and returns the
+    /// frequency estimate (rad/symbol).
     fn correct_ramp_vv(
-        &self,
+        cfg: &TdmaConfig,
+        symbol_buf: &[Cpx],
         uw: &UwDetection,
         start: usize,
         end: usize,
         _force: bool,
-    ) -> (Vec<Cpx>, f64) {
-        let cfg = &self.config;
+        out: &mut Vec<Cpx>,
+    ) -> f64 {
         let payload_start = start;
         // Frequency reference: the settled second half of the preamble
         // (the first half sits inside the matched-filter warm-up)
@@ -256,10 +284,10 @@ impl TdmaBurstDemodulator {
             let preamble = cfg.format.preamble_symbols();
             let mut reference = preamble[preamble.len() - half_pre..].to_vec();
             reference.extend_from_slice(&cfg.format.unique_word);
-            let known_rx = &self.symbol_buf[uw.position - half_pre..payload_start];
+            let known_rx = &symbol_buf[uw.position - half_pre..payload_start];
             (frequency_estimate_da(known_rx, &reference), known_rx.len())
         } else {
-            let uw_rx = &self.symbol_buf[uw.position..payload_start];
+            let uw_rx = &symbol_buf[uw.position..payload_start];
             (
                 frequency_estimate_da(uw_rx, &cfg.format.unique_word),
                 uw_rx.len(),
@@ -273,14 +301,16 @@ impl TdmaBurstDemodulator {
         // more damage than the (unmeasurably small) offset it might fix —
         // so treat it as zero. A blind M2M4 estimate supplies ρ; `None`
         // means "no measurable noise", where the gate must stay open.
-        let rho = snr_estimate_m2m4(&self.symbol_buf[start..end]).unwrap_or(f64::INFINITY);
+        let rho = snr_estimate_m2m4(&symbol_buf[start..end]).unwrap_or(f64::INFINITY);
         let n = n_known as f64;
         let sigma_df = (12.0 / (rho * n * (n * n - 1.0))).sqrt();
         let df = if df.abs() < 2.0 * sigma_df { 0.0 } else { df };
         // Ramp removal, phase-continuous from the UW midpoint where the
         // correlation-phase anchor lives.
         let uw_mid = (cfg.format.unique_word.len() as f64 - 1.0) / 2.0;
-        let mut symbols = self.symbol_buf[start..end].to_vec();
+        out.clear();
+        out.extend_from_slice(&symbol_buf[start..end]);
+        let symbols: &mut [Cpx] = out;
         for (k, s) in symbols.iter_mut().enumerate() {
             let n = cfg.format.unique_word.len() as f64 - uw_mid + k as f64;
             *s = s.rotate(-(uw.phase + df * n));
@@ -343,17 +373,35 @@ impl TdmaBurstDemodulator {
             }
             df_fine = slope;
         } else if symbols.len() >= 8 && rho >= VV_MIN_SNR {
-            let theta = viterbi_viterbi_qpsk(&symbols)
+            let theta = viterbi_viterbi_qpsk(symbols)
                 .clamp(-std::f64::consts::FRAC_PI_6, std::f64::consts::FRAC_PI_6);
-            derotate(&mut symbols, theta);
+            derotate(symbols, theta);
         }
-        (symbols, df + df_fine)
+        df + df_fine
     }
 
     /// Demodulates one received burst (samples at `sps` per symbol).
     ///
     /// Returns `None` when the unique word is not found — a missed burst.
+    /// Allocates the result; steady-state callers should prefer
+    /// [`TdmaBurstDemodulator::demodulate_into`].
     pub fn demodulate(&mut self, samples: &[Cpx]) -> Option<TdmaDemodResult> {
+        let mut out = TdmaDemodResult::default();
+        self.demodulate_into(samples, &mut out).then_some(out)
+    }
+
+    /// Demodulates one received burst into a caller-held result, reusing
+    /// its buffers; returns `false` (leaving `out` unspecified) when the
+    /// unique word is not found.
+    ///
+    /// This is the allocation-free entry point: all intermediate storage
+    /// (matched-filter output, symbol stream, both carrier-correction
+    /// passes) lives in the demodulator, and `out`'s vectors are cleared
+    /// and refilled in place, so steady-state demodulation of same-format
+    /// bursts touches the heap only on the cold frequency-ramp fallback
+    /// path. Results are bitwise identical to
+    /// [`TdmaBurstDemodulator::demodulate`].
+    pub fn demodulate_into(&mut self, samples: &[Cpx], out: &mut TdmaDemodResult) -> bool {
         self.tel.bursts.inc();
         let cfg = &self.config;
         // 1. Matched filter. Trailing zeros flush the full convolution
@@ -384,16 +432,17 @@ impl TdmaBurstDemodulator {
         }
 
         // 3. Unique-word sync (position + unambiguous phase).
-        let Some(uw) = detect_unique_word(&self.symbol_buf, &cfg.format.unique_word, cfg.uw_threshold)
+        let Some(uw) =
+            detect_unique_word(&self.symbol_buf, &cfg.format.unique_word, cfg.uw_threshold)
         else {
             self.tel.uw_miss.inc();
-            return None;
+            return false;
         };
         let payload_start = uw.position + cfg.format.unique_word.len();
         let payload_end = payload_start + cfg.format.payload_len;
         if payload_end > self.symbol_buf.len() {
             self.tel.uw_miss.inc();
-            return None; // truncated burst
+            return false; // truncated burst
         }
 
         // 4. Carrier correction — two-pass:
@@ -411,49 +460,64 @@ impl TdmaBurstDemodulator {
         //    data-aided frequency ramp (second preamble half + UW, long-
         //    lag estimator) plus anchored blockwise Viterbi&Viterbi fine
         //    tracking, and the better-scoring pass wins.
-        let static_syms = self.correct_static(&uw, payload_start, payload_end);
-        let (symbols, df) = if cfg.carrier == CarrierMode::StaticPhase {
-            (static_syms, 0.0)
+        Self::correct_static(
+            &self.symbol_buf,
+            &uw,
+            payload_start,
+            payload_end,
+            &mut self.static_buf,
+        );
+        let (use_ramp, df) = if cfg.carrier == CarrierMode::StaticPhase {
+            (false, 0.0)
         } else {
-            let drift_static = Self::vv_drift(&static_syms);
+            let drift_static = Self::vv_drift(&self.static_buf);
             let force_ramp = cfg.carrier == CarrierMode::FreqRamp;
             if !force_ramp && drift_static < 0.25 {
-                (static_syms, 0.0)
+                (false, 0.0)
             } else {
-                let (ramp_syms, df) =
-                    self.correct_ramp_vv(&uw, payload_start, payload_end, force_ramp);
+                let df = Self::correct_ramp_vv(
+                    &self.config,
+                    &self.symbol_buf,
+                    &uw,
+                    payload_start,
+                    payload_end,
+                    force_ramp,
+                    &mut self.ramp_buf,
+                );
                 // The winner is decided on decision quality (EVM over the
                 // whole payload), not on the drift metric: at low SNR the
                 // four-point drift estimate is noisy enough to hand a
                 // clean static burst to a mis-estimated ramp correction.
-                if force_ramp || Self::evm(&ramp_syms) < Self::evm(&static_syms) {
-                    (ramp_syms, df)
+                if force_ramp || Self::evm(&self.ramp_buf) < Self::evm(&self.static_buf) {
+                    (true, df)
                 } else {
-                    (static_syms, 0.0)
+                    (false, 0.0)
                 }
             }
+        };
+        let symbols: &[Cpx] = if use_ramp {
+            &self.ramp_buf
+        } else {
+            &self.static_buf
         };
 
         // 5. Decisions. LLR scaling from a blind SNR estimate (falls back
         //    to unit noise variance when the estimator is inconsistent).
-        let snr = snr_estimate_m2m4(&symbols);
+        let snr = snr_estimate_m2m4(symbols);
         let sigma2 = snr.map_or(0.5, |s| 0.5 / s).max(1e-6);
-        let mut bits = Vec::new();
-        cfg.format.modulation.demap_hard(&symbols, &mut bits);
-        let mut llrs = Vec::new();
-        cfg.format
-            .modulation
-            .demap_soft(&symbols, sigma2, &mut llrs);
+        let fmt = &self.config.format;
+        out.bits.clear();
+        fmt.modulation.demap_hard(symbols, &mut out.bits);
+        out.llrs.clear();
+        fmt.modulation.demap_soft(symbols, sigma2, &mut out.llrs);
+        out.symbols.clear();
+        out.symbols.extend_from_slice(symbols);
+        out.uw = uw;
+        out.freq_offset = df;
+        out.snr_estimate = snr;
 
         self.tel.detected.inc();
-        Some(TdmaDemodResult {
-            bits,
-            llrs,
-            symbols,
-            uw,
-            freq_offset: df,
-            snr_estimate: snr,
-        })
+        true
     }
 }
 

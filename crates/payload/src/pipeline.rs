@@ -34,7 +34,7 @@ use gsp_dsp::nco::Nco;
 use gsp_dsp::resample::RationalResampler;
 use gsp_dsp::Cpx;
 use gsp_modem::framing::BurstFormat;
-use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig};
+use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TdmaDemodResult};
 use gsp_telemetry::{Counter, Gauge, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -86,12 +86,22 @@ struct CarrierLane {
     viterbi: ViterbiDecoder,
     crc: Crc,
     beams: usize,
+    /// Tx scratch: info bits with the CRC attached.
+    protected: Vec<u8>,
+    /// Tx scratch: the convolutionally coded block.
+    coded: Vec<u8>,
+    /// Tx scratch: the assembled burst symbols before pulse shaping.
+    syms: Vec<Cpx>,
     /// Per-frame Tx scratch: this carrier's modulated burst.
     wave: Vec<Cpx>,
     /// Per-frame Tx scratch: the burst upsampled to composite rate.
     upsampled: Vec<Cpx>,
     /// Per-frame Tx ground truth: the information bits sent.
     info: Vec<u8>,
+    /// Rx scratch: the demodulator's reusable result slot.
+    demod_out: TdmaDemodResult,
+    /// Rx scratch: the Viterbi decoder's reusable output buffer.
+    decoded: Vec<u8>,
     /// Per-frame Rx output, filled inside the parallel section.
     outcome: Option<CarrierOutcome>,
     /// Per-frame Rx output: the CRC-clean packet, if any.
@@ -114,9 +124,9 @@ impl CarrierLane {
         self.info.clear();
         self.info
             .extend((0..cfg.info_bits).map(|_| rng.gen_range(0..2u8)));
-        let protected = self.crc.attach(&self.info);
-        let coded = self.encoder.encode_block(&protected);
-        self.wave = modulator.modulate(&coded);
+        self.crc.attach_into(&self.info, &mut self.protected);
+        self.encoder.encode_into(&self.protected, &mut self.coded);
+        modulator.modulate_into(&self.coded, &mut self.syms, &mut self.wave);
 
         self.resampler.reset();
         self.upsampled.clear();
@@ -133,46 +143,50 @@ impl CarrierLane {
     }
 
     /// Rx half (parallel-safe): demodulate, decode, CRC-check one channel's
-    /// samples. Touches only lane-local state.
+    /// samples. Touches only lane-local state, and — via the demodulator's
+    /// and decoder's `_into` entry points — no heap in steady state (the
+    /// CRC-clean packet handed to the switch is the one escaping
+    /// allocation).
     fn receive(&mut self, samples: &[Cpx]) {
         let k = self.carrier;
         let bits = &self.info;
         self.packet = None;
 
         let t0 = Instant::now();
-        let result = self.demod.demodulate(samples);
+        let detected = self.demod.demodulate_into(samples, &mut self.demod_out);
         self.demod_ns = t0.elapsed().as_nanos() as u64;
 
         let t1 = Instant::now();
-        let outcome = match result {
-            Some(res) => {
-                let decoded = self.viterbi.decode_block(&res.llrs);
-                let crc_ok = self.crc.check(&decoded).is_some();
-                let recovered = &decoded[..decoded.len().saturating_sub(16)];
-                let bit_errors = recovered.iter().zip(bits).filter(|(a, b)| a != b).count()
-                    + bits.len().saturating_sub(recovered.len());
-                if crc_ok {
-                    self.packet = Some(BasebandPacket {
-                        source: k as u16,
-                        dest_beam: (k % self.beams) as u8,
-                        data: gsp_coding::bits::pack_bits(recovered),
-                    });
-                }
-                CarrierOutcome {
-                    carrier: k,
-                    detected: true,
-                    crc_ok,
-                    bit_errors,
-                    bits: bits.len(),
-                }
+        let outcome = if detected {
+            self.viterbi
+                .decode_into(&self.demod_out.llrs, &mut self.decoded);
+            let decoded = &self.decoded;
+            let crc_ok = self.crc.check(decoded).is_some();
+            let recovered = &decoded[..decoded.len().saturating_sub(16)];
+            let bit_errors = recovered.iter().zip(bits).filter(|(a, b)| a != b).count()
+                + bits.len().saturating_sub(recovered.len());
+            if crc_ok {
+                self.packet = Some(BasebandPacket {
+                    source: k as u16,
+                    dest_beam: (k % self.beams) as u8,
+                    data: gsp_coding::bits::pack_bits(recovered),
+                });
             }
-            None => CarrierOutcome {
+            CarrierOutcome {
+                carrier: k,
+                detected: true,
+                crc_ok,
+                bit_errors,
+                bits: bits.len(),
+            }
+        } else {
+            CarrierOutcome {
                 carrier: k,
                 detected: false,
                 crc_ok: false,
                 bit_errors: bits.len(),
                 bits: bits.len(),
-            },
+            }
         };
         self.decode_ns = t1.elapsed().as_nanos() as u64;
         self.outcome = Some(outcome);
@@ -228,8 +242,11 @@ pub struct PipelineEngine {
     stats: PipelineStats,
     /// Per-frame scratch: the FDM composite at ADC rate.
     composite: Vec<Cpx>,
-    /// Per-frame scratch: one sample stream per channelizer output.
-    per_channel: Vec<Vec<Cpx>>,
+    /// Per-frame scratch: all channel streams in one flat channel-major
+    /// slab — channel `c`'s samples live at `c*blocks..(c+1)*blocks`.
+    channel_slab: Vec<Cpx>,
+    /// Per-frame scratch: the channelizer's one-block output vector.
+    demux_frame: Vec<Cpx>,
     tel: EngineTelemetry,
 }
 
@@ -261,9 +278,14 @@ impl PipelineEngine {
                 viterbi: ViterbiDecoder::new(code.clone()),
                 crc: Crc::new(CrcKind::Crc16),
                 beams: cfg.beams,
+                protected: Vec::new(),
+                coded: Vec::new(),
+                syms: Vec::new(),
                 wave: Vec::new(),
                 upsampled: Vec::new(),
                 info: Vec::new(),
+                demod_out: TdmaDemodResult::default(),
+                decoded: Vec::new(),
                 outcome: None,
                 packet: None,
                 demod_ns: 0,
@@ -280,7 +302,8 @@ impl PipelineEngine {
             channelizer: PolyphaseChannelizer::new(m, 12),
             stats: PipelineStats::default(),
             composite: Vec::new(),
-            per_channel: (0..m).map(|_| Vec::new()).collect(),
+            channel_slab: Vec::new(),
+            demux_frame: vec![Cpx::ZERO; m],
             tel: EngineTelemetry::default(),
             cfg,
         }
@@ -378,21 +401,25 @@ impl PipelineEngine {
         self.stats.tx_ns += tx_ns;
         self.tel.tx_ns.record(tx_ns);
 
-        // ---- DEMUX (serial): polyphase channelizer.
+        // ---- DEMUX (serial): polyphase channelizer, scattered straight
+        // into the flat channel-major slab (channel c's stream is the
+        // contiguous run c*blocks..(c+1)*blocks — exactly the slice its
+        // lane demodulates).
         let t_demux = Instant::now();
         self.channelizer.reset();
-        for buf in &mut self.per_channel {
-            buf.clear();
-            buf.reserve(composite_len / m);
-        }
-        let mut frame = vec![Cpx::ZERO; m];
+        let blocks = composite_len / m;
+        self.channel_slab.clear();
+        self.channel_slab.resize(m * blocks, Cpx::ZERO);
+        let mut produced = 0usize;
         for &s in &self.composite {
-            if self.channelizer.push(s, &mut frame) {
-                for (ch_buf, &v) in self.per_channel.iter_mut().zip(&frame) {
-                    ch_buf.push(v);
+            if self.channelizer.push(s, &mut self.demux_frame) {
+                for (ch, &v) in self.demux_frame.iter().enumerate() {
+                    self.channel_slab[ch * blocks + produced] = v;
                 }
+                produced += 1;
             }
         }
+        debug_assert_eq!(produced, blocks, "composite length not a block multiple");
         let demux_ns = t_demux.elapsed().as_nanos() as u64;
         self.stats.demux_ns += demux_ns;
         self.tel.demux_ns.record(demux_ns);
@@ -400,14 +427,15 @@ impl PipelineEngine {
         // ---- Per-carrier Rx: DEMOD → DECOD → CRC, fanned across workers.
         // Lanes are handed out in contiguous chunks; each worker touches
         // only its own lanes plus a shared read-only view of the channel
-        // streams, so results cannot depend on scheduling.
-        let per_channel = &self.per_channel;
+        // slab, so results cannot depend on scheduling.
+        let slab = &self.channel_slab;
         // Parallel-section wall clock, read only when telemetry is live
         // (the utilization gauge is the sole consumer).
         let t_par = self.tel.enabled.then(Instant::now);
         if self.workers <= 1 || self.lanes.len() <= 1 {
             for lane in &mut self.lanes {
-                lane.receive(&per_channel[lane.carrier]);
+                let c = lane.carrier;
+                lane.receive(&slab[c * blocks..(c + 1) * blocks]);
             }
         } else {
             let chunk = self.lanes.len().div_ceil(self.workers);
@@ -415,7 +443,8 @@ impl PipelineEngine {
                 for lanes in self.lanes.chunks_mut(chunk) {
                     scope.spawn(move || {
                         for lane in lanes {
-                            lane.receive(&per_channel[lane.carrier]);
+                            let c = lane.carrier;
+                            lane.receive(&slab[c * blocks..(c + 1) * blocks]);
                         }
                     });
                 }
@@ -447,7 +476,10 @@ impl PipelineEngine {
             self.tel.decode_ns.record(lane.decode_ns);
             lane_busy_ns += lane.demod_ns + lane.decode_ns;
             outcomes.push(outcome);
-            info.push(lane.info.clone());
+            // The report owns the ground-truth bits (they escape the
+            // frame); taking them instead of cloning skips the copy, and
+            // the lane's next transmit() refills its buffer.
+            info.push(std::mem::take(&mut lane.info));
         }
         let switch_ns = t_switch.elapsed().as_nanos() as u64;
         self.stats.switch_ns += switch_ns;

@@ -6,11 +6,13 @@
 
 use crate::switch::{BasebandPacket, PacketSwitch};
 use gsp_channel::twta::SalehTwta;
-use gsp_coding::bits::{pack_bits, unpack_bits};
+use gsp_coding::bits::{pack_bits, unpack_bits_into};
 use gsp_coding::{ConvCode, ConvEncoder, Crc, CrcKind, ViterbiDecoder};
 use gsp_dsp::Cpx;
 use gsp_modem::framing::BurstFormat;
-use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TimingRecoveryKind};
+use gsp_modem::tdma::{
+    TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, TdmaDemodResult, TimingRecoveryKind,
+};
 
 /// Downlink frame parameters shared by the payload Tx and the ground Rx.
 #[derive(Clone, Debug)]
@@ -59,9 +61,19 @@ pub struct TxChain {
     config: DownlinkConfig,
     modulator: TdmaBurstModulator,
     crc: Crc,
-    code: ConvCode,
+    encoder: ConvEncoder,
     twta: SalehTwta,
     bursts_sent: u64,
+    /// Scratch: header + payload bytes of the burst being built.
+    body: Vec<u8>,
+    /// Scratch: the body unpacked to bits.
+    bits: Vec<u8>,
+    /// Scratch: bits with the CRC attached.
+    protected: Vec<u8>,
+    /// Scratch: the convolutionally coded block.
+    coded: Vec<u8>,
+    /// Scratch: assembled burst symbols before pulse shaping.
+    syms: Vec<Cpx>,
 }
 
 impl TxChain {
@@ -73,8 +85,13 @@ impl TxChain {
             config,
             modulator,
             crc: Crc::new(CrcKind::Crc16),
-            code: ConvCode::umts_half(),
+            encoder: ConvEncoder::new(ConvCode::umts_half()),
             bursts_sent: 0,
+            body: Vec::new(),
+            bits: Vec::new(),
+            protected: Vec::new(),
+            coded: Vec::new(),
+            syms: Vec::new(),
         }
     }
 
@@ -85,16 +102,25 @@ impl TxChain {
 
     /// Encodes one packet into a downlink burst waveform. Packets longer
     /// than `packet_bytes` are truncated; shorter ones zero-padded.
+    ///
+    /// The returned waveform is the only allocation in steady state: every
+    /// intermediate stage (body, bits, CRC, coded block, burst symbols)
+    /// reuses chain-owned scratch.
     pub fn transmit_packet(&mut self, pkt: &BasebandPacket) -> Vec<Cpx> {
-        let mut body = vec![0u8; DownlinkConfig::HEADER_BYTES + self.config.packet_bytes];
-        body[0..2].copy_from_slice(&pkt.source.to_be_bytes());
-        body[2] = pkt.dest_beam;
-        body[3] = pkt.data.len().min(255) as u8;
+        self.body.clear();
+        self.body
+            .resize(DownlinkConfig::HEADER_BYTES + self.config.packet_bytes, 0);
+        self.body[0..2].copy_from_slice(&pkt.source.to_be_bytes());
+        self.body[2] = pkt.dest_beam;
+        self.body[3] = pkt.data.len().min(255) as u8;
         let n = pkt.data.len().min(self.config.packet_bytes);
-        body[4..4 + n].copy_from_slice(&pkt.data[..n]);
-        let bits = unpack_bits(&body, body.len() * 8);
-        let coded = ConvEncoder::new(self.code.clone()).encode_block(&self.crc.attach(&bits));
-        let mut wave = self.modulator.modulate(&coded);
+        self.body[4..4 + n].copy_from_slice(&pkt.data[..n]);
+        unpack_bits_into(&self.body, self.body.len() * 8, &mut self.bits);
+        self.crc.attach_into(&self.bits, &mut self.protected);
+        self.encoder.encode_into(&self.protected, &mut self.coded);
+        let mut wave = Vec::new();
+        self.modulator
+            .modulate_into(&self.coded, &mut self.syms, &mut wave);
         if self.config.twta_enabled {
             self.twta.apply(&mut wave);
         }
@@ -139,6 +165,10 @@ pub struct GroundReceiver {
     viterbi: ViterbiDecoder,
     crc: Crc,
     crc_failures: u64,
+    /// Scratch: the demodulator's reusable result slot.
+    demod_out: TdmaDemodResult,
+    /// Scratch: the Viterbi decoder's reusable output buffer.
+    decoded: Vec<u8>,
 }
 
 impl GroundReceiver {
@@ -151,6 +181,8 @@ impl GroundReceiver {
             viterbi: ViterbiDecoder::new(ConvCode::umts_half()),
             crc: Crc::new(CrcKind::Crc16),
             crc_failures: 0,
+            demod_out: TdmaDemodResult::default(),
+            decoded: Vec::new(),
         }
     }
 
@@ -161,9 +193,12 @@ impl GroundReceiver {
 
     /// Demodulates and decodes one downlink burst.
     pub fn receive(&mut self, samples: &[Cpx]) -> Option<DownlinkPacket> {
-        let res = self.demod.demodulate(samples)?;
-        let decoded = self.viterbi.decode_block(&res.llrs);
-        let Some(info) = self.crc.check(&decoded) else {
+        if !self.demod.demodulate_into(samples, &mut self.demod_out) {
+            return None;
+        }
+        self.viterbi
+            .decode_into(&self.demod_out.llrs, &mut self.decoded);
+        let Some(info) = self.crc.check(&self.decoded) else {
             self.crc_failures += 1;
             return None;
         };

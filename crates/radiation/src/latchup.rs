@@ -72,7 +72,9 @@ impl LatchupOutcome {
     /// `radiation.latchup.recovered` and `radiation.latchup.burnouts` —
     /// on `registry`. Purely additive: the outcome is not modified.
     pub fn record_telemetry(&self, registry: &gsp_telemetry::Registry) {
-        registry.counter("radiation.latchup.events").add(self.events);
+        registry
+            .counter("radiation.latchup.events")
+            .add(self.events);
         registry
             .counter("radiation.latchup.recovered")
             .add(self.recovered);

@@ -100,7 +100,10 @@ impl Snapshot {
     fn entry_json(e: &MetricSnapshot) -> String {
         match &e.value {
             MetricValue::Counter(v) => {
-                format!("{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{v}}}", e.name)
+                format!(
+                    "{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{v}}}",
+                    e.name
+                )
             }
             MetricValue::Gauge(v) => format!(
                 "{{\"name\":\"{}\",\"type\":\"gauge\",\"value\":{}}}",
