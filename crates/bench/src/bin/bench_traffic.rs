@@ -1,0 +1,188 @@
+//! Closed-loop traffic soak: sweeps the `gsp-traffic` engine across
+//! oversubscription levels (default 0.5×/1.0×/2.0× of uplink capacity),
+//! prints the per-load QoS digest, and writes `BENCH_traffic.json`.
+//!
+//! The artefact keeps the workspace perf-trajectory shape — a top-level
+//! `"metrics"` array holding the nominal-load (1.0×) telemetry snapshot,
+//! which `perf_gate` compares against — plus a `"sweep"` array with one
+//! entry per load: goodput, per-class offered/delivered/drop-rate, and
+//! p50/p99 grant and packet latency in frame ticks.
+//!
+//! Every number in the file is a deterministic function of
+//! `(config, seed, frames)` — latencies are counted in frame ticks, not
+//! wall clock — so two runs with the same seed produce **byte-identical**
+//! output. CI's `traffic-smoke` job asserts exactly that.
+//!
+//! Usage: `bench_traffic [--loads LIST] [--frames N] [--seed N]
+//! [--out PATH]` (defaults: `0.5,1.0,2.0`, 256 frames, `GSP_SEED`,
+//! `BENCH_traffic.json`).
+
+use gsp_telemetry::{Registry, Snapshot};
+use gsp_traffic::{TrafficConfig, TrafficEngine};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One load point of the sweep.
+struct LoadPoint {
+    load: f64,
+    summary: gsp_traffic::TrafficSummary,
+    snapshot: Snapshot,
+}
+
+impl LoadPoint {
+    fn label(&self) -> String {
+        format!("load={}", jf(self.load))
+    }
+}
+
+/// Formats an `f64` as a JSON number token (finite inputs only here;
+/// shortest-roundtrip `Display`, so the token is deterministic).
+fn jf(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders `snapshot.to_json()`'s `"metrics"` array without the
+/// enclosing document, for embedding in sweep entries.
+fn metrics_array(snapshot: &Snapshot) -> String {
+    let doc = snapshot.to_json();
+    let start = doc.find('[').expect("metrics array");
+    let end = doc.rfind(']').expect("metrics array");
+    doc[start..=end].to_string()
+}
+
+fn run_point(load: f64, frames: u64, seed: u64) -> LoadPoint {
+    let registry = Registry::new();
+    let mut engine = TrafficEngine::with_telemetry(TrafficConfig::standard(load), seed, &registry);
+    engine.run(frames);
+    LoadPoint {
+        load,
+        summary: engine.summary(),
+        snapshot: registry.snapshot(),
+    }
+}
+
+/// The per-class sweep-entry JSON, enriched with the tick-latency
+/// percentiles from the point's own telemetry snapshot.
+fn classes_json(p: &LoadPoint) -> String {
+    let rows: Vec<String> = p
+        .summary
+        .classes
+        .iter()
+        .map(|c| {
+            let hist = |suffix: &str| {
+                p.snapshot
+                    .histogram(&format!("traffic.{}.{suffix}", c.name))
+                    .copied()
+                    .unwrap_or_default()
+            };
+            let lat = hist("latency");
+            let grant = hist("grant.latency");
+            format!(
+                "{{\"name\":\"{}\",\"offered\":{},\"delivered\":{},\
+                 \"dropped_aged\":{},\"dropped_switch\":{},\"drop_rate\":{},\
+                 \"grant_p50\":{},\"grant_p99\":{},\
+                 \"latency_p50\":{},\"latency_p99\":{}}}",
+                c.name,
+                c.offered,
+                c.delivered,
+                c.dropped_aged,
+                c.dropped_switch,
+                jf(c.drop_rate),
+                grant.p50,
+                grant.p99,
+                lat.p50,
+                lat.p99,
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn main() {
+    let frames: u64 = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_traffic.json".to_string());
+    let loads_arg = arg_value("--loads").unwrap_or_else(|| "0.5,1.0,2.0".to_string());
+    let loads: Vec<f64> = loads_arg
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&l| l > 0.0)
+        .collect();
+    assert!(!loads.is_empty(), "--loads needs at least one multiple");
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(gsp_bench::seed_from_env);
+
+    println!("traffic soak: {frames} frames per point, seed {seed}, loads {loads:?}");
+    let points: Vec<LoadPoint> = loads
+        .iter()
+        .map(|&load| {
+            let p = run_point(load, frames, seed);
+            let s = &p.summary;
+            println!(
+                "  {:<9} goodput {:.3}  backlog {:>6}  drops {}",
+                p.label(),
+                s.goodput,
+                s.backlog,
+                s.classes
+                    .iter()
+                    .map(|c| format!("{} {:.1}%", c.name, 100.0 * c.drop_rate))
+                    .collect::<Vec<_>>()
+                    .join("  "),
+            );
+            p
+        })
+        .collect();
+
+    // The gate snapshot is the nominal-load point (1.0× when present,
+    // else the first point).
+    let base = points.iter().find(|p| p.load == 1.0).unwrap_or(&points[0]);
+    println!("\nhousekeeping ({}):", base.label());
+    print!("{}", base.snapshot.to_table());
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let s = &p.summary;
+            format!(
+                "{{\"label\":\"{}\",\"load\":{},\"frames\":{},\"seed\":{},\
+                 \"goodput\":{},\"backlog\":{},\"delivered_per_beam\":[{}],\
+                 \"classes\":{},\"metrics\":{}}}",
+                p.label(),
+                jf(p.load),
+                s.frames,
+                seed,
+                jf(s.goodput),
+                s.backlog,
+                s.delivered_per_beam
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                classes_json(p),
+                metrics_array(&p.snapshot)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
+        metrics_array(&base.snapshot),
+        sweep_json.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

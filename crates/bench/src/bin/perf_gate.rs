@@ -1,18 +1,31 @@
-//! CI perf-regression gate for the payload pipeline.
+//! CI perf-regression gate for the payload pipeline and the traffic
+//! plane.
 //!
-//! Reads the committed `BENCH_payload.json` baseline, re-runs a short
-//! 1-worker smoke of the Fig. 2 engine, and fails (exit 1) when the
-//! fresh `payload.frame.ns` p50 exceeds the committed p50 by more than
-//! `--factor` (default 2×). The generous factor absorbs shared-runner
-//! jitter while still catching order-of-magnitude regressions like a
-//! reintroduced per-frame allocation storm.
+//! Two checks, both against committed baselines:
 //!
-//! Usage: `perf_gate [--baseline PATH] [--frames N] [--factor F]
-//! [--esn0 DB]` (defaults: `BENCH_payload.json`, 8 frames, 2.0, 12 dB).
+//! 1. **Pipeline wall clock** — reads `BENCH_payload.json`, re-runs a
+//!    short 1-worker smoke of the Fig. 2 engine, and fails when the
+//!    fresh `payload.frame.ns` p50 exceeds the committed p50 by more
+//!    than `--factor` (default 2×). The generous factor absorbs
+//!    shared-runner jitter while still catching order-of-magnitude
+//!    regressions like a reintroduced per-frame allocation storm.
+//! 2. **Traffic-plane QoS latency** — reads `BENCH_traffic.json`,
+//!    re-runs the nominal-load (1.0×) closed-loop soak, and applies the
+//!    same factor to the `traffic.packet.latency` p50. This latency is
+//!    measured in *frame ticks*, not nanoseconds — it is deterministic
+//!    for the seed, so a failure means the queueing behaviour itself
+//!    regressed (scheduler, DAMA backlog, or switch discipline), not the
+//!    runner.
+//!
+//! Usage: `perf_gate [--baseline PATH] [--traffic-baseline PATH]
+//! [--frames N] [--traffic-frames N] [--factor F] [--esn0 DB]`
+//! (defaults: `BENCH_payload.json`, `BENCH_traffic.json`, 8 pipeline
+//! frames, 256 traffic frames, 2.0, 12 dB).
 
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
 use gsp_telemetry::Registry;
+use gsp_traffic::{TrafficConfig, TrafficEngine};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -21,13 +34,13 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Pulls `"p50":<int>` out of the baseline's `payload.frame.ns` entry.
+/// Pulls `"p50":<int>` out of the baseline entry named `metric`.
 ///
 /// The artefact is the flat hand-rolled schema `gsp-telemetry` emits
 /// (no escapes, no nesting inside an entry), so a string scan is exact —
 /// and keeps the gate dependency-free like the rest of the workspace.
-fn baseline_frame_p50(doc: &str) -> Option<u64> {
-    let entry_at = doc.find("\"name\":\"payload.frame.ns\"")?;
+fn baseline_p50(doc: &str, metric: &str) -> Option<u64> {
+    let entry_at = doc.find(&format!("\"name\":\"{metric}\""))?;
     let rest = &doc[entry_at..];
     let entry_end = rest.find('}')?;
     let entry = &rest[..entry_end];
@@ -39,11 +52,55 @@ fn baseline_frame_p50(doc: &str) -> Option<u64> {
     tail[..num_end].parse().ok()
 }
 
+/// Loads a baseline document and extracts the committed p50 of `metric`,
+/// exiting with a diagnostic on any failure.
+fn load_baseline_p50(path: &str, metric: &str) -> u64 {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match baseline_p50(&doc, metric) {
+        Some(v) => v,
+        None => {
+            eprintln!("perf_gate: no {metric} p50 in {path}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Applies the factor gate to one (baseline, current) pair; returns
+/// whether the check passed. A zero baseline is clamped to 1 so the gate
+/// still has a finite limit.
+fn check(metric: &str, unit: &str, baseline: u64, current: u64, factor: f64, detail: &str) -> bool {
+    let floor = baseline.max(1);
+    let limit = (floor as f64 * factor) as u64;
+    let ratio = current as f64 / floor as f64;
+    println!(
+        "perf_gate: {metric} p50 {current} {unit} vs baseline {baseline} {unit} \
+         ({ratio:.2}x, limit {factor:.1}x, {detail})"
+    );
+    if current > limit {
+        eprintln!(
+            "perf_gate: FAIL — {metric} p50 regressed past {factor:.1}x the committed baseline"
+        );
+        return false;
+    }
+    true
+}
+
 fn main() {
     let baseline_path = arg_value("--baseline").unwrap_or_else(|| "BENCH_payload.json".to_string());
+    let traffic_baseline_path =
+        arg_value("--traffic-baseline").unwrap_or_else(|| "BENCH_traffic.json".to_string());
     let frames: usize = arg_value("--frames")
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
+    let traffic_frames: u64 = arg_value("--traffic-frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
     let factor: f64 = arg_value("--factor")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2.0);
@@ -52,18 +109,8 @@ fn main() {
         .unwrap_or(12.0);
     let seed = gsp_bench::seed_from_env();
 
-    let doc = match std::fs::read_to_string(&baseline_path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("perf_gate: cannot read baseline {baseline_path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let Some(baseline_p50) = baseline_frame_p50(&doc) else {
-        eprintln!("perf_gate: no payload.frame.ns p50 in {baseline_path}");
-        std::process::exit(1);
-    };
-
+    // Check 1: pipeline frame wall-clock p50.
+    let baseline_frame_p50 = load_baseline_p50(&baseline_path, "payload.frame.ns");
     let cfg = ChainConfig {
         esn0_db: Some(esn0),
         ..ChainConfig::default()
@@ -77,16 +124,36 @@ fn main() {
         eprintln!("perf_gate: smoke run recorded no payload.frame.ns");
         std::process::exit(1);
     };
-    let current_p50 = hist.p50;
-
-    let limit = (baseline_p50 as f64 * factor) as u64;
-    let ratio = current_p50 as f64 / baseline_p50 as f64;
-    println!(
-        "perf_gate: payload.frame.ns p50 {current_p50} ns vs baseline {baseline_p50} ns \
-         ({ratio:.2}x, limit {factor:.1}x, {frames} frames, seed {seed})"
+    let pipeline_ok = check(
+        "payload.frame.ns",
+        "ns",
+        baseline_frame_p50,
+        hist.p50,
+        factor,
+        &format!("{frames} frames, seed {seed}"),
     );
-    if current_p50 > limit {
-        eprintln!("perf_gate: FAIL — frame p50 regressed past {factor:.1}x the committed baseline");
+
+    // Check 2: traffic-plane packet latency p50 (frame ticks) at 1.0x.
+    let baseline_traffic_p50 = load_baseline_p50(&traffic_baseline_path, "traffic.packet.latency");
+    let traffic_registry = Registry::new();
+    let mut traffic =
+        TrafficEngine::with_telemetry(TrafficConfig::standard(1.0), seed, &traffic_registry);
+    traffic.run(traffic_frames);
+    let traffic_snapshot = traffic_registry.snapshot();
+    let Some(traffic_hist) = traffic_snapshot.histogram("traffic.packet.latency") else {
+        eprintln!("perf_gate: traffic soak recorded no traffic.packet.latency");
+        std::process::exit(1);
+    };
+    let traffic_ok = check(
+        "traffic.packet.latency",
+        "ticks",
+        baseline_traffic_p50,
+        traffic_hist.p50,
+        factor,
+        &format!("{traffic_frames} frames @ 1.0x, seed {seed}"),
+    );
+
+    if !(pipeline_ok && traffic_ok) {
         std::process::exit(1);
     }
     println!("perf_gate: OK");

@@ -144,7 +144,7 @@ pub fn detect_unique_word(symbols: &[Cpx], uw: &[Cpx], threshold: f64) -> Option
 
 /// MF-TDMA frame geometry: `n_carriers` carriers, each with `slots_per_frame`
 /// slots of `slot_symbols` symbols (burst + guard).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MfTdmaFrame {
     /// FDM carriers in the processed band (the paper's example uses 6).
     pub n_carriers: usize,

@@ -169,6 +169,10 @@ impl CarrierLane {
                 self.packet = Some(BasebandPacket {
                     source: k as u16,
                     dest_beam: (k % self.beams) as u8,
+                    class: 0,
+                    // Stamped with the engine's frame tick in the serial
+                    // ingress section (the lane does not know it).
+                    born_tick: 0,
                     data: gsp_coding::bits::pack_bits(recovered),
                 });
             }
@@ -370,7 +374,20 @@ impl PipelineEngine {
     /// Runs one MF-TDMA frame; equivalent to
     /// [`crate::chain::run_mf_tdma_frame`] but reusing all per-carrier
     /// state and fanning the receive half across the worker pool.
+    ///
+    /// Packets leave the switch with `born_tick == 0`; a frame-clocked
+    /// caller should use [`PipelineEngine::run_frame_at`] instead.
     pub fn run_frame(&mut self, seed: u64) -> ChainReport {
+        self.run_frame_at(seed, 0)
+    }
+
+    /// [`PipelineEngine::run_frame`] with an explicit frame tick: every
+    /// packet the switch accepts is stamped `born_tick = tick`, so a
+    /// traffic layer driving the engine on its own frame clock gets
+    /// end-to-end packet latency for free. The report is a pure function
+    /// of `(config, seed, tick)` — the tick is an input, never read from
+    /// engine state.
+    pub fn run_frame_at(&mut self, seed: u64, tick: u64) -> ChainReport {
         let frame_span = self.tel.frame_ns.span();
         let cfg = &self.cfg;
         let mut rng = StdRng::seed_from_u64(seed);
@@ -467,7 +484,8 @@ impl PipelineEngine {
                 self.stats.crc_failures += 1;
                 self.tel.crc_failures.inc();
             }
-            if let Some(pkt) = lane.packet.take() {
+            if let Some(mut pkt) = lane.packet.take() {
+                pkt.born_tick = tick;
                 switch.ingress(pkt);
             }
             self.stats.demod_ns += lane.demod_ns;
@@ -485,7 +503,12 @@ impl PipelineEngine {
         self.stats.switch_ns += switch_ns;
         self.tel.switch_ns.record(switch_ns);
 
-        let (forwarded, dropped_overflow, dropped_no_route) = switch.stats();
+        let sw_stats = switch.stats();
+        let (forwarded, dropped_overflow, dropped_no_route) = (
+            sw_stats.forwarded,
+            sw_stats.dropped_overflow,
+            sw_stats.dropped_no_route,
+        );
         self.stats.frames += 1;
         self.stats.composite_samples += composite_len as u64;
         self.stats.packets_forwarded += forwarded;
@@ -611,6 +634,18 @@ mod tests {
             s.packets_forwarded + s.crc_failures + s.uw_misses,
             s.frames * 6
         );
+    }
+
+    #[test]
+    fn run_frame_at_stamps_packet_birth_ticks() {
+        let mut engine = PipelineEngine::new(ChainConfig::default());
+        let mut report = engine.run_frame_at(1, 42);
+        let pkt = report.switch.egress(0).expect("clean frame forwards");
+        assert_eq!(pkt.born_tick, 42);
+        // Apart from the stamp, the report is tick-independent.
+        let again = PipelineEngine::new(ChainConfig::default()).run_frame_at(1, 0);
+        assert_eq!(report.carriers, again.carriers);
+        assert_eq!(report.packets_forwarded, again.packets_forwarded);
     }
 
     #[test]

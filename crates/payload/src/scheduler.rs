@@ -36,17 +36,26 @@ pub struct Assignment {
 pub struct SchedulePlan {
     /// Burst assignments, in (carrier-major) transmission order.
     pub assignments: Vec<Assignment>,
+    /// (terminal, slots granted) — one entry per request, including
+    /// zero-grant requests, in priority-sorted request order. Built once
+    /// in [`DamaScheduler::assign`] so closed-loop callers (and
+    /// [`SchedulePlan::granted`]) never rescan the per-slot assignment
+    /// list.
+    pub grants: Vec<(u16, usize)>,
     /// (terminal, slots denied) for requests that did not fit.
     pub denied: Vec<(u16, usize)>,
 }
 
 impl SchedulePlan {
-    /// Slots granted to a terminal.
+    /// Slots granted to a terminal: a scan of the per-request grant
+    /// table (O(requests), not O(assigned slots) — a frame holds
+    /// thousands of slots but each terminal requests once).
     pub fn granted(&self, terminal: u16) -> usize {
-        self.assignments
+        self.grants
             .iter()
-            .filter(|a| a.terminal == terminal)
-            .count()
+            .filter(|(t, _)| *t == terminal)
+            .map(|(_, g)| g)
+            .sum()
     }
 }
 
@@ -107,8 +116,16 @@ impl DamaScheduler {
                     })
                     .collect();
                 let mut used: usize = shares.iter().map(|s| s.1).sum();
-                // Hand out the leftovers by descending remainder.
-                shares.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+                // Hand out the leftovers by descending remainder; equal
+                // remainders tie-break on ascending terminal id so the
+                // split is invariant under permutation of the request
+                // list (closed-loop DAMA re-submits the same backlog in
+                // whatever order it iterates).
+                shares.sort_by(|a, b| {
+                    b.2.partial_cmp(&a.2)
+                        .unwrap()
+                        .then_with(|| by_priority[a.0].terminal.cmp(&by_priority[b.0].terminal))
+                });
                 for s in &mut shares {
                     if used >= remaining {
                         break;
@@ -126,10 +143,13 @@ impl DamaScheduler {
             i = j;
         }
 
-        // Materialise assignments carrier-major.
+        // Materialise assignments carrier-major, and the per-request
+        // grant table alongside.
+        plan.grants.reserve(by_priority.len());
         let mut cursor = 0usize; // linear slot index
         for (k, r) in by_priority.iter().enumerate() {
             let g = grants[k];
+            plan.grants.push((r.terminal, g));
             for _ in 0..g {
                 let carrier = cursor / self.frame.slots_per_frame;
                 let slot = cursor % self.frame.slots_per_frame;

@@ -226,6 +226,8 @@ mod tests {
 
     fn packet(source: u16, beam: u8, data: Vec<u8>) -> BasebandPacket {
         BasebandPacket {
+            class: 0,
+            born_tick: 0,
             source,
             dest_beam: beam,
             data,

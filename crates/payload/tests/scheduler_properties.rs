@@ -1,0 +1,144 @@
+//! Property tests for the DAMA scheduler: conservation, capacity,
+//! strict priority, and permutation-invariance of the largest-remainder
+//! split — the invariants the closed-loop traffic engine leans on when
+//! it re-submits thousands of backlogged requests every frame.
+
+use gsp_modem::framing::MfTdmaFrame;
+use gsp_payload::scheduler::{DamaScheduler, SchedulePlan, SlotRequest};
+use proptest::prelude::*;
+
+fn frame(n_carriers: usize, slots_per_frame: usize) -> MfTdmaFrame {
+    MfTdmaFrame {
+        n_carriers,
+        slots_per_frame,
+        slot_symbols: 64,
+        symbol_rate: 1e5,
+    }
+}
+
+/// Requests with unique terminal ids (the index), arbitrary size and
+/// priority. Unique ids keep per-terminal accounting unambiguous.
+fn requests(max_n: usize) -> impl Strategy<Value = Vec<SlotRequest>> {
+    proptest::collection::vec((0usize..40, 0u8..4), 0..max_n).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (slots, priority))| SlotRequest {
+                terminal: i as u16,
+                slots,
+                priority,
+            })
+            .collect()
+    })
+}
+
+/// Deterministic permutation: sort by a SplitMix64 hash of (terminal, salt).
+fn permute(reqs: &[SlotRequest], salt: u64) -> Vec<SlotRequest> {
+    let mut out = reqs.to_vec();
+    out.sort_by_key(|r| rand::splitmix64_mix(r.terminal as u64 ^ salt));
+    out
+}
+
+fn granted_by_terminal(plan: &SchedulePlan) -> std::collections::HashMap<u16, usize> {
+    let mut m = std::collections::HashMap::new();
+    for &(t, g) in &plan.grants {
+        *m.entry(t).or_insert(0) += g;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grants_never_exceed_capacity(
+        reqs in requests(30),
+        carriers in 1usize..6,
+        slots in 1usize..12,
+    ) {
+        let s = DamaScheduler::new(frame(carriers, slots));
+        let plan = s.assign(&reqs);
+        prop_assert!(plan.assignments.len() <= s.capacity());
+        let total: usize = plan.grants.iter().map(|(_, g)| g).sum();
+        prop_assert_eq!(total, plan.assignments.len());
+    }
+
+    #[test]
+    fn per_request_grants_plus_denied_conserve_the_ask(
+        reqs in requests(30),
+        carriers in 1usize..6,
+        slots in 1usize..12,
+    ) {
+        let s = DamaScheduler::new(frame(carriers, slots));
+        let plan = s.assign(&reqs);
+        let denied: std::collections::HashMap<u16, usize> =
+            plan.denied.iter().copied().collect();
+        for r in &reqs {
+            let got = plan.granted(r.terminal);
+            let short = denied.get(&r.terminal).copied().unwrap_or(0);
+            prop_assert_eq!(
+                got + short,
+                r.slots,
+                "terminal {} asked {}, granted {} denied {}",
+                r.terminal, r.slots, got, short
+            );
+        }
+        // The grant table covers every request exactly once.
+        prop_assert_eq!(plan.grants.len(), reqs.len());
+    }
+
+    #[test]
+    fn higher_priority_is_never_starved_by_lower(
+        reqs in requests(30),
+        carriers in 1usize..6,
+        slots in 1usize..12,
+    ) {
+        let s = DamaScheduler::new(frame(carriers, slots));
+        let plan = s.assign(&reqs);
+        // If any request is short-granted, no request of strictly lower
+        // priority may hold a single slot.
+        for hi in &reqs {
+            if plan.granted(hi.terminal) < hi.slots {
+                for lo in &reqs {
+                    if lo.priority < hi.priority {
+                        prop_assert_eq!(
+                            plan.granted(lo.terminal),
+                            0,
+                            "priority {} starved while priority {} got slots",
+                            hi.priority, lo.priority
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn largest_remainder_split_is_permutation_invariant(
+        reqs in requests(20),
+        salt in any::<u64>(),
+        carriers in 1usize..6,
+        slots in 1usize..12,
+    ) {
+        let s = DamaScheduler::new(frame(carriers, slots));
+        let a = granted_by_terminal(&s.assign(&reqs));
+        let b = granted_by_terminal(&s.assign(&permute(&reqs, salt)));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_remainder_ties_break_deterministically(
+        n in 2usize..8,
+        salt in any::<u64>(),
+    ) {
+        // n identical requests into a frame that cannot hold them all:
+        // every remainder ties, so the split must come out identical for
+        // any submission order (tie-break on terminal id).
+        let reqs: Vec<SlotRequest> = (0..n)
+            .map(|i| SlotRequest { terminal: i as u16, slots: 7, priority: 1 })
+            .collect();
+        let s = DamaScheduler::new(frame(1, 3 * n - 1));
+        let a = granted_by_terminal(&s.assign(&reqs));
+        let b = granted_by_terminal(&s.assign(&permute(&reqs, salt)));
+        prop_assert_eq!(a, b);
+    }
+}

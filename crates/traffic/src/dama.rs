@@ -1,0 +1,301 @@
+//! The closed DAMA loop: per-aggregate backlog carried across frames.
+//!
+//! The payload's [`DamaScheduler`] is a pure per-frame function — it
+//! grants what fits and forgets. Real DAMA is a *loop*: what is not
+//! granted this frame stays queued at the terminal, is re-requested next
+//! frame, and is eventually abandoned when the application gives up.
+//! [`DamaLoop`] closes that loop on top of the scheduler:
+//!
+//! * offered packets enter per-aggregate **cohorts** stamped with their
+//!   arrival frame, so grant latency falls out as `tick − born`;
+//! * each frame, every backlogged aggregate submits one [`SlotRequest`]
+//!   (capped at `max_request` slots) under its class's DAMA priority;
+//! * granted slots release the **oldest** packets first (FIFO within an
+//!   aggregate), preserving per-flow order into the switch;
+//! * cohorts older than the class's `max_age` are dropped *before*
+//!   requesting, with per-class accounting — the model of an application
+//!   timing out.
+//!
+//! The loop itself is deterministic plain bookkeeping: all randomness
+//! lives upstream in the population model.
+
+use crate::TrafficConfig;
+use gsp_payload::scheduler::{DamaScheduler, SlotRequest};
+use gsp_payload::switch::BasebandPacket;
+use std::collections::VecDeque;
+
+/// Packets that arrived at one aggregate in the same frame.
+#[derive(Clone, Debug)]
+struct Cohort {
+    /// Frame tick the packets were offered.
+    born: u64,
+    /// The packets, in generation order.
+    pkts: VecDeque<BasebandPacket>,
+}
+
+/// What one frame of the closed loop produced.
+#[derive(Clone, Debug, Default)]
+pub struct GrantOutcome {
+    /// Granted packets in scheduler service order (highest DAMA priority
+    /// first), each with its grant latency in frame ticks.
+    pub released: Vec<(BasebandPacket, u64)>,
+    /// Packets dropped this frame for exceeding their class's `max_age`,
+    /// per class.
+    pub aged: Vec<u64>,
+    /// Total slots requested this frame (after the per-aggregate cap).
+    pub requested: usize,
+}
+
+/// The closed-loop DAMA layer: backlog, aging, request generation and
+/// grant release around a [`DamaScheduler`].
+#[derive(Clone, Debug)]
+pub struct DamaLoop {
+    scheduler: DamaScheduler,
+    n_classes: usize,
+    max_request: usize,
+    /// Per-class backlog age limit, frames.
+    max_age: Vec<u64>,
+    /// Per-class DAMA priority.
+    priority: Vec<u8>,
+    /// Per-aggregate backlog, oldest cohort first.
+    backlog: Vec<VecDeque<Cohort>>,
+}
+
+impl DamaLoop {
+    /// Builds the loop for `cfg` (one backlog per flow aggregate).
+    pub fn new(cfg: &TrafficConfig) -> Self {
+        DamaLoop {
+            scheduler: DamaScheduler::new(cfg.frame),
+            n_classes: cfg.n_classes(),
+            max_request: cfg.max_request,
+            max_age: cfg.classes.iter().map(|c| c.max_age).collect(),
+            priority: cfg.classes.iter().map(|c| c.priority).collect(),
+            backlog: (0..cfg.n_aggregates()).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// The class an aggregate index belongs to.
+    #[inline]
+    fn class_of(&self, aggregate: usize) -> usize {
+        aggregate % self.n_classes
+    }
+
+    /// Queues freshly generated packets as one cohort per aggregate.
+    /// `offered` must be this frame's output (all `born_tick == tick`).
+    pub fn offer(&mut self, tick: u64, offered: Vec<crate::population::Offered>) {
+        // One pass: start a new cohort per aggregate on first touch.
+        for o in offered {
+            let agg = o.aggregate as usize;
+            let needs_new = match self.backlog[agg].back() {
+                Some(c) => c.born != tick,
+                None => true,
+            };
+            if needs_new {
+                self.backlog[agg].push_back(Cohort {
+                    born: tick,
+                    pkts: VecDeque::new(),
+                });
+            }
+            self.backlog[agg]
+                .back_mut()
+                .expect("cohort just ensured")
+                .pkts
+                .push_back(o.packet);
+        }
+    }
+
+    /// Total packets awaiting a grant.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|c| c.pkts.len())
+            .sum()
+    }
+
+    /// Packets awaiting a grant in one class.
+    pub fn class_backlog(&self, class: usize) -> usize {
+        self.backlog
+            .iter()
+            .enumerate()
+            .filter(|(a, _)| self.class_of(*a) == class)
+            .flat_map(|(_, q)| q.iter())
+            .map(|c| c.pkts.len())
+            .sum()
+    }
+
+    /// Runs one frame of the loop: age out stale cohorts, submit the
+    /// surviving backlog to the scheduler, release granted packets
+    /// oldest-first.
+    pub fn run_frame(&mut self, tick: u64) -> GrantOutcome {
+        let mut out = GrantOutcome {
+            aged: vec![0; self.n_classes],
+            ..GrantOutcome::default()
+        };
+
+        // 1. Application timeout: drop cohorts past their class age.
+        for agg in 0..self.backlog.len() {
+            let limit = self.max_age[self.class_of(agg)];
+            while let Some(front) = self.backlog[agg].front() {
+                if tick.saturating_sub(front.born) > limit {
+                    let dead = self.backlog[agg].pop_front().expect("front just seen");
+                    out.aged[self.class_of(agg)] += dead.pkts.len() as u64;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 2. One capacity request per backlogged aggregate.
+        let mut requests = Vec::new();
+        for (agg, q) in self.backlog.iter().enumerate() {
+            let queued: usize = q.iter().map(|c| c.pkts.len()).sum();
+            if queued > 0 {
+                requests.push(SlotRequest {
+                    terminal: agg as u16,
+                    slots: queued.min(self.max_request),
+                    priority: self.priority[self.class_of(agg)],
+                });
+            }
+        }
+        out.requested = requests.iter().map(|r| r.slots).sum();
+
+        // 3. Schedule and release oldest-first, in grant (priority) order.
+        let plan = self.scheduler.assign(&requests);
+        for &(terminal, granted) in &plan.grants {
+            let q = &mut self.backlog[terminal as usize];
+            let mut left = granted;
+            while left > 0 {
+                let Some(front) = q.front_mut() else { break };
+                let latency = tick.saturating_sub(front.born);
+                if let Some(pkt) = front.pkts.pop_front() {
+                    out.released.push((pkt, latency));
+                    left -= 1;
+                }
+                if front.pkts.is_empty() {
+                    q.pop_front();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Offered;
+
+    fn pkt(aggregate: u16, tick: u64, n_classes: usize) -> Offered {
+        Offered {
+            aggregate,
+            packet: BasebandPacket {
+                source: aggregate,
+                dest_beam: 0,
+                class: (aggregate as usize % n_classes) as u8,
+                born_tick: tick,
+                data: vec![0],
+            },
+        }
+    }
+
+    fn offer_n(loop_: &mut DamaLoop, tick: u64, aggregate: u16, n: usize, n_classes: usize) {
+        loop_.offer(
+            tick,
+            (0..n).map(|_| pkt(aggregate, tick, n_classes)).collect(),
+        );
+    }
+
+    fn cfg() -> TrafficConfig {
+        crate::TrafficConfig::standard(1.0)
+    }
+
+    #[test]
+    fn undersubscribed_backlog_is_granted_the_same_frame() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        offer_n(&mut d, 0, 0, 10, c.n_classes());
+        let out = d.run_frame(0);
+        assert_eq!(out.released.len(), 10);
+        assert!(out.released.iter().all(|(_, lat)| *lat == 0));
+        assert_eq!(d.backlog_len(), 0);
+    }
+
+    #[test]
+    fn ungranted_backlog_carries_and_ages_its_latency() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        // Aggregate 0 is the top-priority voice class (priority 2) and
+        // asks for everything; aggregate 2 (data, priority 0) must wait.
+        offer_n(&mut d, 0, 0, 48, c.n_classes());
+        offer_n(&mut d, 0, 2, 5, c.n_classes());
+        let out = d.run_frame(0);
+        assert_eq!(out.released.len(), 48);
+        assert!(out.released.iter().all(|(p, _)| p.class == 0));
+        assert_eq!(d.backlog_len(), 5);
+        // Next frame the carried packets are re-requested and granted
+        // with latency 1.
+        let out = d.run_frame(1);
+        assert_eq!(out.released.len(), 5);
+        assert!(out.released.iter().all(|(_, lat)| *lat == 1));
+    }
+
+    #[test]
+    fn stale_cohorts_are_dropped_with_per_class_accounting() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        offer_n(&mut d, 0, 0, 7, c.n_classes()); // class 0
+        let age = c.classes[0].max_age;
+        // Never grant (no run_frame), then jump past the age limit.
+        let out = d.run_frame(age + 1);
+        assert_eq!(out.aged[0], 7);
+        assert_eq!(out.aged[1], 0);
+        assert_eq!(out.released.len(), 0);
+        assert_eq!(d.backlog_len(), 0);
+    }
+
+    #[test]
+    fn requests_are_capped_at_max_request() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        offer_n(&mut d, 0, 0, c.max_request + 40, c.n_classes());
+        let out = d.run_frame(0);
+        assert_eq!(out.requested, c.max_request);
+        // The uncapped remainder stays queued.
+        assert_eq!(d.backlog_len(), 40 + c.max_request - out.released.len());
+    }
+
+    #[test]
+    fn release_is_fifo_within_an_aggregate() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        // Two cohorts at ticks 0 and 1; tiny grants force a partial
+        // release that must take the older cohort first.
+        offer_n(&mut d, 0, 0, 3, c.n_classes());
+        let _ = d.run_frame(0); // all 3 granted: capacity 48
+        offer_n(&mut d, 1, 0, 3, c.n_classes());
+        offer_n(&mut d, 1, 3, 60, c.n_classes()); // beam-1 voice aggregate hogs
+        let out = d.run_frame(1);
+        // Both aggregates share priority 2; aggregate 0's grant, whatever
+        // its size, must be served latency-0 packets from the tick-1
+        // cohort (its tick-0 cohort was fully drained).
+        for (p, lat) in &out.released {
+            if p.source == 0 {
+                assert_eq!(*lat, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn class_backlog_partitions_the_total() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        offer_n(&mut d, 0, 0, 4, c.n_classes());
+        offer_n(&mut d, 0, 1, 6, c.n_classes());
+        offer_n(&mut d, 0, 5, 2, c.n_classes()); // beam 1, class 2
+        assert_eq!(d.backlog_len(), 12);
+        assert_eq!(d.class_backlog(0), 4);
+        assert_eq!(d.class_backlog(1), 6);
+        assert_eq!(d.class_backlog(2), 2);
+    }
+}

@@ -103,7 +103,11 @@ fn switch_drops_surface_in_report_stats_and_registry() {
     assert_eq!(report.packets_forwarded, 1);
     assert_eq!(report.packets_dropped_overflow, 5);
     assert_eq!(report.packets_dropped_no_route, 0);
-    assert_eq!(report.switch.stats(), (1, 5, 0));
+    let sw = report.switch.stats();
+    assert_eq!(
+        (sw.forwarded, sw.dropped_overflow, sw.dropped_no_route),
+        (1, 5, 0)
+    );
 
     let stats = engine.stats();
     assert_eq!(stats.packets_dropped_overflow, 5);
