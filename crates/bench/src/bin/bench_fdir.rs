@@ -1,0 +1,187 @@
+//! FDIR availability soak: sweeps the closed-loop
+//! injection→detection→recovery harness across recovery policies
+//! (no-mitigation / scrub-only / full ladder) and SEU regimes (the
+//! Table 1 baseline and the accelerated 10× rate), prints the
+//! availability digest, and writes `BENCH_fdir.json`.
+//!
+//! The artefact keeps the workspace perf-trajectory shape — a top-level
+//! `"metrics"` array holding the full-ladder 10× telemetry snapshot,
+//! which `perf_gate` compares `fdir.recovery.mttr` p50 against — plus a
+//! `"sweep"` array with one entry per (mode, rate): availability, MTTR
+//! p50/p95 in frame ticks, detections, ladder escalation counts, uplink
+//! session/retransmission totals and the voice-class loss figures.
+//!
+//! Every number is a deterministic function of `(config, seed)` — MTTR
+//! is counted in frame ticks, not wall clock — so two runs with the same
+//! seed produce **byte-identical** output. CI's `fdir-smoke` job asserts
+//! exactly that.
+//!
+//! Usage: `bench_fdir [--frames N] [--seed N] [--out PATH]`
+//! (defaults: 768 frames, `GSP_SEED`, `BENCH_fdir.json`).
+
+use gsp_fdir::{FdirHarness, HarnessConfig, RecoveryMode, SoakReport};
+use gsp_telemetry::{Registry, Snapshot};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Formats an `f64` as a JSON number token (finite inputs only;
+/// shortest-roundtrip `Display`, so the token is deterministic).
+fn jf(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders `snapshot.to_json()`'s `"metrics"` array without the
+/// enclosing document, for embedding in sweep entries.
+fn metrics_array(snapshot: &Snapshot) -> String {
+    let doc = snapshot.to_json();
+    let start = doc.find('[').expect("metrics array");
+    let end = doc.rfind(']').expect("metrics array");
+    doc[start..=end].to_string()
+}
+
+struct SweepPoint {
+    mode: RecoveryMode,
+    multiplier: f64,
+    report: SoakReport,
+    snapshot: Snapshot,
+}
+
+fn mode_name(mode: RecoveryMode) -> &'static str {
+    match mode {
+        RecoveryMode::NoRecovery => "none",
+        RecoveryMode::ScrubOnly => "scrub",
+        RecoveryMode::FullLadder => "full",
+    }
+}
+
+impl SweepPoint {
+    fn label(&self) -> String {
+        format!(
+            "mode={},rate={}x",
+            mode_name(self.mode),
+            jf(self.multiplier)
+        )
+    }
+}
+
+fn run_point(mode: RecoveryMode, multiplier: f64, frames: u64, seed: u64) -> SweepPoint {
+    let cfg = HarnessConfig {
+        frames,
+        inject_until: frames.saturating_sub(96),
+        ..HarnessConfig::soak_with_mode(multiplier, mode)
+    };
+    let registry = Registry::new();
+    let report = FdirHarness::with_telemetry(cfg, seed, &registry).run();
+    SweepPoint {
+        mode,
+        multiplier,
+        report,
+        snapshot: registry.snapshot(),
+    }
+}
+
+fn point_json(p: &SweepPoint, seed: u64) -> String {
+    let r = &p.report;
+    format!(
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"rate_multiplier\":{},\
+         \"frames\":{},\"seed\":{},\"injected\":{},\"detections\":{},\
+         \"availability\":{},\"mttr_p50\":{},\"mttr_p95\":{},\
+         \"recoveries\":{},\"escalations\":[{},{},{}],\
+         \"permanently_quarantined\":{},\"healthy_at_end\":{},\
+         \"uplink_sessions\":{},\"uplink_retransmissions\":{},\
+         \"uplink_failures\":{},\"voice_offered\":{},\"voice_dropped\":{},\
+         \"voice_rerouted\":{},\"delivered\":{},\"metrics\":{}}}",
+        p.label(),
+        mode_name(p.mode),
+        jf(p.multiplier),
+        r.frames,
+        seed,
+        r.total_injected(),
+        r.detections,
+        jf(r.availability),
+        r.mttr_p50().map_or("null".into(), |v| v.to_string()),
+        r.mttr_p95().map_or("null".into(), |v| v.to_string()),
+        r.mttr_ticks.len(),
+        r.escalations[0],
+        r.escalations[1],
+        r.escalations[2],
+        r.permanently_quarantined,
+        r.healthy_at_end,
+        r.uplink_sessions,
+        r.uplink_retransmissions,
+        r.uplink_failures,
+        r.voice_offered,
+        r.voice_dropped,
+        r.voice_rerouted,
+        r.delivered,
+        metrics_array(&p.snapshot),
+    )
+}
+
+fn main() {
+    let frames: u64 = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(768);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_fdir.json".to_string());
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(gsp_bench::seed_from_env);
+
+    let modes = [
+        RecoveryMode::NoRecovery,
+        RecoveryMode::ScrubOnly,
+        RecoveryMode::FullLadder,
+    ];
+    let rates = [1.0, 10.0];
+
+    println!("fdir soak: {frames} frames per point, seed {seed}");
+    let mut points = Vec::new();
+    for &mode in &modes {
+        for &rate in &rates {
+            let p = run_point(mode, rate, frames, seed);
+            let r = &p.report;
+            println!(
+                "  {:<22} avail {:.4}  inj {:>3}  det {:>3}  mttr p50/p95 {:>3}/{:<3}  permq {}  healthy {}",
+                p.label(),
+                r.availability,
+                r.total_injected(),
+                r.detections,
+                r.mttr_p50().map_or("-".into(), |v| v.to_string()),
+                r.mttr_p95().map_or("-".into(), |v| v.to_string()),
+                r.permanently_quarantined,
+                r.healthy_at_end,
+            );
+            points.push(p);
+        }
+    }
+
+    // The gate snapshot is the flagship point: full ladder at 10x.
+    let base = points
+        .iter()
+        .find(|p| p.mode == RecoveryMode::FullLadder && p.multiplier == 10.0)
+        .expect("full-ladder 10x point in the sweep");
+    println!("\nhousekeeping ({}):", base.label());
+    print!("{}", base.snapshot.to_table());
+
+    let sweep_json: Vec<String> = points.iter().map(|p| point_json(p, seed)).collect();
+    let json = format!(
+        "{{\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
+        metrics_array(&base.snapshot),
+        sweep_json.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

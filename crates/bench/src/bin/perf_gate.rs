@@ -1,7 +1,7 @@
-//! CI perf-regression gate for the payload pipeline and the traffic
-//! plane.
+//! CI perf-regression gate for the payload pipeline, the traffic plane
+//! and the FDIR recovery ladder.
 //!
-//! Two checks, both against committed baselines:
+//! Three checks, all against committed baselines:
 //!
 //! 1. **Pipeline wall clock** — reads `BENCH_payload.json`, re-runs a
 //!    short 1-worker smoke of the Fig. 2 engine, and fails when the
@@ -16,11 +16,18 @@
 //!    for the seed, so a failure means the queueing behaviour itself
 //!    regressed (scheduler, DAMA backlog, or switch discipline), not the
 //!    runner.
+//! 3. **FDIR recovery MTTR** — reads `BENCH_fdir.json`, re-runs the
+//!    full-ladder 10× soak, and applies the factor to the
+//!    `fdir.recovery.mttr` p50. Also in frame ticks and deterministic
+//!    for the seed: a failure means detection got slower or the ladder
+//!    started escalating where a scrub used to suffice.
 //!
 //! Usage: `perf_gate [--baseline PATH] [--traffic-baseline PATH]
-//! [--frames N] [--traffic-frames N] [--factor F] [--esn0 DB]`
-//! (defaults: `BENCH_payload.json`, `BENCH_traffic.json`, 8 pipeline
-//! frames, 256 traffic frames, 2.0, 12 dB).
+//! [--fdir-baseline PATH] [--frames N] [--traffic-frames N]
+//! [--fdir-frames N] [--factor F] [--esn0 DB]`
+//! (defaults: `BENCH_payload.json`, `BENCH_traffic.json`,
+//! `BENCH_fdir.json`, 8 pipeline frames, 256 traffic frames, 768 fdir
+//! frames, 2.0, 12 dB).
 
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
@@ -153,7 +160,38 @@ fn main() {
         &format!("{traffic_frames} frames @ 1.0x, seed {seed}"),
     );
 
-    if !(pipeline_ok && traffic_ok) {
+    // Check 3: FDIR recovery MTTR p50 (frame ticks), full ladder at 10x.
+    let fdir_baseline_path =
+        arg_value("--fdir-baseline").unwrap_or_else(|| "BENCH_fdir.json".to_string());
+    let fdir_frames: u64 = arg_value("--fdir-frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(768);
+    let baseline_mttr_p50 = load_baseline_p50(&fdir_baseline_path, "fdir.recovery.mttr");
+    let fdir_registry = Registry::new();
+    let fdir_cfg = gsp_fdir::HarnessConfig {
+        frames: fdir_frames,
+        inject_until: fdir_frames.saturating_sub(96),
+        ..gsp_fdir::HarnessConfig::soak(10.0)
+    };
+    let report = gsp_fdir::FdirHarness::with_telemetry(fdir_cfg, seed, &fdir_registry).run();
+    let fdir_snapshot = fdir_registry.snapshot();
+    let Some(mttr_hist) = fdir_snapshot.histogram("fdir.recovery.mttr") else {
+        eprintln!(
+            "perf_gate: fdir soak recorded no recoveries ({} detections)",
+            report.detections
+        );
+        std::process::exit(1);
+    };
+    let fdir_ok = check(
+        "fdir.recovery.mttr",
+        "ticks",
+        baseline_mttr_p50,
+        mttr_hist.p50,
+        factor,
+        &format!("{fdir_frames} frames @ 10x, seed {seed}"),
+    );
+
+    if !(pipeline_ok && traffic_ok && fdir_ok) {
         std::process::exit(1);
     }
     println!("perf_gate: OK");

@@ -126,7 +126,8 @@ pub fn e6_scrub(scale: Scale, seed: u64) -> ExpTable {
         let r = run_scrub_campaign(&CampaignConfig {
             scrub_period_s: period,
             ..base.clone()
-        });
+        })
+        .expect("valid campaign config");
         t.row(vec![
             label.to_string(),
             format!("{:.4}", r.unavailability),

@@ -315,6 +315,60 @@ pub fn traffic_soak(load: f64, frames: u64, seed: u64) -> TrafficSoakOutcome {
     }
 }
 
+/// Outcome of the closed-loop FDIR soak with its status downlinked.
+#[derive(Clone, Debug)]
+pub struct FdirSoakOutcome {
+    /// The soak's deterministic report (availability, MTTR, ladder use).
+    pub report: gsp_fdir::SoakReport,
+    /// What the NCC decoded from the housekeeping frame: every `fdir.*`
+    /// and `traffic.*` metric the soak recorded.
+    pub snapshot: gsp_telemetry::Snapshot,
+    /// Encoded housekeeping frame size, bytes.
+    pub frame_bytes: usize,
+}
+
+/// Runs the FDIR supervision plane end to end: SEUs at `rate_multiplier`×
+/// the Table 1 baseline land on live equipment, the supervisor detects,
+/// quarantines and recovers through the escalation ladder (golden
+/// bitstreams re-uploaded over the lossy uplink), the traffic plane
+/// reroutes around outages — and the whole FDIR state is downlinked to
+/// the NCC as a CRC-protected housekeeping frame, so the ground sees
+/// every detection, transition and recovery rung. Bitwise deterministic
+/// per `(rate_multiplier, seed)`.
+pub fn fdir_soak(rate_multiplier: f64, seed: u64) -> FdirSoakOutcome {
+    use gsp_payload::platform::{Platform, Telemetry};
+
+    let registry = gsp_telemetry::Registry::new();
+    let harness = gsp_fdir::FdirHarness::with_telemetry(
+        gsp_fdir::HarnessConfig::soak(rate_multiplier),
+        seed,
+        &registry,
+    );
+    let report = harness.run();
+
+    // Spacecraft side: the FDIR status rides the same housekeeping
+    // channel as every other subsystem.
+    let mut platform = Platform::new();
+    let frame = crate::housekeeping::encode_frame(&registry.snapshot());
+    let frame_bytes = frame.len();
+    platform.report(Telemetry::Housekeeping { frame });
+
+    // Ground side: decode and hand the snapshot to operations.
+    let mut ncc = Ncc::new(LinkConfig::geo_default());
+    for tm in platform.downlink() {
+        ncc.ingest_telemetry(&tm);
+    }
+    let snapshot = ncc
+        .housekeeping()
+        .cloned()
+        .expect("clean frame must decode");
+    FdirSoakOutcome {
+        report,
+        snapshot,
+        frame_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +492,36 @@ mod tests {
         let a = traffic_soak(2.0, 48, 5);
         let b = traffic_soak(2.0, 48, 5);
         assert_eq!(a.stats, b.stats);
+        assert_eq!(a.snapshot, b.snapshot);
+    }
+
+    #[test]
+    fn fdir_soak_downlinks_its_status() {
+        let out = fdir_soak(10.0, 11);
+        // Ground-truth report and downlinked telemetry must agree.
+        assert_eq!(
+            out.snapshot.counter("fdir.detections"),
+            out.report.detections
+        );
+        assert_eq!(
+            out.snapshot.counter("fdir.transitions"),
+            out.report.transitions
+        );
+        assert_eq!(
+            out.snapshot.counter("fdir.recovery.scrub"),
+            out.report.escalations[0]
+        );
+        let mttr = out.snapshot.histogram("fdir.recovery.mttr").unwrap();
+        assert_eq!(mttr.count, out.report.mttr_ticks.len() as u64);
+        assert!(out.report.availability > 0.95);
+        assert!(out.frame_bytes > crate::housekeeping::HK_OVERHEAD);
+    }
+
+    #[test]
+    fn fdir_soak_is_reproducible() {
+        let a = fdir_soak(10.0, 7);
+        let b = fdir_soak(10.0, 7);
+        assert_eq!(a.report, b.report);
         assert_eq!(a.snapshot, b.snapshot);
     }
 

@@ -1,0 +1,224 @@
+//! The recovery ladder's last rung: re-uploading the golden bitstream
+//! through `gsp-netproto` TFTP over a lossy, corrupting GEO uplink.
+//!
+//! The upload is driven as a sequence of bounded *sessions* against one
+//! persistent on-board TFTP server. Within a session the writer
+//! retransmits on a jittered exponential backoff schedule; when it
+//! exhausts its per-block attempt budget (or the session deadline
+//! lapses) the session ends, and the next one **resumes** at the block
+//! the writer was stalled on instead of re-sending the prefix — the
+//! server's cumulative-ACK rule re-synchronises a writer that resumes
+//! one block behind. The whole exchange runs in `gsp-netproto`'s
+//! discrete-event simulator, so the transfer cost comes out in real
+//! (simulated) nanoseconds and the harness can charge it against the
+//! recovering equipment's busy window. Deterministic per seed.
+
+use gsp_netproto::ip::{ADDR_NCC, ADDR_OBPC};
+use gsp_netproto::tftp::{TftpServer, TftpWriter};
+use gsp_netproto::{BackoffPolicy, LinkConfig, Sim};
+
+/// The uplink a golden-bitstream re-upload crosses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReconfigUplink {
+    /// Channel model (delay, rate, BER, erasure probability).
+    pub link: LinkConfig,
+    /// Retransmission schedule within a session.
+    pub backoff: BackoffPolicy,
+    /// Upload sessions before the rung is abandoned.
+    pub max_sessions: u32,
+    /// Simulated time budget per session, in nanoseconds.
+    pub session_deadline_ns: u64,
+}
+
+impl ReconfigUplink {
+    /// The FDIR soak regime: the GEO link with one in five frames
+    /// erased outright, jittered exponential backoff sized for the
+    /// link's RTT, six sessions of two simulated minutes each.
+    pub fn flight_default() -> Self {
+        let link = LinkConfig {
+            loss_prob: 0.2,
+            ..LinkConfig::geo_default()
+        };
+        ReconfigUplink {
+            backoff: BackoffPolicy::for_link(&link),
+            link,
+            max_sessions: 6,
+            session_deadline_ns: 120_000_000_000,
+        }
+    }
+
+    /// A clean, fast channel for tests that only need the mechanics.
+    pub fn clean() -> Self {
+        let link = LinkConfig::clean_fast();
+        ReconfigUplink {
+            backoff: BackoffPolicy::for_link(&link),
+            link,
+            max_sessions: 3,
+            session_deadline_ns: 60_000_000_000,
+        }
+    }
+
+    /// Uploads `wire` (a serialised golden bitstream) to the on-board
+    /// controller, resuming across sessions as needed. Deterministic in
+    /// `seed`.
+    pub fn upload(&self, wire: &[u8], seed: u64) -> UplinkOutcome {
+        let mut out = UplinkOutcome::default();
+        // One simulator and one server across every session: simulated
+        // time, link state and the server's transfer state (filename,
+        // expected block) all persist, which is what makes resume work.
+        let mut sim = Sim::new(self.link, seed);
+        let mut server = TftpServer::new(ADDR_OBPC);
+        let mut now_ns = 0u64;
+        let mut next_block: u16 = 0;
+        for _ in 0..self.max_sessions {
+            let writer = if next_block == 0 {
+                // The WRQ never got through: start a fresh request.
+                TftpWriter::new(
+                    ADDR_NCC,
+                    ADDR_OBPC,
+                    "golden.bit",
+                    wire.to_vec(),
+                    self.backoff,
+                )
+            } else {
+                out.resumed_at_block.push(next_block);
+                TftpWriter::resume(
+                    ADDR_NCC,
+                    ADDR_OBPC,
+                    "golden.bit",
+                    wire.to_vec(),
+                    self.backoff,
+                    next_block,
+                )
+            };
+            let Ok(mut writer) = writer else {
+                // Bitstream too large for a u16 block counter — the
+                // rung cannot succeed, report failure upward.
+                break;
+            };
+            out.sessions += 1;
+            let stats = sim.run(&mut writer, &mut server, now_ns + self.session_deadline_ns);
+            now_ns = stats.end_ns;
+            out.retransmissions += writer.retransmissions;
+            out.elapsed_ns = now_ns;
+            if server.complete {
+                out.delivered = true;
+                break;
+            }
+            next_block = writer.next_block();
+        }
+        out.verified = out.delivered && server.received == wire;
+        out
+    }
+}
+
+/// What an upload attempt achieved.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UplinkOutcome {
+    /// The server holds a complete file.
+    pub delivered: bool,
+    /// The delivered bytes match the golden image exactly.
+    pub verified: bool,
+    /// Sessions consumed (1 = first try succeeded).
+    pub sessions: u32,
+    /// Total retransmissions across all sessions.
+    pub retransmissions: u64,
+    /// Block each resumed session restarted at, in order.
+    pub resumed_at_block: Vec<u16>,
+    /// Simulated time the whole upload occupied, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden_wire(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn clean_link_delivers_in_one_session() {
+        let wire = golden_wire(1054);
+        let out = ReconfigUplink::clean().upload(&wire, 7);
+        assert!(out.delivered && out.verified);
+        assert_eq!(out.sessions, 1);
+        assert_eq!(out.retransmissions, 0);
+        assert!(out.resumed_at_block.is_empty());
+        assert!(out.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn twenty_percent_loss_still_verifies() {
+        let uplink = ReconfigUplink::flight_default();
+        let wire = golden_wire(1054);
+        for seed in 0..8 {
+            let out = uplink.upload(&wire, seed);
+            assert!(out.delivered, "seed {seed}: {out:?}");
+            assert!(out.verified, "seed {seed} must deliver bit-exact");
+            assert!(out.sessions <= uplink.max_sessions);
+        }
+    }
+
+    #[test]
+    fn heavy_loss_resumes_mid_file_instead_of_restarting() {
+        // A tight attempt budget under heavy loss forces give-ups; the
+        // next session must restart at the stalled block, not block 1.
+        let link = LinkConfig {
+            loss_prob: 0.5,
+            ..LinkConfig::clean_fast()
+        };
+        let uplink = ReconfigUplink {
+            backoff: BackoffPolicy {
+                max_attempts: 2,
+                ..BackoffPolicy::for_link(&link)
+            },
+            link,
+            max_sessions: 24,
+            session_deadline_ns: 600_000_000_000,
+        };
+        let wire = golden_wire(4 * 512 + 100);
+        let mut saw_mid_file_resume = false;
+        for seed in 0..16 {
+            let out = uplink.upload(&wire, seed);
+            if out.resumed_at_block.iter().any(|&b| b > 1) {
+                saw_mid_file_resume = true;
+                assert!(
+                    out.verified || out.sessions == uplink.max_sessions,
+                    "resume must not corrupt the file: {out:?}"
+                );
+            }
+        }
+        assert!(saw_mid_file_resume, "50% loss never forced a resume");
+    }
+
+    #[test]
+    fn black_hole_gives_up_after_session_budget() {
+        let link = LinkConfig {
+            loss_prob: 1.0,
+            ..LinkConfig::clean_fast()
+        };
+        let uplink = ReconfigUplink {
+            backoff: BackoffPolicy::for_link(&link),
+            link,
+            max_sessions: 4,
+            session_deadline_ns: 60_000_000_000,
+        };
+        let out = uplink.upload(&golden_wire(1054), 3);
+        assert!(!out.delivered && !out.verified);
+        assert_eq!(out.sessions, 4, "bounded retries: all sessions spent");
+    }
+
+    #[test]
+    fn uploads_are_deterministic_per_seed() {
+        let uplink = ReconfigUplink::flight_default();
+        let wire = golden_wire(2048);
+        assert_eq!(uplink.upload(&wire, 42), uplink.upload(&wire, 42));
+        let a = uplink.upload(&wire, 1);
+        let b = uplink.upload(&wire, 2);
+        assert!(
+            a.elapsed_ns != b.elapsed_ns || a.retransmissions != b.retransmissions,
+            "different seeds should decorrelate the loss pattern"
+        );
+    }
+}

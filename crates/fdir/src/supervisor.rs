@@ -1,0 +1,599 @@
+//! The per-equipment FDIR state machine and its recovery ladder.
+//!
+//! Detection inputs arrive each tick as a [`DetectorReadout`] per
+//! equipment — watchdog heartbeat misses, CRC-failure-rate tripwires,
+//! read-back/function checks, EDAC correction storms, grant-table
+//! trips. The [`Supervisor`] folds them into one health state per
+//! equipment:
+//!
+//! ```text
+//!            dirty           confirmed            rung issued
+//! Healthy ─────────▶ Suspect ─────────▶ Quarantined ─────────▶ Recovering
+//!    ▲                  │ clean                                    │
+//!    │                  ▼                          clean streak    │
+//!    └──────────────────┴──────────────────────────────◀───────────┘
+//!                                                  dirty after rung ⇒ escalate
+//!                                     ladder exhausted ⇒ PermanentlyQuarantined
+//! ```
+//!
+//! The ladder escalates `Scrub → Reset → Reconfigure`; a full pass that
+//! still leaves the equipment dirty restarts the ladder at most
+//! [`SupervisorConfig::max_ladder_restarts`] times before the equipment
+//! is written off. [`RecoveryMode`] caps the ladder: `NoRecovery`
+//! quarantines forever (the control run), `ScrubOnly` never escalates
+//! past rung 0, `FullLadder` uses all three rungs.
+
+/// Health of one equipment, as the supervisor sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Nominal service.
+    Healthy,
+    /// A tripwire fired; awaiting confirmation over consecutive ticks.
+    Suspect,
+    /// Fault confirmed: the equipment is isolated (its beam outaged).
+    Quarantined,
+    /// A recovery rung has been issued; waiting for it to take and for
+    /// the detectors to run clean.
+    Recovering,
+    /// The ladder was exhausted without a clean bill: permanent loss.
+    PermanentlyQuarantined,
+}
+
+/// One tick's detector outputs for one equipment — every input the
+/// supervisor consults, nothing else.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectorReadout {
+    /// The lane's watchdog deadline lapsed (heartbeat did not advance).
+    pub heartbeat_missed: bool,
+    /// The lane's CRC failure rate tripped its threshold.
+    pub crc_rate_trip: bool,
+    /// Read-back found corrupted configuration frames, or the
+    /// implemented function failed its check.
+    pub function_broken: bool,
+    /// EDAC corrections on the equipment's queue memory this tick.
+    pub edac_trip: bool,
+    /// The scheduler's grant-table validity check discarded a plan.
+    pub grant_trip: bool,
+}
+
+impl DetectorReadout {
+    /// Whether any tripwire fired.
+    pub fn any(&self) -> bool {
+        self.heartbeat_missed
+            || self.crc_rate_trip
+            || self.function_broken
+            || self.edac_trip
+            || self.grant_trip
+    }
+}
+
+/// A recovery action the supervisor orders the harness to execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Rung 0: one full scrub pass from the golden bitstream.
+    Scrub {
+        /// Target equipment.
+        equipment: usize,
+    },
+    /// Rung 1: reset the equipment's mutable state (lane flags, grant
+    /// table) without touching configuration.
+    Reset {
+        /// Target equipment.
+        equipment: usize,
+    },
+    /// Rung 2: full golden-bitstream partial reconfiguration, fetched
+    /// over the uplink.
+    Reconfigure {
+        /// Target equipment.
+        equipment: usize,
+    },
+}
+
+impl RecoveryAction {
+    /// The targeted equipment.
+    pub fn equipment(&self) -> usize {
+        match *self {
+            RecoveryAction::Scrub { equipment }
+            | RecoveryAction::Reset { equipment }
+            | RecoveryAction::Reconfigure { equipment } => equipment,
+        }
+    }
+}
+
+/// How far up the ladder the supervisor may climb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Detection only: confirmed faults quarantine the equipment
+    /// forever (the unmitigated control run).
+    NoRecovery,
+    /// Only rung 0 (scrubbing) is available.
+    ScrubOnly,
+    /// The whole `Scrub → Reset → Reconfigure` ladder.
+    FullLadder,
+}
+
+/// Supervisor timing and escalation policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SupervisorConfig {
+    /// Ladder reach.
+    pub mode: RecoveryMode,
+    /// Consecutive dirty ticks before a suspect is confirmed.
+    pub confirm_ticks: u64,
+    /// Ticks a scrub pass occupies the equipment.
+    pub scrub_busy_ticks: u64,
+    /// Ticks a state reset occupies the equipment.
+    pub reset_busy_ticks: u64,
+    /// Consecutive clean ticks (after the rung completes) to declare
+    /// the equipment healthy again.
+    pub clean_ticks_to_heal: u64,
+    /// Full ladder passes allowed beyond the first before the
+    /// equipment is permanently quarantined.
+    pub max_ladder_restarts: u32,
+}
+
+impl SupervisorConfig {
+    /// Flight-like defaults for `mode`.
+    pub fn standard(mode: RecoveryMode) -> Self {
+        SupervisorConfig {
+            mode,
+            confirm_ticks: 2,
+            scrub_busy_ticks: 2,
+            reset_busy_ticks: 3,
+            clean_ticks_to_heal: 2,
+            max_ladder_restarts: 1,
+        }
+    }
+}
+
+/// A recorded health transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Frame tick of the transition.
+    pub tick: u64,
+    /// Equipment index.
+    pub equipment: usize,
+    /// State left.
+    pub from: Health,
+    /// State entered.
+    pub to: Health,
+}
+
+/// What one supervision tick decided.
+#[derive(Clone, Debug, Default)]
+pub struct StepOutcome {
+    /// Recovery actions to execute *this tick*.
+    pub actions: Vec<RecoveryAction>,
+    /// Health transitions taken this tick, in equipment order.
+    pub transitions: Vec<Transition>,
+}
+
+#[derive(Clone, Debug)]
+struct EquipmentState {
+    health: Health,
+    /// Tick the current suspicion started.
+    suspect_since: u64,
+    /// Consecutive dirty ticks while Suspect.
+    dirty_streak: u64,
+    /// Tick the fault was first seen (MTTR epoch).
+    detect_tick: u64,
+    /// Recovery rung in progress completes at this tick.
+    busy_until: u64,
+    /// Consecutive clean ticks after the rung completed.
+    clean_streak: u64,
+    /// Next ladder rung to issue (0 scrub, 1 reset, 2 reconfigure).
+    rung: u8,
+    /// Ladder restarts consumed.
+    restarts: u32,
+}
+
+impl EquipmentState {
+    fn new() -> Self {
+        EquipmentState {
+            health: Health::Healthy,
+            suspect_since: 0,
+            dirty_streak: 0,
+            detect_tick: 0,
+            busy_until: 0,
+            clean_streak: 0,
+            rung: 0,
+            restarts: 0,
+        }
+    }
+}
+
+/// The FDIR supervisor: one state machine per equipment plus the
+/// accumulated detection/recovery statistics a soak reports.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    eq: Vec<EquipmentState>,
+    ticks: u64,
+    detections: u64,
+    transitions: u64,
+    mttr_ticks: Vec<u64>,
+    unavailable_ticks: u64,
+    /// Actions issued per rung index.
+    escalations: [u64; 3],
+}
+
+impl Supervisor {
+    /// Supervisor over `n_equipment` equipments.
+    pub fn new(n_equipment: usize, cfg: SupervisorConfig) -> Self {
+        Supervisor {
+            cfg,
+            eq: (0..n_equipment).map(|_| EquipmentState::new()).collect(),
+            ticks: 0,
+            detections: 0,
+            transitions: 0,
+            mttr_ticks: Vec::new(),
+            unavailable_ticks: 0,
+            escalations: [0; 3],
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// Current health of `equipment`.
+    pub fn health(&self, equipment: usize) -> Health {
+        self.eq[equipment].health
+    }
+
+    /// Confirmed fault detections so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Health transitions taken so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Completed recoveries' detection-to-healthy times, in ticks.
+    pub fn mttr_ticks(&self) -> &[u64] {
+        &self.mttr_ticks
+    }
+
+    /// Actions issued per ladder rung (scrub, reset, reconfigure).
+    pub fn escalations(&self) -> [u64; 3] {
+        self.escalations
+    }
+
+    /// Equipments currently written off.
+    pub fn permanently_quarantined(&self) -> usize {
+        self.eq
+            .iter()
+            .filter(|e| e.health == Health::PermanentlyQuarantined)
+            .count()
+    }
+
+    /// Whether every equipment is currently Healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.eq.iter().all(|e| e.health == Health::Healthy)
+    }
+
+    /// Fraction of equipment-ticks spent in nominal service (`Healthy`).
+    pub fn availability(&self) -> f64 {
+        let total = self.ticks * self.eq.len() as u64;
+        if total == 0 {
+            1.0
+        } else {
+            1.0 - self.unavailable_ticks as f64 / total as f64
+        }
+    }
+
+    /// Extends the busy window of a recovering equipment — called by the
+    /// harness after a [`RecoveryAction::Reconfigure`] whose uplink
+    /// transfer consumed real (simulated) time.
+    pub fn extend_busy(&mut self, equipment: usize, extra_ticks: u64) {
+        self.eq[equipment].busy_until += extra_ticks;
+    }
+
+    fn go(
+        out: &mut StepOutcome,
+        transitions: &mut u64,
+        tick: u64,
+        equipment: usize,
+        st: &mut EquipmentState,
+        to: Health,
+    ) {
+        out.transitions.push(Transition {
+            tick,
+            equipment,
+            from: st.health,
+            to,
+        });
+        *transitions += 1;
+        st.health = to;
+    }
+
+    /// Issues the next ladder rung for `equipment` and marks it busy.
+    fn issue_rung(&mut self, out: &mut StepOutcome, tick: u64, equipment: usize) {
+        let rung = match self.cfg.mode {
+            RecoveryMode::ScrubOnly => 0,
+            _ => self.eq[equipment].rung.min(2),
+        };
+        let (action, busy) = match rung {
+            0 => (
+                RecoveryAction::Scrub { equipment },
+                self.cfg.scrub_busy_ticks,
+            ),
+            1 => (
+                RecoveryAction::Reset { equipment },
+                self.cfg.reset_busy_ticks,
+            ),
+            _ => (
+                RecoveryAction::Reconfigure { equipment },
+                // The uplink transfer dominates; the harness extends
+                // this once it knows the simulated transfer time.
+                self.cfg.reset_busy_ticks,
+            ),
+        };
+        self.escalations[rung as usize] += 1;
+        let st = &mut self.eq[equipment];
+        st.busy_until = tick + busy;
+        st.clean_streak = 0;
+        out.actions.push(action);
+    }
+
+    /// Advances every state machine one tick. `readouts` must hold one
+    /// [`DetectorReadout`] per equipment, reflecting the *previous*
+    /// frame's symptoms. Returned actions must be executed this tick,
+    /// before the payload frame runs.
+    pub fn step(&mut self, tick: u64, readouts: &[DetectorReadout]) -> StepOutcome {
+        assert_eq!(readouts.len(), self.eq.len(), "one readout per equipment");
+        let mut out = StepOutcome::default();
+        self.ticks += 1;
+        for (i, readout) in readouts.iter().enumerate() {
+            let dirty = readout.any();
+            // Borrow dance: decide on a copy of the state's scalars,
+            // mutate via helpers.
+            match self.eq[i].health {
+                Health::Healthy => {
+                    if dirty {
+                        let st = &mut self.eq[i];
+                        st.suspect_since = tick;
+                        st.detect_tick = tick;
+                        st.dirty_streak = 1;
+                        Self::go(
+                            &mut out,
+                            &mut self.transitions,
+                            tick,
+                            i,
+                            &mut self.eq[i],
+                            Health::Suspect,
+                        );
+                    }
+                }
+                Health::Suspect => {
+                    if !dirty {
+                        // Transient — stand down.
+                        Self::go(
+                            &mut out,
+                            &mut self.transitions,
+                            tick,
+                            i,
+                            &mut self.eq[i],
+                            Health::Healthy,
+                        );
+                    } else {
+                        self.eq[i].dirty_streak += 1;
+                        if self.eq[i].dirty_streak >= self.cfg.confirm_ticks {
+                            self.detections += 1;
+                            self.eq[i].rung = 0;
+                            self.eq[i].restarts = 0;
+                            Self::go(
+                                &mut out,
+                                &mut self.transitions,
+                                tick,
+                                i,
+                                &mut self.eq[i],
+                                Health::Quarantined,
+                            );
+                        }
+                    }
+                }
+                Health::Quarantined => {
+                    if self.cfg.mode != RecoveryMode::NoRecovery {
+                        Self::go(
+                            &mut out,
+                            &mut self.transitions,
+                            tick,
+                            i,
+                            &mut self.eq[i],
+                            Health::Recovering,
+                        );
+                        self.issue_rung(&mut out, tick, i);
+                    }
+                    // NoRecovery: isolated forever.
+                }
+                Health::Recovering => {
+                    if tick < self.eq[i].busy_until {
+                        // Rung still in progress.
+                    } else if !dirty {
+                        self.eq[i].clean_streak += 1;
+                        if self.eq[i].clean_streak >= self.cfg.clean_ticks_to_heal {
+                            let mttr = tick - self.eq[i].detect_tick;
+                            self.mttr_ticks.push(mttr);
+                            Self::go(
+                                &mut out,
+                                &mut self.transitions,
+                                tick,
+                                i,
+                                &mut self.eq[i],
+                                Health::Healthy,
+                            );
+                        }
+                    } else {
+                        // The rung did not take: escalate or restart.
+                        self.eq[i].clean_streak = 0;
+                        let exhausted = match self.cfg.mode {
+                            RecoveryMode::ScrubOnly => true, // every rung is the last
+                            _ => self.eq[i].rung >= 2,
+                        };
+                        if exhausted {
+                            if self.eq[i].restarts >= self.cfg.max_ladder_restarts {
+                                Self::go(
+                                    &mut out,
+                                    &mut self.transitions,
+                                    tick,
+                                    i,
+                                    &mut self.eq[i],
+                                    Health::PermanentlyQuarantined,
+                                );
+                                continue;
+                            }
+                            self.eq[i].restarts += 1;
+                            self.eq[i].rung = 0;
+                        } else {
+                            self.eq[i].rung += 1;
+                        }
+                        self.issue_rung(&mut out, tick, i);
+                    }
+                }
+                Health::PermanentlyQuarantined => {}
+            }
+            if self.eq[i].health != Health::Healthy {
+                self.unavailable_ticks += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirty() -> DetectorReadout {
+        DetectorReadout {
+            crc_rate_trip: true,
+            ..DetectorReadout::default()
+        }
+    }
+
+    fn clean() -> DetectorReadout {
+        DetectorReadout::default()
+    }
+
+    /// Runs one equipment through `script` (true = dirty tick) and
+    /// returns every action issued.
+    fn drive(sup: &mut Supervisor, script: &[bool]) -> Vec<RecoveryAction> {
+        let mut actions = Vec::new();
+        for (t, &d) in script.iter().enumerate() {
+            let r = if d { dirty() } else { clean() };
+            actions.extend(sup.step(t as u64, &[r]).actions);
+        }
+        actions
+    }
+
+    #[test]
+    fn transient_suspicion_stands_down_without_actions() {
+        let mut sup = Supervisor::new(1, SupervisorConfig::standard(RecoveryMode::FullLadder));
+        let actions = drive(&mut sup, &[true, false, false]);
+        assert!(actions.is_empty());
+        assert_eq!(sup.health(0), Health::Healthy);
+        assert_eq!(sup.detections(), 0);
+        // One tick of Suspect counted against availability.
+        assert!((sup.availability() - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confirmed_fault_walks_the_full_cycle_and_records_mttr() {
+        let mut sup = Supervisor::new(1, SupervisorConfig::standard(RecoveryMode::FullLadder));
+        // Dirty for 3 ticks (detect at 0, confirm at 1, quarantine tick
+        // 2 issues the scrub), then the scrub takes effect and the
+        // detectors run clean.
+        let actions = drive(&mut sup, &[true, true, true, false, false, false, false]);
+        assert_eq!(actions, vec![RecoveryAction::Scrub { equipment: 0 }]);
+        assert_eq!(sup.health(0), Health::Healthy);
+        assert_eq!(sup.detections(), 1);
+        assert_eq!(sup.escalations(), [1, 0, 0]);
+        assert_eq!(sup.mttr_ticks(), &[5], "healed at tick 5, detected at 0");
+    }
+
+    #[test]
+    fn persistent_fault_escalates_scrub_reset_reconfigure() {
+        let mut sup = Supervisor::new(1, SupervisorConfig::standard(RecoveryMode::FullLadder));
+        // Dirty forever: the ladder must climb to the top.
+        let actions = drive(&mut sup, &[true; 16]);
+        assert!(actions.contains(&RecoveryAction::Scrub { equipment: 0 }));
+        assert!(actions.contains(&RecoveryAction::Reset { equipment: 0 }));
+        assert!(actions.contains(&RecoveryAction::Reconfigure { equipment: 0 }));
+        let esc = sup.escalations();
+        assert!(esc[0] >= 1 && esc[1] >= 1 && esc[2] >= 1, "{esc:?}");
+    }
+
+    #[test]
+    fn ladder_exhaustion_permanently_quarantines() {
+        let cfg = SupervisorConfig {
+            max_ladder_restarts: 0,
+            ..SupervisorConfig::standard(RecoveryMode::FullLadder)
+        };
+        let mut sup = Supervisor::new(1, cfg);
+        drive(&mut sup, &[true; 40]);
+        assert_eq!(sup.health(0), Health::PermanentlyQuarantined);
+        assert_eq!(sup.permanently_quarantined(), 1);
+        assert!(sup.mttr_ticks().is_empty(), "it never healed");
+        // Once written off, no further actions are issued.
+        let n = sup.escalations().iter().sum::<u64>();
+        drive(&mut sup, &[true; 10]);
+        assert_eq!(sup.escalations().iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn scrub_only_mode_never_escalates_past_rung_zero() {
+        let mut sup = Supervisor::new(1, SupervisorConfig::standard(RecoveryMode::ScrubOnly));
+        let actions = drive(&mut sup, &[true; 24]);
+        assert!(!actions.is_empty());
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, RecoveryAction::Scrub { .. })));
+        let esc = sup.escalations();
+        assert_eq!(esc[1] + esc[2], 0, "{esc:?}");
+        // A scrub-proof fault eventually writes the equipment off.
+        assert_eq!(sup.health(0), Health::PermanentlyQuarantined);
+    }
+
+    #[test]
+    fn no_recovery_mode_quarantines_forever_without_actions() {
+        let mut sup = Supervisor::new(1, SupervisorConfig::standard(RecoveryMode::NoRecovery));
+        let actions = drive(&mut sup, &[true, true, false, false, false, false]);
+        assert!(actions.is_empty());
+        assert_eq!(sup.health(0), Health::Quarantined);
+        assert_eq!(sup.detections(), 1);
+        // Even after the symptoms clear, nobody recovers the equipment:
+        // it stays quarantined and unavailability keeps accruing.
+        drive(&mut sup, &[false; 10]);
+        assert_eq!(sup.health(0), Health::Quarantined);
+        assert!(sup.availability() < 1.0);
+    }
+
+    #[test]
+    fn extend_busy_defers_the_verdict() {
+        let mut sup = Supervisor::new(1, SupervisorConfig::standard(RecoveryMode::FullLadder));
+        // Reach Recovering with the scrub issued at tick 2.
+        drive(&mut sup, &[true, true, true]);
+        assert_eq!(sup.health(0), Health::Recovering);
+        sup.extend_busy(0, 50);
+        // Clean ticks during the extended busy window must not heal.
+        for t in 3..20 {
+            sup.step(t, &[clean()]);
+        }
+        assert_eq!(sup.health(0), Health::Recovering);
+    }
+
+    #[test]
+    fn independent_equipments_do_not_interfere() {
+        let mut sup = Supervisor::new(3, SupervisorConfig::standard(RecoveryMode::FullLadder));
+        for t in 0..8 {
+            let r1 = if t < 3 { dirty() } else { clean() };
+            sup.step(t, &[clean(), r1, clean()]);
+        }
+        assert_eq!(sup.health(0), Health::Healthy);
+        assert_eq!(sup.health(2), Health::Healthy);
+        assert_eq!(sup.detections(), 1);
+    }
+}

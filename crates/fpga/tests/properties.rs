@@ -71,6 +71,45 @@ proptest! {
         prop_assert_eq!(fab.global_crc(), crc);
     }
 
+    /// The FDIR ladder's rung-1 contract: whatever an SEU burst did to
+    /// the fabric, **one** scrub pass — monolithic or a full rotation of
+    /// per-frame steps — leaves every configuration frame *bitwise*
+    /// identical to the golden bitstream, and both readback strategies
+    /// then agree there is nothing left to find.
+    #[test]
+    fn one_scrub_pass_restores_bitwise_identity_under_any_upsets(
+        design in 0u32..1000,
+        upsets in proptest::collection::vec(
+            (0usize..24, 0usize..512, 0u8..8), 0..60),
+        strategy_idx in 0usize..2,
+        step_wise in any::<bool>(),
+    ) {
+        let strategy = [ReadbackStrategy::FullCompare, ReadbackStrategy::CrcCompare][strategy_idx];
+        let (mut fab, bs) = loaded(design);
+        for &(f, b, bit) in &upsets {
+            fab.inject_upset_at(f, b, bit);
+        }
+        let mut s = Scrubber::new(1);
+        if step_wise {
+            for _ in 0..fab.device().frames {
+                s.scrub_step(&mut fab, &bs).unwrap();
+            }
+        } else {
+            s.scrub_full(&mut fab, &bs).unwrap();
+        }
+        prop_assert_eq!(s.passes(), 1, "exactly one pass was spent");
+        for f in 0..fab.device().frames {
+            prop_assert_eq!(
+                fab.readback_frame(f).unwrap(),
+                &bs.frames[f][..],
+                "frame {} not bitwise golden after one pass", f
+            );
+        }
+        prop_assert!(strategy.detect(&fab, &bs).unwrap().is_empty());
+        prop_assert!(fab.function_correct(&bs));
+        prop_assert_eq!(fab.global_crc(), bs.global_crc);
+    }
+
     #[test]
     fn bitstream_wire_format_rejects_any_single_flip(
         design in 0u32..1000,

@@ -1,0 +1,143 @@
+//! Jittered exponential retransmit backoff shared by the TFTP client and
+//! the FDIR reconfiguration uplink.
+//!
+//! A fixed RTO over a 250 ms-RTT GEO link has two failure modes: under
+//! sustained loss every retransmission fires at the same cadence
+//! (synchronised with whatever is eating the frames), and a sender can
+//! retry forever. [`BackoffPolicy`] fixes both: the delay doubles per
+//! consecutive retransmission of the same unit up to a ceiling, a
+//! deterministic jitter window decorrelates retries, and an attempt
+//! budget bounds how long a dead link is hammered before the sender
+//! gives up and reports failure to the layer above (the FDIR recovery
+//! ladder, which owns the decision to re-try or escalate).
+//!
+//! Jitter is derived from a SplitMix64 hash of (stream, attempt) — no
+//! RNG state is carried, so the same policy object produces the same
+//! schedule for the same stream key, keeping whole-simulation runs
+//! bitwise reproducible.
+
+/// Retransmit schedule: exponential growth, bounded, jittered,
+/// with a per-unit attempt budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retransmission, nanoseconds.
+    pub base_ns: u64,
+    /// Ceiling on any single delay, nanoseconds.
+    pub max_ns: u64,
+    /// Half-width of the jitter window as a fraction of the nominal
+    /// delay (0.25 → uniform in ±25%). Zero disables jitter.
+    pub jitter: f64,
+    /// Total transmissions of one unit (initial + retransmissions)
+    /// before the sender gives up. `u32::MAX` = never give up.
+    pub max_attempts: u32,
+}
+
+impl BackoffPolicy {
+    /// The legacy fixed-RTO behaviour: constant delay, no jitter, no
+    /// give-up. Used where an unbounded stop-and-wait retry loop is the
+    /// intended semantics (lab tests, scenarios without a supervisor).
+    pub fn fixed(rto_ns: u64) -> Self {
+        BackoffPolicy {
+            base_ns: rto_ns,
+            max_ns: rto_ns,
+            jitter: 0.0,
+            max_attempts: u32::MAX,
+        }
+    }
+
+    /// A policy sized for a link: base RTO of 2·RTT plus a serialisation
+    /// allowance, ceiling at 8× base, ±25% jitter, 8 transmissions per
+    /// unit before giving up.
+    pub fn for_link(link: &crate::link::LinkConfig) -> Self {
+        let base = 2 * link.rtt_ns() + 300_000_000;
+        BackoffPolicy {
+            base_ns: base,
+            max_ns: 8 * base,
+            jitter: 0.25,
+            max_attempts: 8,
+        }
+    }
+
+    /// Delay to arm before transmission number `attempt` of one unit
+    /// (0 = initial send, 1 = first retransmission, …). `stream` keys
+    /// the jitter sequence so concurrent transfers decorrelate.
+    pub fn delay_ns(&self, attempt: u32, stream: u64) -> u64 {
+        let shift = attempt.min(20);
+        let nominal = self
+            .base_ns
+            .saturating_mul(1u64 << shift)
+            .min(self.max_ns.max(self.base_ns));
+        let half = (nominal as f64 * self.jitter) as u64;
+        if half == 0 {
+            return nominal.max(1);
+        }
+        let h = rand::splitmix64_mix(stream ^ ((attempt as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15);
+        (nominal - half + h % (2 * half + 1)).max(1)
+    }
+
+    /// Whether a unit that has already been transmitted `sent` times has
+    /// exhausted its budget (no further transmission allowed).
+    pub fn exhausted(&self, sent: u32) -> bool {
+        sent >= self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    #[test]
+    fn fixed_policy_is_constant_and_unbounded() {
+        let p = BackoffPolicy::fixed(1_000_000);
+        for attempt in 0..40 {
+            assert_eq!(p.delay_ns(attempt, 7), 1_000_000);
+        }
+        assert!(!p.exhausted(1_000_000));
+    }
+
+    #[test]
+    fn delay_grows_then_saturates() {
+        let p = BackoffPolicy {
+            base_ns: 1_000,
+            max_ns: 8_000,
+            jitter: 0.0,
+            max_attempts: 8,
+        };
+        assert_eq!(p.delay_ns(0, 0), 1_000);
+        assert_eq!(p.delay_ns(1, 0), 2_000);
+        assert_eq!(p.delay_ns(2, 0), 4_000);
+        assert_eq!(p.delay_ns(3, 0), 8_000);
+        assert_eq!(p.delay_ns(9, 0), 8_000, "ceiling holds");
+        assert_eq!(p.delay_ns(63, 0), 8_000, "shift is clamped, no overflow");
+    }
+
+    #[test]
+    fn jitter_stays_in_window_and_is_deterministic() {
+        let p = BackoffPolicy::for_link(&LinkConfig::geo_default());
+        for attempt in 0..8 {
+            let d = p.delay_ns(attempt, 42);
+            let nominal = p.base_ns.saturating_mul(1 << attempt).min(p.max_ns);
+            let half = (nominal as f64 * p.jitter) as u64;
+            assert!(
+                d >= nominal - half && d <= nominal + half,
+                "attempt {attempt}: {d} outside ±25% of {nominal}"
+            );
+            assert_eq!(d, p.delay_ns(attempt, 42), "same key → same delay");
+        }
+        // Different streams decorrelate (at least one attempt differs).
+        assert!((0..8).any(|a| p.delay_ns(a, 1) != p.delay_ns(a, 2)));
+    }
+
+    #[test]
+    fn budget_counts_total_transmissions() {
+        let p = BackoffPolicy {
+            base_ns: 1,
+            max_ns: 1,
+            jitter: 0.0,
+            max_attempts: 3,
+        };
+        assert!(!p.exhausted(2), "third transmission still allowed");
+        assert!(p.exhausted(3));
+    }
+}

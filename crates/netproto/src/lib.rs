@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod bulk;
 pub mod cops;
 pub mod frames;
@@ -51,6 +52,7 @@ pub mod sim;
 pub mod tcp;
 pub mod tftp;
 
+pub use backoff::BackoffPolicy;
 pub use link::LinkConfig;
 pub use scenarios::{simulate_transfer, TransferProtocol, TransferStats};
 pub use sim::{Agent, Io, Side, Sim, SimStats};

@@ -15,6 +15,10 @@ pub struct LinkConfig {
     pub down_rate_bps: u64,
     /// Channel bit-error rate applied to every frame.
     pub ber: f64,
+    /// Whole-frame erasure probability applied independently of BER —
+    /// models interference bursts and deep fades that take out a frame
+    /// regardless of its length (the FDIR uplink's 20%-loss regime).
+    pub loss_prob: f64,
 }
 
 impl LinkConfig {
@@ -28,6 +32,7 @@ impl LinkConfig {
             up_rate_bps: 256_000,
             down_rate_bps: 1_000_000,
             ber: 1e-7,
+            loss_prob: 0.0,
         }
     }
 
@@ -38,6 +43,7 @@ impl LinkConfig {
             up_rate_bps: 10_000_000,
             down_rate_bps: 10_000_000,
             ber: 0.0,
+            loss_prob: 0.0,
         }
     }
 
@@ -56,14 +62,15 @@ impl LinkConfig {
         (bytes as u128 * 8 * 1_000_000_000 / rate as u128) as u64
     }
 
-    /// Probability a frame of `bytes` arrives uncorrupted.
+    /// Probability a frame of `bytes` arrives uncorrupted: it must dodge
+    /// both the whole-frame erasure and a per-bit error.
     pub fn frame_survival_probability(&self, bytes: usize) -> f64 {
-        (1.0 - self.ber).powi((bytes * 8) as i32)
+        (1.0 - self.loss_prob.clamp(0.0, 1.0)) * (1.0 - self.ber).powi((bytes * 8) as i32)
     }
 
     /// Draws the fate of one frame: `true` = delivered intact.
     pub fn frame_survives<R: Rng>(&self, bytes: usize, rng: &mut R) -> bool {
-        if self.ber <= 0.0 {
+        if self.ber <= 0.0 && self.loss_prob <= 0.0 {
             return true;
         }
         rng.gen_bool(self.frame_survival_probability(bytes).clamp(0.0, 1.0))
@@ -128,6 +135,27 @@ mod tests {
         let expect = l.frame_survival_probability(125);
         let got = survived as f64 / n as f64;
         assert!((got - expect).abs() < 0.01, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn loss_prob_composes_with_ber() {
+        let l = LinkConfig {
+            loss_prob: 0.2,
+            ..LinkConfig::clean_fast()
+        };
+        // Pure erasure: survival independent of frame size.
+        assert!((l.frame_survival_probability(64) - 0.8).abs() < 1e-12);
+        assert!((l.frame_survival_probability(4096) - 0.8).abs() < 1e-12);
+        // Composed with BER, both factors apply.
+        let lb = LinkConfig { ber: 1e-5, ..l };
+        let expect = 0.8 * (1.0f64 - 1e-5).powi(512);
+        assert!((lb.frame_survival_probability(64) - expect).abs() < 1e-12);
+        // The statistical draw tracks the probability.
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let survived = (0..n).filter(|_| l.frame_survives(64, &mut rng)).count();
+        let got = survived as f64 / n as f64;
+        assert!((got - 0.8).abs() < 0.01, "{got} vs 0.8");
     }
 
     #[test]

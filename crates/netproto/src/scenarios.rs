@@ -62,8 +62,14 @@ pub fn simulate_transfer(
     let deadline = 48 * 3_600_000_000_000u64;
     let (stats, delivered) = match proto {
         TransferProtocol::Tftp => {
-            let mut w = TftpWriter::new(1, 2, "file.bit", data.clone(), rto)
-                .expect("transfer sizes in this scenario fit the TFTP block limit");
+            let mut w = TftpWriter::new(
+                1,
+                2,
+                "file.bit",
+                data.clone(),
+                crate::backoff::BackoffPolicy::fixed(rto),
+            )
+            .expect("transfer sizes in this scenario fit the TFTP block limit");
             let mut s = TftpServer::new(2);
             let mut sim = Sim::new(link, seed);
             let st = sim.run(&mut w, &mut s, deadline);

@@ -7,6 +7,7 @@
 //! the set-up or the test phases." Experiment E4 quantifies exactly that
 //! over the GEO link.
 
+use crate::backoff::BackoffPolicy;
 use crate::ip::{udp_packet, IpAddr, IpPacket, IpProto, UdpDatagram};
 use crate::sim::{Agent, Io};
 use bytes::{BufMut, Bytes, BytesMut};
@@ -90,7 +91,12 @@ pub struct TftpWriter {
     /// Next block to send (0 = WRQ phase).
     block: u16,
     done: bool,
-    rto_ns: u64,
+    backoff: BackoffPolicy,
+    /// Transmissions of the current unit already performed.
+    attempt: u32,
+    /// Jitter stream key (decorrelates concurrent transfers).
+    stream: u64,
+    gave_up: bool,
     timer_gen: u64,
     /// Retransmissions performed.
     pub retransmissions: u64,
@@ -99,7 +105,9 @@ pub struct TftpWriter {
 }
 
 impl TftpWriter {
-    /// New writer for `data` named `filename`.
+    /// New writer for `data` named `filename`, retransmitting on the
+    /// given backoff schedule (use [`BackoffPolicy::fixed`] for the
+    /// classic constant-RTO behaviour).
     ///
     /// Fails with [`TftpError::FileTooLarge`] when `data` would need more
     /// than `u16::MAX` blocks: block numbers would silently wrap and the
@@ -109,7 +117,7 @@ impl TftpWriter {
         remote: IpAddr,
         filename: &str,
         data: Vec<u8>,
-        rto_ns: u64,
+        backoff: BackoffPolicy,
     ) -> Result<Self, TftpError> {
         if data.len() > MAX_FILE_BYTES {
             return Err(TftpError::FileTooLarge {
@@ -117,6 +125,9 @@ impl TftpWriter {
                 max: MAX_FILE_BYTES,
             });
         }
+        let stream = rand::splitmix64_mix(
+            ((local as u64) << 32) ^ remote as u64 ^ (data.len() as u64).rotate_left(17),
+        );
         Ok(TftpWriter {
             local,
             remote,
@@ -124,11 +135,45 @@ impl TftpWriter {
             data,
             block: 0,
             done: false,
-            rto_ns,
+            backoff,
+            attempt: 0,
+            stream,
+            gave_up: false,
             timer_gen: 0,
             retransmissions: 0,
             tel_retransmissions: Counter::noop(),
         })
+    }
+
+    /// Resumes an interrupted transfer at `first_block` (1-based): the
+    /// WRQ phase is skipped and transmission starts at that DATA block.
+    /// Valid only against a server that already holds the transfer state
+    /// for this file (it keeps `filename`/`expected_block` across writer
+    /// restarts); the server's cumulative-ACK rule re-synchronises a
+    /// writer that resumes one block behind.
+    pub fn resume(
+        local: IpAddr,
+        remote: IpAddr,
+        filename: &str,
+        data: Vec<u8>,
+        backoff: BackoffPolicy,
+        first_block: u16,
+    ) -> Result<Self, TftpError> {
+        let mut w = Self::new(local, remote, filename, data, backoff)?;
+        w.block = first_block.clamp(1, w.total_blocks());
+        Ok(w)
+    }
+
+    /// The block the writer is currently trying to deliver (0 = WRQ).
+    /// After a give-up, this is where a resumed transfer should restart.
+    pub fn next_block(&self) -> u16 {
+        self.block
+    }
+
+    /// Whether the writer abandoned the transfer after exhausting the
+    /// backoff policy's attempt budget on one unit.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
     }
 
     /// Registers the `netproto.tftp.retransmissions` counter on `registry`.
@@ -156,7 +201,10 @@ impl TftpWriter {
             payload,
         ));
         self.timer_gen += 1;
-        io.set_timer(self.rto_ns, self.timer_gen);
+        let delay = self
+            .backoff
+            .delay_ns(self.attempt, self.stream ^ ((self.block as u64) << 48));
+        io.set_timer(delay, self.timer_gen);
     }
 
     /// Number of data blocks in the file (a final short/empty block ends
@@ -197,6 +245,7 @@ impl Agent for TftpWriter {
                 return;
             }
             self.block += 1;
+            self.attempt = 0;
             self.transmit(io);
         } else if op == OP_ERROR {
             self.done = true;
@@ -207,6 +256,15 @@ impl Agent for TftpWriter {
         if self.done || id != self.timer_gen {
             return;
         }
+        if self.backoff.exhausted(self.attempt + 1) {
+            // Attempt budget spent on this unit: stop hammering a dead
+            // link and report failure upward (the caller may resume at
+            // `next_block()` once the channel recovers).
+            self.gave_up = true;
+            self.done = true;
+            return;
+        }
+        self.attempt += 1;
         self.retransmissions += 1;
         self.tel_retransmissions.inc();
         self.transmit(io);
@@ -359,7 +417,8 @@ mod tests {
     fn run(size: usize, link: LinkConfig, seed: u64) -> (bool, Vec<u8>, u64, u64) {
         let data: Vec<u8> = (0..size).map(|i| (i * 13 % 251) as u8).collect();
         let rto = 2 * link.rtt_ns() + 300_000_000;
-        let mut w = TftpWriter::new(1, 2, "design.bit", data.clone(), rto).unwrap();
+        let mut w =
+            TftpWriter::new(1, 2, "design.bit", data.clone(), BackoffPolicy::fixed(rto)).unwrap();
         let mut s = TftpServer::new(2);
         let mut sim = Sim::new(link, seed);
         let stats = sim.run(&mut w, &mut s, 24 * 3_600_000_000_000);
@@ -424,8 +483,105 @@ mod tests {
     }
 
     #[test]
+    fn completes_under_twenty_percent_loss_within_retry_budget() {
+        // The FDIR uplink regime: every fifth frame erased outright.
+        // The jittered-backoff budget (8 transmissions per unit) must be
+        // enough to push 8 blocks through without giving up.
+        let link = LinkConfig {
+            loss_prob: 0.2,
+            ..LinkConfig::clean_fast()
+        };
+        let data: Vec<u8> = (0..8 * BLOCK).map(|i| (i * 7 % 251) as u8).collect();
+        let policy = BackoffPolicy::for_link(&link);
+        let mut w = TftpWriter::new(1, 2, "lossy.bit", data.clone(), policy).unwrap();
+        let mut s = TftpServer::new(2);
+        let mut sim = Sim::new(link, 11);
+        let stats = sim.run(&mut w, &mut s, 3_600_000_000_000);
+        assert!(stats.completed, "transfer must finish under 20% loss");
+        assert!(!w.gave_up());
+        assert_eq!(s.received, data);
+        assert!(
+            w.retransmissions > 0,
+            "20% loss over 18 exchanges must cost retransmissions"
+        );
+        assert!(
+            w.retransmissions < 8 * 10,
+            "budget respected: {} retransmissions",
+            w.retransmissions
+        );
+    }
+
+    #[test]
+    fn gives_up_after_attempt_budget_and_resumes_mid_file() {
+        // A black-hole channel: the writer must stop after its budget,
+        // report where it stood, and a resumed writer must finish the
+        // file against the same server without re-sending the prefix.
+        let policy = BackoffPolicy {
+            base_ns: 1_000_000,
+            max_ns: 4_000_000,
+            jitter: 0.0,
+            max_attempts: 3,
+        };
+        let data: Vec<u8> = (0..3 * BLOCK + 10).map(|i| (i % 251) as u8).collect();
+        let mut w = TftpWriter::new(1, 2, "resume.bit", data.clone(), policy).unwrap();
+        let mut s = TftpServer::new(2);
+
+        // Session 1: deliver WRQ + block 1, then the channel dies.
+        let mut io = mk_io();
+        w.start(&mut io);
+        for f in sends(&io) {
+            let mut sio = mk_io();
+            s.on_frame(&mut sio, f);
+            for ack in sends(&sio) {
+                let mut wio = mk_io();
+                w.on_frame(&mut wio, ack);
+                // Deliver DATA 1 but swallow everything after it.
+                if w.next_block() == 1 {
+                    for d in sends(&wio) {
+                        let mut sio2 = mk_io();
+                        s.on_frame(&mut sio2, d);
+                        // ACK 1 is lost: the writer times out on block 1.
+                    }
+                }
+            }
+        }
+        assert_eq!(s.received.len(), BLOCK, "server holds block 1");
+        // Exhaust the budget: timer generations advance by one per send.
+        for gen in 2..=4 {
+            let mut tio = mk_io();
+            w.on_timer(&mut tio, gen);
+        }
+        assert!(w.gave_up() && w.finished());
+        assert_eq!(w.next_block(), 1, "gave up while re-sending block 1");
+
+        // Session 2: channel restored; resume against the SAME server.
+        // The server (expecting 2) re-ACKs the duplicate block 1 and the
+        // rest flows normally.
+        let mut w2 = TftpWriter::resume(
+            1,
+            2,
+            "resume.bit",
+            data.clone(),
+            BackoffPolicy::fixed(1_000_000),
+            w.next_block(),
+        )
+        .unwrap();
+        let mut sim = Sim::new(LinkConfig::clean_fast(), 12);
+        let stats = sim.run(&mut w2, &mut s, 1_000_000_000_000);
+        assert!(stats.completed);
+        assert_eq!(s.received, data, "resumed transfer completes the file");
+    }
+
+    #[test]
     fn retransmits_after_timeout_and_ignores_stale_timers() {
-        let mut w = TftpWriter::new(1, 2, "f.bit", vec![7u8; 700], 1_000_000).unwrap();
+        let mut w = TftpWriter::new(
+            1,
+            2,
+            "f.bit",
+            vec![7u8; 700],
+            BackoffPolicy::fixed(1_000_000),
+        )
+        .unwrap();
         let mut io0 = mk_io();
         w.start(&mut io0);
         let first = sends(&io0);
@@ -453,7 +609,7 @@ mod tests {
     fn duplicate_acks_do_not_advance_or_resend() {
         // 700 bytes = DATA 1 (512) + DATA 2 (188, short → final).
         let data = vec![3u8; 700];
-        let mut w = TftpWriter::new(1, 2, "f.bit", data, 1_000_000).unwrap();
+        let mut w = TftpWriter::new(1, 2, "f.bit", data, BackoffPolicy::fixed(1_000_000)).unwrap();
         let mut io = mk_io();
         w.start(&mut io);
 
@@ -489,7 +645,14 @@ mod tests {
         // One byte past the limit needs a 65536th block — the u16 block
         // number would wrap to 0 and the transfer could never finish.
         assert_eq!(MAX_FILE_BYTES + 1, BLOCK * u16::MAX as usize);
-        let err = TftpWriter::new(1, 2, "huge.bit", vec![0u8; MAX_FILE_BYTES + 1], 1).unwrap_err();
+        let err = TftpWriter::new(
+            1,
+            2,
+            "huge.bit",
+            vec![0u8; MAX_FILE_BYTES + 1],
+            BackoffPolicy::fixed(1),
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             TftpError::FileTooLarge {
@@ -500,7 +663,14 @@ mod tests {
         assert!(err.to_string().contains("block-number limit"));
 
         // The largest representable file still constructs fine.
-        let w = TftpWriter::new(1, 2, "big.bit", vec![0u8; MAX_FILE_BYTES], 1).unwrap();
+        let w = TftpWriter::new(
+            1,
+            2,
+            "big.bit",
+            vec![0u8; MAX_FILE_BYTES],
+            BackoffPolicy::fixed(1),
+        )
+        .unwrap();
         assert_eq!(w.total_blocks(), u16::MAX);
     }
 
@@ -508,7 +678,8 @@ mod tests {
     fn filename_is_recorded() {
         let data = vec![1u8; 100];
         let rto = 300_000_000;
-        let mut w = TftpWriter::new(1, 2, "cdma_to_tdma.bit", data, rto).unwrap();
+        let mut w =
+            TftpWriter::new(1, 2, "cdma_to_tdma.bit", data, BackoffPolicy::fixed(rto)).unwrap();
         let mut s = TftpServer::new(2);
         let mut sim = Sim::new(LinkConfig::clean_fast(), 6);
         sim.run(&mut w, &mut s, 1_000_000_000_000);

@@ -47,5 +47,5 @@ pub mod txchain;
 pub use equipment::{Equipment, EquipmentId, EquipmentKind};
 pub use memory::OnboardMemory;
 pub use obpc::{Obpc, ReconfigError, ReconfigReport};
-pub use pipeline::{PipelineEngine, PipelineStats};
+pub use pipeline::{LaneFault, LaneHealth, PipelineEngine, PipelineStats};
 pub use platform::{Platform, Telecommand, Telemetry};

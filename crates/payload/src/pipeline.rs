@@ -76,6 +76,32 @@ pub fn frame_seed(seed: u64, i: usize) -> u64 {
     seed ^ rand::splitmix64_mix(0xF2A3_0000_0000_0000 ^ i as u64)
 }
 
+/// A fault an FDIR injector can impose on one carrier lane (the live
+/// manifestation of an SEU landing in lane state — see `gsp-fdir`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneFault {
+    /// The lane's receive half stops running: its watchdog heartbeat
+    /// freezes and every burst on the carrier is lost.
+    Stall,
+    /// The lane keeps running but its CRC checker is corrupted: every
+    /// burst decodes and then fails the check.
+    CorruptCrc,
+}
+
+/// One lane's liveness counters, as sampled by an FDIR watchdog.
+///
+/// `heartbeats` advances once per completed receive pass and freezes
+/// while the lane is stalled; `crc_failures` counts bursts that
+/// demodulated but failed the CRC. Both are cumulative since engine
+/// construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneHealth {
+    /// Receive passes completed.
+    pub heartbeats: u64,
+    /// Bursts that demodulated but failed the CRC on this lane.
+    pub crc_failures: u64,
+}
+
 /// One carrier's long-lived processing state plus per-frame scratch.
 struct CarrierLane {
     carrier: usize,
@@ -108,6 +134,12 @@ struct CarrierLane {
     packet: Option<BasebandPacket>,
     demod_ns: u64,
     decode_ns: u64,
+    /// Injected fault, if any (see [`LaneFault`]).
+    fault: Option<LaneFault>,
+    /// Receive passes completed (frozen while stalled).
+    heartbeats: u64,
+    /// Cumulative CRC failures on this lane.
+    crc_fail_count: u64,
 }
 
 impl CarrierLane {
@@ -152,6 +184,23 @@ impl CarrierLane {
         let bits = &self.info;
         self.packet = None;
 
+        if self.fault == Some(LaneFault::Stall) {
+            // Stalled lane: the receive half never runs, so the burst is
+            // lost and the heartbeat counter freezes — exactly what a
+            // watchdog deadline is there to catch. (The Tx half already
+            // ran serially, so the RNG draw sequence is unchanged.)
+            self.demod_ns = 0;
+            self.decode_ns = 0;
+            self.outcome = Some(CarrierOutcome {
+                carrier: k,
+                detected: false,
+                crc_ok: false,
+                bit_errors: bits.len(),
+                bits: bits.len(),
+            });
+            return;
+        }
+
         let t0 = Instant::now();
         let detected = self.demod.demodulate_into(samples, &mut self.demod_out);
         self.demod_ns = t0.elapsed().as_nanos() as u64;
@@ -161,7 +210,8 @@ impl CarrierLane {
             self.viterbi
                 .decode_into(&self.demod_out.llrs, &mut self.decoded);
             let decoded = &self.decoded;
-            let crc_ok = self.crc.check(decoded).is_some();
+            let crc_ok =
+                self.crc.check(decoded).is_some() && self.fault != Some(LaneFault::CorruptCrc);
             let recovered = &decoded[..decoded.len().saturating_sub(16)];
             let bit_errors = recovered.iter().zip(bits).filter(|(a, b)| a != b).count()
                 + bits.len().saturating_sub(recovered.len());
@@ -193,6 +243,10 @@ impl CarrierLane {
             }
         };
         self.decode_ns = t1.elapsed().as_nanos() as u64;
+        if outcome.detected && !outcome.crc_ok {
+            self.crc_fail_count += 1;
+        }
+        self.heartbeats += 1;
         self.outcome = Some(outcome);
     }
 }
@@ -294,6 +348,9 @@ impl PipelineEngine {
                 packet: None,
                 demod_ns: 0,
                 decode_ns: 0,
+                fault: None,
+                heartbeats: 0,
+                crc_fail_count: 0,
             })
             .collect();
         let modulator = TdmaBurstModulator::new(tdma_cfg);
@@ -369,6 +426,38 @@ impl PipelineEngine {
     /// Zeroes the accumulated counters.
     pub fn reset_stats(&mut self) {
         self.stats = PipelineStats::default();
+    }
+
+    /// Imposes `fault` on carrier lane `carrier` (no-op out of range).
+    /// The fault persists across frames until [`Self::clear_lane_fault`].
+    pub fn inject_lane_fault(&mut self, carrier: usize, fault: LaneFault) {
+        if let Some(lane) = self.lanes.get_mut(carrier) {
+            lane.fault = Some(fault);
+        }
+    }
+
+    /// Clears any injected fault on lane `carrier` — the recovery side of
+    /// an FDIR lane reset (no-op out of range).
+    pub fn clear_lane_fault(&mut self, carrier: usize) {
+        if let Some(lane) = self.lanes.get_mut(carrier) {
+            lane.fault = None;
+        }
+    }
+
+    /// The fault currently imposed on lane `carrier`, if any.
+    pub fn lane_fault(&self, carrier: usize) -> Option<LaneFault> {
+        self.lanes.get(carrier).and_then(|l| l.fault)
+    }
+
+    /// Watchdog counters for lane `carrier` (default-zero out of range).
+    pub fn lane_health(&self, carrier: usize) -> LaneHealth {
+        self.lanes
+            .get(carrier)
+            .map(|l| LaneHealth {
+                heartbeats: l.heartbeats,
+                crc_failures: l.crc_fail_count,
+            })
+            .unwrap_or_default()
     }
 
     /// Runs one MF-TDMA frame; equivalent to
@@ -646,6 +735,40 @@ mod tests {
         let again = PipelineEngine::new(ChainConfig::default()).run_frame_at(1, 0);
         assert_eq!(report.carriers, again.carriers);
         assert_eq!(report.packets_forwarded, again.packets_forwarded);
+    }
+
+    #[test]
+    fn injected_lane_faults_surface_and_clear() {
+        // Noiseless config: absent faults, all six carriers decode clean.
+        let mut engine = PipelineEngine::new(ChainConfig::default());
+        let clean = engine.run_frame(21);
+        assert!(clean.carriers.iter().all(|c| c.crc_ok));
+
+        engine.inject_lane_fault(2, LaneFault::CorruptCrc);
+        engine.inject_lane_fault(4, LaneFault::Stall);
+        assert_eq!(engine.lane_fault(2), Some(LaneFault::CorruptCrc));
+        let faulty = engine.run_frame(22);
+        assert!(faulty.carriers[2].detected && !faulty.carriers[2].crc_ok);
+        assert!(!faulty.carriers[4].detected, "stalled lane sees nothing");
+        assert_eq!(faulty.packets_forwarded, 4);
+        // Watchdog view: the stalled lane's heartbeat froze after frame 1,
+        // the corrupt lane kept beating and logged one CRC failure.
+        assert_eq!(engine.lane_health(4).heartbeats, 1);
+        assert_eq!(
+            engine.lane_health(2),
+            LaneHealth {
+                heartbeats: 2,
+                crc_failures: 1
+            }
+        );
+        assert_eq!(engine.lane_health(99), LaneHealth::default());
+
+        // A lane reset restores bit-exact healthy behaviour.
+        engine.clear_lane_fault(2);
+        engine.clear_lane_fault(4);
+        let recovered = engine.run_frame(23);
+        let fresh = PipelineEngine::new(ChainConfig::default()).run_frame(23);
+        assert_eq!(recovered, fresh);
     }
 
     #[test]

@@ -57,6 +57,48 @@ impl SchedulePlan {
             .map(|(_, g)| g)
             .sum()
     }
+
+    /// Internal-consistency check against a frame geometry — the
+    /// on-board "grant-table CRC". A plan fresh out of
+    /// [`DamaScheduler::assign`] always passes; a plan whose grant table
+    /// was corrupted in SRAM (an SEU flipping a count, forging an entry)
+    /// fails on at least one invariant:
+    ///
+    /// * total granted slots fit the frame capacity;
+    /// * the grant table and the assignment list agree on the total;
+    /// * every assignment's (carrier, slot) is inside the geometry;
+    /// * no (carrier, slot) is assigned twice;
+    /// * per-terminal assignment counts match the grant table.
+    ///
+    /// Callers that act on grants (releasing backlog, keying bursts) must
+    /// discard a plan that fails — acting on a corrupt table hands out
+    /// capacity that was never assigned.
+    pub fn validate(&self, frame: &MfTdmaFrame) -> bool {
+        let capacity = frame.total_slots();
+        let granted_total: usize = self.grants.iter().map(|&(_, g)| g).sum();
+        if granted_total > capacity || granted_total != self.assignments.len() {
+            return false;
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.assignments.len());
+        let mut per_terminal: std::collections::HashMap<u16, usize> =
+            std::collections::HashMap::new();
+        for a in &self.assignments {
+            if a.carrier >= frame.n_carriers || a.slot >= frame.slots_per_frame {
+                return false;
+            }
+            if !seen.insert((a.carrier, a.slot)) {
+                return false;
+            }
+            *per_terminal.entry(a.terminal).or_insert(0) += 1;
+        }
+        let mut granted_by_terminal: std::collections::HashMap<u16, usize> =
+            std::collections::HashMap::new();
+        for &(t, g) in &self.grants {
+            *granted_by_terminal.entry(t).or_insert(0) += g;
+        }
+        granted_by_terminal.retain(|_, g| *g > 0);
+        per_terminal == granted_by_terminal
+    }
 }
 
 /// DAMA scheduler over a frame geometry.
@@ -254,6 +296,40 @@ mod tests {
             assert!(plan.granted(t) <= 7);
             assert!(plan.granted(t) >= 3);
         }
+    }
+
+    #[test]
+    fn fresh_plans_validate_and_tampered_plans_do_not() {
+        let s = DamaScheduler::new(frame());
+        let f = frame();
+        let plan = s.assign(&[req(1, 30, 1), req(2, 30, 0), req(3, 5, 2)]);
+        assert!(plan.validate(&f));
+        assert!(s.assign(&[]).validate(&f), "empty plan is consistent");
+
+        // Inflated grant count: table no longer matches the assignments.
+        let mut inflated = plan.clone();
+        inflated.grants[0].1 += 1;
+        assert!(!inflated.validate(&f));
+
+        // Forged extra grant entry for a terminal with no assignments.
+        let mut forged = plan.clone();
+        forged.grants.push((999, 3));
+        assert!(!forged.validate(&f));
+
+        // Out-of-range slot index.
+        let mut oob = plan.clone();
+        oob.assignments[0].slot = f.slots_per_frame;
+        assert!(!oob.validate(&f));
+
+        // Double-assigned (carrier, slot).
+        let mut dup = plan.clone();
+        dup.assignments[1] = dup.assignments[0];
+        assert!(!dup.validate(&f));
+
+        // Re-labelled assignment: per-terminal totals diverge.
+        let mut relabel = plan.clone();
+        relabel.assignments[0].terminal = 999;
+        assert!(!relabel.validate(&f));
     }
 
     #[test]

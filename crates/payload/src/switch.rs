@@ -127,6 +127,9 @@ pub struct PacketSwitch {
     wrr_remaining: Vec<u32>,
     stats: SwitchStats,
     class_stats: Vec<ClassStats>,
+    /// Per-beam EDAC single-bit corrections observed in this beam's queue
+    /// memory (an FDIR tripwire input, not a packet-path effect).
+    edac_corrected: Vec<u64>,
 }
 
 impl PacketSwitch {
@@ -165,6 +168,7 @@ impl PacketSwitch {
             wrr_remaining: vec![initial_quantum; beams],
             stats: SwitchStats::default(),
             class_stats: vec![ClassStats::default(); n],
+            edac_corrected: vec![0; beams],
             qos,
         }
     }
@@ -298,6 +302,42 @@ impl PacketSwitch {
             return 0;
         }
         self.queues[self.slot(beam, class)].len()
+    }
+
+    /// Empties every class queue of one beam and returns the packets in
+    /// class order (class 0 first), FIFO within each class. Used when a
+    /// beam is quarantined: its queued traffic is handed back to the
+    /// routing layer for re-disposition instead of rotting in place.
+    /// Forward/drop counters are untouched — the packets were already
+    /// accounted at ingress and their fate is now the caller's.
+    pub fn drain_beam(&mut self, beam: usize) -> Vec<BasebandPacket> {
+        let mut out = Vec::new();
+        if beam >= self.beams {
+            return out;
+        }
+        for class in 0..self.qos.n_classes() {
+            let slot = self.slot(beam, class);
+            out.extend(self.queues[slot].drain(..));
+        }
+        out
+    }
+
+    /// Records one EDAC single-bit correction in a beam's queue memory.
+    /// Corrections are invisible to the packet path (the codeword was
+    /// repaired in place); a rising correction *rate* is how FDIR spots a
+    /// stuck bit before it becomes a double-bit uncorrectable.
+    pub fn note_edac_correction(&mut self, beam: usize) {
+        if beam < self.beams {
+            self.edac_corrected[beam] += 1;
+        }
+    }
+
+    /// EDAC corrections observed in a beam's queue memory so far.
+    pub fn edac_corrected(&self, beam: usize) -> u64 {
+        if beam >= self.beams {
+            return 0;
+        }
+        self.edac_corrected[beam]
     }
 }
 
@@ -513,6 +553,40 @@ mod tests {
         let seq0: Vec<u8> = (0..8).map(|_| sw.egress(0).unwrap().class).collect();
         let seq1: Vec<u8> = (0..8).map(|_| sw.egress(1).unwrap().class).collect();
         assert_eq!(seq0, seq1);
+    }
+
+    #[test]
+    fn drain_beam_returns_class_order_and_leaves_stats_alone() {
+        let mut sw = PacketSwitch::with_qos(2, three_class());
+        sw.ingress(cpkt(10, 0, 2));
+        sw.ingress(cpkt(11, 0, 0));
+        sw.ingress(cpkt(12, 0, 1));
+        sw.ingress(cpkt(13, 0, 0));
+        sw.ingress(cpkt(99, 1, 1)); // other beam stays put
+        let before = sw.stats();
+        let drained = sw.drain_beam(0);
+        let order: Vec<(u16, u8)> = drained.iter().map(|p| (p.source, p.class)).collect();
+        assert_eq!(order, vec![(11, 0), (13, 0), (12, 1), (10, 2)]);
+        assert_eq!(sw.depth(0), 0);
+        assert_eq!(sw.depth(1), 1);
+        assert_eq!(sw.stats(), before, "drain is accounting-neutral");
+        assert!(sw.drain_beam(7).is_empty(), "unknown beam drains nothing");
+    }
+
+    #[test]
+    fn edac_corrections_accumulate_per_beam_without_touching_packets() {
+        let mut sw = PacketSwitch::new(2, 4);
+        sw.ingress(pkt(1, 0));
+        sw.note_edac_correction(0);
+        sw.note_edac_correction(0);
+        sw.note_edac_correction(1);
+        sw.note_edac_correction(9); // out of range: ignored
+        assert_eq!(sw.edac_corrected(0), 2);
+        assert_eq!(sw.edac_corrected(1), 1);
+        assert_eq!(sw.edac_corrected(9), 0);
+        // The packet path is untouched.
+        assert_eq!(sw.depth(0), 1);
+        assert_eq!(sw.egress(0).unwrap().source, 1);
     }
 
     #[test]

@@ -38,6 +38,71 @@ pub struct CampaignConfig {
     pub seed: u64,
 }
 
+/// Rejected campaign parameters: each variant names the degenerate
+/// configuration that would otherwise produce a silently meaningless
+/// campaign (empty trial loops, divide-by-zero unavailability, or a
+/// scrub loop that never advances time).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignError {
+    /// `sim_days` must be positive: a zero or negative window divides by
+    /// zero when normalising broken time into unavailability.
+    NonPositiveSimDays(f64),
+    /// `trials` must be at least 1: zero trials merges nothing and
+    /// reports an all-default result that looks like a perfect device.
+    ZeroTrials,
+    /// `seu_per_bit_day` must be positive: zero disables arrivals (every
+    /// result degenerates to "no upsets ever") and negative rates are
+    /// rejected by the Poisson process with a panic deep in a worker.
+    NonPositiveSeuRate(f64),
+    /// `scrub_period_s = Some(p)` with `p <= 0` would schedule the next
+    /// scrub at the current instant forever — the event loop spins
+    /// without advancing simulated time.
+    NonPositiveScrubPeriod(f64),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::NonPositiveSimDays(d) => {
+                write!(f, "sim_days must be positive, got {d}")
+            }
+            CampaignError::ZeroTrials => write!(f, "trials must be at least 1"),
+            CampaignError::NonPositiveSeuRate(r) => {
+                write!(f, "seu_per_bit_day must be positive, got {r}")
+            }
+            CampaignError::NonPositiveScrubPeriod(p) => {
+                write!(f, "scrub_period_s must be positive when set, got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl CampaignConfig {
+    /// Checks the configuration for degenerate values; campaigns refuse
+    /// to start on any [`CampaignError`].
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        // `<= 0.0 || is_nan` rather than `!(x > 0.0)`: same NaN-rejecting
+        // semantics, spelled out.
+        if self.sim_days <= 0.0 || self.sim_days.is_nan() {
+            return Err(CampaignError::NonPositiveSimDays(self.sim_days));
+        }
+        if self.trials == 0 {
+            return Err(CampaignError::ZeroTrials);
+        }
+        if self.seu_per_bit_day <= 0.0 || self.seu_per_bit_day.is_nan() {
+            return Err(CampaignError::NonPositiveSeuRate(self.seu_per_bit_day));
+        }
+        if let Some(p) = self.scrub_period_s {
+            if p <= 0.0 || p.is_nan() {
+                return Err(CampaignError::NonPositiveScrubPeriod(p));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Aggregated campaign outcome.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CampaignResult {
@@ -159,7 +224,12 @@ fn run_trial(cfg: &CampaignConfig, fabric: &FpgaFabric, rng: &mut StdRng) -> Cam
 /// workers. Each trial derives its own SplitMix64-mixed seed from
 /// `(cfg.seed, trial index)`, so results are independent of the worker
 /// count (and never collide the way plain `seed ^ i*CONST` can).
-pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
+///
+/// Degenerate configurations are rejected up front with a
+/// [`CampaignError`] instead of producing a silently empty or
+/// non-terminating campaign.
+pub fn run_scrub_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
+    cfg.validate()?;
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -195,7 +265,7 @@ pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
     for p in &partials {
         total.merge(p);
     }
-    total
+    Ok(total)
 }
 
 /// Runs the campaign and records its aggregate counters —
@@ -208,8 +278,8 @@ pub fn run_scrub_campaign(cfg: &CampaignConfig) -> CampaignResult {
 pub fn run_scrub_campaign_with_telemetry(
     cfg: &CampaignConfig,
     registry: &Registry,
-) -> CampaignResult {
-    let r = run_scrub_campaign(cfg);
+) -> Result<CampaignResult, CampaignError> {
+    let r = run_scrub_campaign(cfg)?;
     registry.counter("radiation.trials").add(r.trials as u64);
     registry.counter("radiation.seu.total").add(r.total_upsets);
     registry
@@ -218,7 +288,7 @@ pub fn run_scrub_campaign_with_telemetry(
     registry
         .counter("radiation.broken_at_end")
         .add(r.broken_at_end as u64);
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -238,10 +308,64 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_are_rejected_with_typed_errors() {
+        let bad_days = CampaignConfig {
+            sim_days: 0.0,
+            ..base_cfg()
+        };
+        assert_eq!(
+            run_scrub_campaign(&bad_days),
+            Err(CampaignError::NonPositiveSimDays(0.0))
+        );
+        let bad_trials = CampaignConfig {
+            trials: 0,
+            ..base_cfg()
+        };
+        assert_eq!(
+            run_scrub_campaign(&bad_trials),
+            Err(CampaignError::ZeroTrials)
+        );
+        let bad_rate = CampaignConfig {
+            seu_per_bit_day: -1e-7,
+            ..base_cfg()
+        };
+        assert_eq!(
+            run_scrub_campaign(&bad_rate),
+            Err(CampaignError::NonPositiveSeuRate(-1e-7))
+        );
+        let bad_scrub = CampaignConfig {
+            scrub_period_s: Some(0.0),
+            ..base_cfg()
+        };
+        assert_eq!(
+            run_scrub_campaign(&bad_scrub),
+            Err(CampaignError::NonPositiveScrubPeriod(0.0))
+        );
+        assert!(bad_scrub
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("scrub_period_s"));
+        // The telemetry wrapper rejects identically and records nothing.
+        let registry = Registry::new();
+        assert!(run_scrub_campaign_with_telemetry(&bad_days, &registry).is_err());
+        assert_eq!(registry.snapshot().counter("radiation.trials"), 0);
+        // NaN is caught, not treated as "positive enough".
+        let nan_days = CampaignConfig {
+            sim_days: f64::NAN,
+            ..base_cfg()
+        };
+        assert!(matches!(
+            nan_days.validate(),
+            Err(CampaignError::NonPositiveSimDays(_))
+        ));
+    }
+
+    #[test]
     fn campaign_is_deterministic_for_fixed_seed() {
         let cfg = base_cfg();
-        let a = run_scrub_campaign(&cfg);
-        let b = run_scrub_campaign(&cfg);
+        let a = run_scrub_campaign(&cfg).expect("valid config");
+        let b = run_scrub_campaign(&cfg).expect("valid config");
         assert_eq!(a, b);
     }
 
@@ -251,7 +375,7 @@ mod tests {
             trials: 200,
             ..base_cfg()
         };
-        let r = run_scrub_campaign(&cfg);
+        let r = run_scrub_campaign(&cfg).expect("valid config");
         // λ = 1e-7 × 100 (flare) × bits × days.
         let bits = cfg.device.config_bits() as f64;
         let expect = 1e-7 * 100.0 * bits * cfg.sim_days * cfg.trials as f64;
@@ -268,22 +392,24 @@ mod tests {
             trials: 200,
             ..base_cfg()
         };
-        let r = run_scrub_campaign(&cfg);
+        let r = run_scrub_campaign(&cfg).expect("valid config");
         let frac = r.essential_upsets as f64 / r.total_upsets.max(1) as f64;
         assert!((frac - 0.2).abs() < 0.05, "essential hit fraction {frac}");
     }
 
     #[test]
     fn scrubbing_reduces_unavailability() {
-        let no_scrub = run_scrub_campaign(&base_cfg());
+        let no_scrub = run_scrub_campaign(&base_cfg()).expect("valid config");
         let hourly = run_scrub_campaign(&CampaignConfig {
             scrub_period_s: Some(3600.0),
             ..base_cfg()
-        });
+        })
+        .expect("valid config");
         let minute = run_scrub_campaign(&CampaignConfig {
             scrub_period_s: Some(60.0),
             ..base_cfg()
-        });
+        })
+        .expect("valid config");
         assert!(
             hourly.unavailability < no_scrub.unavailability,
             "hourly {} vs none {}",
@@ -309,6 +435,7 @@ mod tests {
                 trials: 96,
                 ..base_cfg()
             })
+            .expect("valid config")
         };
         let quiet = mk(RadiationEnvironment::geo_quiet());
         let gcr = mk(RadiationEnvironment::cosmic_ray_enhanced());
@@ -324,7 +451,8 @@ mod tests {
         let r = run_scrub_campaign(&CampaignConfig {
             trials: 100,
             ..base_cfg()
-        });
+        })
+        .expect("valid config");
         // Flare rates over 10 days on ~100 kbit: most trials end broken.
         assert!(
             r.broken_at_end > 50,

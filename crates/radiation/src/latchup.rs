@@ -84,6 +84,34 @@ impl LatchupOutcome {
     }
 }
 
+/// Replays an explicit latch-up event sequence: `(arrival_s, burnout)`
+/// pairs over a `window_s` mission. This is the accounting core of
+/// [`simulate_mission`], split out so detection/power-cycle bookkeeping
+/// can be tested against hand-written deterministic sequences (and so an
+/// FDIR harness can feed it recorded event logs).
+///
+/// Events after a burnout are ignored — the equipment is gone.
+pub fn replay_events<I>(model: &LatchupModel, window_s: f64, events: I) -> LatchupOutcome
+where
+    I: IntoIterator<Item = (f64, bool)>,
+{
+    let mut out = LatchupOutcome {
+        survived_s: window_s,
+        ..LatchupOutcome::default()
+    };
+    for (t, burnout) in events {
+        out.events += 1;
+        if burnout {
+            out.burned_out = true;
+            out.survived_s = t;
+            break;
+        }
+        out.recovered += 1;
+        out.downtime_s += model.recovery_s;
+    }
+    out
+}
+
 /// Simulates latch-ups over `mission_days` in `env`.
 pub fn simulate_mission<R: Rng>(
     model: &LatchupModel,
@@ -94,21 +122,19 @@ pub fn simulate_mission<R: Rng>(
     let window_s = mission_days * 86_400.0;
     let arrivals =
         PoissonArrivals::new(model.rate_per_second(env)).arrivals_in_window(window_s, rng);
-    let mut out = LatchupOutcome {
-        survived_s: window_s,
-        ..LatchupOutcome::default()
-    };
+    // Draw the burnout verdicts in arrival order (identical RNG draw
+    // sequence to the pre-refactor loop), then hand the record to the
+    // shared replay accounting. Verdicts past a burnout are never drawn —
+    // replay stops there and the next trial's RNG stream is unaffected.
+    let mut events = Vec::with_capacity(arrivals.len());
     for t in arrivals {
-        out.events += 1;
-        if rng.gen_bool(model.burnout_probability) {
-            out.burned_out = true;
-            out.survived_s = t;
+        let burnout = rng.gen_bool(model.burnout_probability);
+        events.push((t, burnout));
+        if burnout {
             break;
         }
-        out.recovered += 1;
-        out.downtime_s += model.recovery_s;
     }
-    out
+    replay_events(model, window_s, events)
 }
 
 /// Monte-Carlo burnout probability over a mission.
@@ -207,6 +233,90 @@ mod tests {
         assert!(out.burned_out);
         assert_eq!(out.recovered, 0);
         assert!(out.survived_s < 30.0 * 86_400.0);
+    }
+
+    #[test]
+    fn replay_accounts_power_cycles_deterministically() {
+        // Three recoverable latch-ups at known times: each costs exactly
+        // one power cycle of `recovery_s`, nothing else.
+        let model = LatchupModel {
+            events_per_day_geo: 1.0,
+            burnout_probability: 0.0,
+            recovery_s: 45.0,
+        };
+        let window = 10.0 * 86_400.0;
+        let out = replay_events(
+            &model,
+            window,
+            [(1_000.0, false), (50_000.0, false), (700_000.0, false)],
+        );
+        assert_eq!(out.events, 3);
+        assert_eq!(out.recovered, 3);
+        assert!((out.downtime_s - 135.0).abs() < 1e-12);
+        assert!(!out.burned_out);
+        assert_eq!(out.survived_s, window);
+        // An empty sequence is a clean mission.
+        let quiet = replay_events(&model, window, []);
+        assert_eq!(
+            quiet,
+            LatchupOutcome {
+                survived_s: window,
+                ..LatchupOutcome::default()
+            }
+        );
+    }
+
+    #[test]
+    fn replay_burnout_truncates_and_ignores_later_events() {
+        let model = LatchupModel::qualified();
+        let window = 86_400.0;
+        let out = replay_events(
+            &model,
+            window,
+            [
+                (100.0, false),
+                (5_000.0, true),
+                // The device is dead: these must not be counted.
+                (6_000.0, false),
+                (7_000.0, true),
+            ],
+        );
+        assert_eq!(out.events, 2, "counting stops at the burnout");
+        assert_eq!(out.recovered, 1);
+        assert!((out.downtime_s - model.recovery_s).abs() < 1e-12);
+        assert!(out.burned_out);
+        assert_eq!(out.survived_s, 5_000.0);
+    }
+
+    #[test]
+    fn simulate_mission_is_replay_of_its_own_event_log() {
+        // The Monte-Carlo path and the replay path share accounting:
+        // replaying the events a simulation drew reproduces its outcome
+        // bit for bit.
+        let model = LatchupModel {
+            events_per_day_geo: 0.5,
+            burnout_probability: 0.2,
+            recovery_s: 30.0,
+        };
+        let env = RadiationEnvironment::geo_quiet();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sim = simulate_mission(&model, &env, 60.0, &mut rng);
+            // Reconstruct the same event log with an identical RNG.
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let window_s = 60.0 * 86_400.0;
+            let arrivals = PoissonArrivals::new(model.rate_per_second(&env))
+                .arrivals_in_window(window_s, &mut rng2);
+            let mut events = Vec::new();
+            for t in arrivals {
+                let b = rng2.gen_bool(model.burnout_probability);
+                events.push((t, b));
+                if b {
+                    break;
+                }
+            }
+            assert_eq!(replay_events(&model, window_s, events), sim);
+        }
     }
 
     #[test]

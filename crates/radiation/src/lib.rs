@@ -25,6 +25,6 @@ pub mod environment;
 pub mod latchup;
 pub mod tid;
 
-pub use campaign::{run_scrub_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{run_scrub_campaign, CampaignConfig, CampaignError, CampaignResult};
 pub use device::Mh1rtDevice;
 pub use environment::RadiationEnvironment;

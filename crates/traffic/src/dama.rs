@@ -59,6 +59,11 @@ pub struct DamaLoop {
     priority: Vec<u8>,
     /// Per-aggregate backlog, oldest cohort first.
     backlog: Vec<VecDeque<Cohort>>,
+    /// Injected grant-table fault: while set, every plan the scheduler
+    /// emits is corrupted before validation (see `gsp-fdir`).
+    grant_fault: bool,
+    /// Plans discarded by the grant-table validity check.
+    grant_faults_detected: u64,
 }
 
 impl DamaLoop {
@@ -71,7 +76,29 @@ impl DamaLoop {
             max_age: cfg.classes.iter().map(|c| c.max_age).collect(),
             priority: cfg.classes.iter().map(|c| c.priority).collect(),
             backlog: (0..cfg.n_aggregates()).map(|_| VecDeque::new()).collect(),
+            grant_fault: false,
+            grant_faults_detected: 0,
         }
+    }
+
+    /// Imposes a persistent grant-table fault: from the next frame on,
+    /// every plan is corrupted in memory after assignment, modelling an
+    /// SEU in the scheduler's grant table. The loop's validity check
+    /// (its "table CRC") catches the corruption and discards the plan
+    /// wholesale — a fail-safe freeze in which no packets are released
+    /// and the backlog carries — until [`Self::clear_grant_fault`].
+    pub fn inject_grant_fault(&mut self) {
+        self.grant_fault = true;
+    }
+
+    /// Clears an injected grant-table fault (the FDIR reset action).
+    pub fn clear_grant_fault(&mut self) {
+        self.grant_fault = false;
+    }
+
+    /// Plans discarded so far by the grant-table validity check.
+    pub fn grant_faults_detected(&self) -> u64 {
+        self.grant_faults_detected
     }
 
     /// The class an aggregate index belongs to.
@@ -160,8 +187,25 @@ impl DamaLoop {
         }
         out.requested = requests.iter().map(|r| r.slots).sum();
 
-        // 3. Schedule and release oldest-first, in grant (priority) order.
-        let plan = self.scheduler.assign(&requests);
+        // 3. Schedule, validate the grant table, release oldest-first in
+        // grant (priority) order. Validation runs on every plan: a healthy
+        // scheduler always passes, and a corrupted table is discarded
+        // wholesale rather than acted on (grants to slots that were never
+        // assigned would desynchronise every terminal on the carrier).
+        let mut plan = self.scheduler.assign(&requests);
+        if self.grant_fault {
+            // The injected SEU: inflate the first grant (or forge one)
+            // past frame capacity so the table no longer reconciles.
+            let cap = self.scheduler.frame.total_slots();
+            match plan.grants.first_mut() {
+                Some(g) => g.1 += cap + 1,
+                None => plan.grants.push((0, cap + 1)),
+            }
+        }
+        if !plan.validate(&self.scheduler.frame) {
+            self.grant_faults_detected += 1;
+            return out;
+        }
         for &(terminal, granted) in &plan.grants {
             let q = &mut self.backlog[terminal as usize];
             let mut left = granted;
@@ -284,6 +328,29 @@ mod tests {
                 assert_eq!(*lat, 0);
             }
         }
+    }
+
+    #[test]
+    fn grant_fault_freezes_releases_until_cleared() {
+        let c = cfg();
+        let mut d = DamaLoop::new(&c);
+        offer_n(&mut d, 0, 0, 6, c.n_classes());
+        d.inject_grant_fault();
+        // Faulted frames: the corrupted plan trips validation, nothing is
+        // released, the backlog carries in full.
+        for tick in 0..3 {
+            let out = d.run_frame(tick);
+            assert!(out.released.is_empty(), "tick {tick} released packets");
+        }
+        assert_eq!(d.grant_faults_detected(), 3);
+        assert_eq!(d.backlog_len(), 6);
+        // After the reset the carried backlog drains with the accrued
+        // grant latency — nothing was lost in the freeze.
+        d.clear_grant_fault();
+        let out = d.run_frame(3);
+        assert_eq!(out.released.len(), 6);
+        assert!(out.released.iter().all(|(_, lat)| *lat == 3));
+        assert_eq!(d.grant_faults_detected(), 3);
     }
 
     #[test]

@@ -41,7 +41,8 @@ fn main() {
             sim_days: 10.0,
             trials: 200,
             seed: 99,
-        });
+        })
+        .expect("valid campaign config");
         println!(
             "  {:<14} {:>16.4} {:>14}/{:<3} {:>14.1}",
             label,

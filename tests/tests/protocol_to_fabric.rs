@@ -23,8 +23,14 @@ fn tftp_upload_configures_fabric_bit_exact() {
         ..LinkConfig::geo_default()
     };
     let rto = 2 * link.rtt_ns() + 300_000_000;
-    let mut w = TftpWriter::new(1, 2, "design.bit", wire.clone(), rto)
-        .expect("bitstream fits the TFTP block limit");
+    let mut w = TftpWriter::new(
+        1,
+        2,
+        "design.bit",
+        wire.clone(),
+        gsp_netproto::BackoffPolicy::fixed(rto),
+    )
+    .expect("bitstream fits the TFTP block limit");
     let mut s = TftpServer::new(2);
     let mut sim = Sim::new(link, 77);
     let stats = sim.run(&mut w, &mut s, 24 * 3_600_000_000_000);

@@ -141,6 +141,49 @@ fn transponder_surfaces_accumulated_drops() {
 }
 
 #[test]
+fn fdir_soak_is_bitwise_identical_with_telemetry_on_or_off() {
+    use gsp_fdir::{FdirHarness, HarnessConfig};
+
+    // The FDIR plane records dozens of metrics per tick — injections,
+    // detections, transitions, recovery rungs, uplink retries, MTTR —
+    // and none of them may feed back: the SoakReport is a pure function
+    // of (config, seed) whether the registry is live or not.
+    let registry = Registry::new();
+    let observed = FdirHarness::with_telemetry(HarnessConfig::soak(10.0), 31, &registry).run();
+    let blind = FdirHarness::new(HarnessConfig::soak(10.0), 31).run();
+    assert_eq!(
+        observed, blind,
+        "fdir telemetry must be observed, never consulted"
+    );
+
+    // And the registry faithfully mirrors the ground truth it observed.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("fdir.detections"), observed.detections);
+    assert_eq!(snap.counter("fdir.transitions"), observed.transitions);
+    assert_eq!(snap.counter("fdir.recovery.scrub"), observed.escalations[0]);
+    assert_eq!(snap.counter("fdir.recovery.reset"), observed.escalations[1]);
+    assert_eq!(
+        snap.counter("fdir.recovery.reconfig"),
+        observed.escalations[2]
+    );
+    assert_eq!(
+        snap.counter("fdir.uplink.retransmissions"),
+        observed.uplink_retransmissions
+    );
+    let injected: u64 = (0..6)
+        .map(|i| {
+            snap.counter(&format!(
+                "fdir.injected.{}",
+                gsp_fdir::FaultKind::ALL[i].name()
+            ))
+        })
+        .sum();
+    assert_eq!(injected, observed.total_injected());
+    let mttr = snap.histogram("fdir.recovery.mttr").expect("mttr recorded");
+    assert_eq!(mttr.count, observed.mttr_ticks.len() as u64);
+}
+
+#[test]
 fn housekeeping_frame_carries_the_registry_to_the_ground() {
     let cfg = noisy_cfg();
     let mut engine = PipelineEngine::new(cfg);
