@@ -14,6 +14,18 @@
 //! [--out PATH]` (defaults: 32 frames, `1,2,4,8` sweep, 12 dB,
 //! `BENCH_payload.json`). `--workers 4` benches a single point. Seed
 //! comes from `GSP_SEED` like the experiment binaries.
+//!
+//! Besides the measured sweep the artefact records a `"scaling"` summary:
+//! the **measured** last/first frames-per-second ratio, and the
+//! **modeled** ratio — the Amdahl bound `(serial + parallel) / (serial +
+//! parallel / workers)` computed from the 1-worker point's own stage-sum
+//! histograms (serial = `payload.tx.ns` + `payload.demux.ns` +
+//! `payload.switch.ns`; parallel = `payload.tx.synth.ns` +
+//! `payload.demod.ns` + `payload.decode.ns`). The modeled ratio captures
+//! the architecture's parallel fraction on any host; the measured ratio
+//! only reflects it when the host actually has the cores
+//! (`"host_parallelism"` records what this run had, and `perf_gate`
+//! conditions its measured-ratio check on it).
 
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
@@ -63,6 +75,32 @@ fn metrics_array(snapshot: &Snapshot) -> String {
     let start = doc.find('[').expect("metrics array");
     let end = doc.rfind(']').expect("metrics array");
     doc[start..=end].to_string()
+}
+
+/// Per-frame serial and parallelizable stage nanoseconds of a sweep
+/// point, from its stage-sum histograms.
+fn stage_split(p: &SweepPoint) -> Option<(f64, f64)> {
+    let sum = |name: &str| p.snapshot.histogram(name).map(|h| h.sum);
+    let serial = sum("payload.tx.ns")? + sum("payload.demux.ns")? + sum("payload.switch.ns")?;
+    let parallel =
+        sum("payload.tx.synth.ns")? + sum("payload.demod.ns")? + sum("payload.decode.ns")?;
+    if p.frames == 0 {
+        return None;
+    }
+    let f = p.frames as f64;
+    Some((serial as f64 / f, parallel as f64 / f))
+}
+
+/// Amdahl-bound speedup of `workers` workers over serial, given the
+/// measured per-frame (serial, parallel) stage split.
+fn amdahl(serial_ns: f64, parallel_ns: f64, workers: usize) -> f64 {
+    let t1 = serial_ns + parallel_ns;
+    let tw = serial_ns + parallel_ns / (workers.max(1) as f64);
+    if tw <= 0.0 {
+        1.0
+    } else {
+        t1 / tw
+    }
 }
 
 fn run_point(cfg: &ChainConfig, requested: usize, frames: usize, seed: u64) -> SweepPoint {
@@ -136,6 +174,22 @@ fn main() {
     println!("\nhousekeeping ({}):", base.label());
     print!("{}", base.snapshot.to_table());
 
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let top = points.last().expect("nonempty sweep");
+    let measured_ratio = top.frames_per_sec / base.frames_per_sec.max(1e-12);
+    let (serial_pf, parallel_pf) = stage_split(base).unwrap_or((0.0, 0.0));
+    let modeled_ratio = amdahl(serial_pf, parallel_pf, top.workers);
+    println!(
+        "\nscaling {} → {}: measured {measured_ratio:.2}x, modeled {modeled_ratio:.2}x \
+         (serial {:.0} ns/frame, parallel {:.0} ns/frame, host has {host_parallelism} core(s))",
+        base.label(),
+        top.label(),
+        serial_pf,
+        parallel_pf,
+    );
+
     let sweep_json: Vec<String> = points
         .iter()
         .map(|p| {
@@ -154,8 +208,21 @@ fn main() {
             )
         })
         .collect();
+    let scaling_json = format!(
+        "{{\"baseline\":\"{}\",\"top\":\"{}\",\"workers\":{},\
+         \"measured_ratio\":{},\"modeled_ratio\":{},\
+         \"serial_ns_per_frame\":{},\"parallel_ns_per_frame\":{}}}",
+        base.label(),
+        top.label(),
+        top.workers,
+        jf(measured_ratio),
+        jf(modeled_ratio),
+        jf(serial_pf),
+        jf(parallel_pf)
+    );
     let json = format!(
-        "{{\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
+        "{{\"host_parallelism\":{host_parallelism},\n\"scaling\":{scaling_json},\n\
+         \"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")
     );

@@ -1,14 +1,14 @@
 //! CI perf-regression gate for the payload pipeline, the traffic plane
 //! and the FDIR recovery ladder.
 //!
-//! Three checks, all against committed baselines:
+//! Four checks, all against committed baselines:
 //!
 //! 1. **Pipeline wall clock** — reads `BENCH_payload.json`, re-runs a
 //!    short 1-worker smoke of the Fig. 2 engine, and fails when the
 //!    fresh `payload.frame.ns` p50 exceeds the committed p50 by more
-//!    than `--factor` (default 2×). The generous factor absorbs
-//!    shared-runner jitter while still catching order-of-magnitude
-//!    regressions like a reintroduced per-frame allocation storm.
+//!    than `--factor` (ratcheted to 1.5× now that the per-frame
+//!    allocation storms are gone; still generous enough for
+//!    shared-runner jitter).
 //! 2. **Traffic-plane QoS latency** — reads `BENCH_traffic.json`,
 //!    re-runs the nominal-load (1.0×) closed-loop soak, and applies the
 //!    same factor to the `traffic.packet.latency` p50. This latency is
@@ -21,13 +21,23 @@
 //!    `fdir.recovery.mttr` p50. Also in frame ticks and deterministic
 //!    for the seed: a failure means detection got slower or the ladder
 //!    started escalating where a scrub used to suffice.
+//! 4. **Worker scaling** — the flat-sweep tripwire. The committed
+//!    artefact's `scaling.modeled_ratio` (the Amdahl bound from the
+//!    1-worker stage-time split) must stay ≥ `--scaling-min` (default
+//!    3.0), and the gate recomputes the same model from its own smoke
+//!    run so a serial-stage regression fails *here*, on any host. The
+//!    committed *measured* last/first frames-per-second ratio is held to
+//!    the same bar only when the artefact's `host_parallelism` shows the
+//!    bench machine actually had ≥ 8 cores — a 1-core container cannot
+//!    measure wall-clock speedup, and pretending otherwise would just
+//!    invite a fabricated artefact.
 //!
 //! Usage: `perf_gate [--baseline PATH] [--traffic-baseline PATH]
 //! [--fdir-baseline PATH] [--frames N] [--traffic-frames N]
-//! [--fdir-frames N] [--factor F] [--esn0 DB]`
+//! [--fdir-frames N] [--factor F] [--scaling-min R] [--esn0 DB]`
 //! (defaults: `BENCH_payload.json`, `BENCH_traffic.json`,
 //! `BENCH_fdir.json`, 8 pipeline frames, 256 traffic frames, 768 fdir
-//! frames, 2.0, 12 dB).
+//! frames, 1.5, 3.0, 12 dB).
 
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
@@ -78,6 +88,42 @@ fn load_baseline_p50(path: &str, metric: &str) -> u64 {
     }
 }
 
+/// Pulls the first `"key":<number>` out of `doc`, accepting the float
+/// tokens `bench_payload` writes (`3.7`, `1e3`) as well as plain ints.
+fn baseline_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let tail = &doc[at..];
+    let num_end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..num_end].parse().ok()
+}
+
+/// Sum of a snapshot histogram, or exit loudly — the gate's own smoke run
+/// must have recorded every stage it models.
+fn stage_sum(snapshot: &gsp_telemetry::Snapshot, name: &str) -> f64 {
+    match snapshot.histogram(name) {
+        Some(h) => h.sum as f64,
+        None => {
+            eprintln!("perf_gate: smoke run recorded no {name}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Amdahl-bound speedup of `workers` workers over serial for the given
+/// serial/parallelizable stage-time split (same model as `bench_payload`).
+fn amdahl(serial_ns: f64, parallel_ns: f64, workers: usize) -> f64 {
+    let t1 = serial_ns + parallel_ns;
+    let tw = serial_ns + parallel_ns / (workers.max(1) as f64);
+    if tw <= 0.0 {
+        1.0
+    } else {
+        t1 / tw
+    }
+}
+
 /// Applies the factor gate to one (baseline, current) pair; returns
 /// whether the check passed. A zero baseline is clamped to 1 so the gate
 /// still has a finite limit.
@@ -110,7 +156,10 @@ fn main() {
         .unwrap_or(256);
     let factor: f64 = arg_value("--factor")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0);
+        .unwrap_or(1.5);
+    let scaling_min: f64 = arg_value("--scaling-min")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
     let esn0: f64 = arg_value("--esn0")
         .and_then(|v| v.parse().ok())
         .unwrap_or(12.0);
@@ -122,6 +171,7 @@ fn main() {
         esn0_db: Some(esn0),
         ..ChainConfig::default()
     };
+    let active_carriers = cfg.active_carriers;
     let mut engine = PipelineEngine::with_workers(cfg, 1);
     let registry = Registry::new();
     engine.set_telemetry(&registry);
@@ -191,7 +241,78 @@ fn main() {
         &format!("{fdir_frames} frames @ 10x, seed {seed}"),
     );
 
-    if !(pipeline_ok && traffic_ok && fdir_ok) {
+    // Check 4: worker scaling must not go flat again. Three layers:
+    //   (a) the committed artefact's modeled Amdahl ratio,
+    //   (b) the committed *measured* fps ratio — but only when the bench
+    //       host demonstrably had the cores to measure it,
+    //   (c) a live modeled ratio recomputed from this smoke run's own
+    //       stage histograms, so a serial-stage regression in the current
+    //       tree fails the gate regardless of what was committed.
+    let baseline_doc = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let Some(committed_modeled) = baseline_number(&baseline_doc, "modeled_ratio") else {
+        eprintln!("perf_gate: no scaling.modeled_ratio in {baseline_path} — rerun bench_payload");
+        std::process::exit(1);
+    };
+    let mut scaling_ok = true;
+    println!(
+        "perf_gate: scaling modeled_ratio {committed_modeled:.2}x vs minimum {scaling_min:.1}x \
+         (committed artefact)"
+    );
+    if committed_modeled < scaling_min {
+        eprintln!(
+            "perf_gate: FAIL — committed modeled worker-scaling ratio below {scaling_min:.1}x"
+        );
+        scaling_ok = false;
+    }
+    let bench_cores = baseline_number(&baseline_doc, "host_parallelism").unwrap_or(1.0);
+    match baseline_number(&baseline_doc, "measured_ratio") {
+        Some(measured) if bench_cores >= 8.0 => {
+            println!(
+                "perf_gate: scaling measured_ratio {measured:.2}x vs minimum {scaling_min:.1}x \
+                 (bench host had {bench_cores:.0} cores)"
+            );
+            if measured < scaling_min {
+                eprintln!(
+                    "perf_gate: FAIL — committed measured worker-scaling ratio below \
+                     {scaling_min:.1}x on a {bench_cores:.0}-core bench host"
+                );
+                scaling_ok = false;
+            }
+        }
+        Some(measured) => {
+            println!(
+                "perf_gate: scaling measured_ratio {measured:.2}x recorded on a \
+                 {bench_cores:.0}-core host — wall-clock check skipped (needs >= 8 cores)"
+            );
+        }
+        None => {
+            eprintln!("perf_gate: no scaling.measured_ratio in {baseline_path}");
+            scaling_ok = false;
+        }
+    }
+    // (c) live model from this tree's own 1-worker smoke run.
+    let serial_ns = stage_sum(&snapshot, "payload.tx.ns")
+        + stage_sum(&snapshot, "payload.demux.ns")
+        + stage_sum(&snapshot, "payload.switch.ns");
+    let parallel_ns = stage_sum(&snapshot, "payload.tx.synth.ns")
+        + stage_sum(&snapshot, "payload.demod.ns")
+        + stage_sum(&snapshot, "payload.decode.ns");
+    let live_workers = active_carriers.min(8);
+    let live_modeled = amdahl(serial_ns, parallel_ns, live_workers);
+    println!(
+        "perf_gate: scaling live modeled {live_modeled:.2}x at {live_workers} workers vs minimum \
+         {scaling_min:.1}x (serial {serial_ns:.0} ns, parallel {parallel_ns:.0} ns over {frames} \
+         frames)"
+    );
+    if live_modeled < scaling_min {
+        eprintln!(
+            "perf_gate: FAIL — live modeled worker-scaling ratio below {scaling_min:.1}x; \
+             too much frame time has moved back into serial stages"
+        );
+        scaling_ok = false;
+    }
+
+    if !(pipeline_ok && traffic_ok && fdir_ok && scaling_ok) {
         std::process::exit(1);
     }
     println!("perf_gate: OK");

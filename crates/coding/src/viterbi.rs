@@ -62,6 +62,18 @@ impl ViterbiDecoder {
         &self.code
     }
 
+    /// Pre-grows the survivor matrix to cover `steps` trellis steps
+    /// (`llrs.len() / n_outputs` of the blocks to come), so the first
+    /// [`ViterbiDecoder::decode_into`] call pays no allocation. Long-lived
+    /// pipelines call this at construction to keep the cold-start spike
+    /// out of their latency histograms; decoding is bitwise unaffected.
+    pub fn reserve_steps(&mut self, steps: usize) {
+        let n_states = self.code.n_states();
+        if self.decisions.len() < steps * n_states {
+            self.decisions.resize(steps * n_states, 0);
+        }
+    }
+
     /// Decodes a terminated block of LLRs (length must be a multiple of the
     /// code's output count and cover `k + memory` trellis steps), returning
     /// the `k` information bits.

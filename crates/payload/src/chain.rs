@@ -82,6 +82,14 @@ pub struct ChainReport {
     /// The information bits each carrier transmitted (ground truth for
     /// end-to-end verification by the transponder scenario).
     pub info_bits: Vec<Vec<u8>>,
+    /// Channel blocks the polyphase DEMUX actually produced this frame.
+    pub demux_produced: usize,
+    /// Channel blocks the DEMUX was expected to produce
+    /// (`ceil(composite_samples / channels)`). A mismatch means the
+    /// composite was not a whole number of channelizer blocks — the lanes
+    /// demodulated zero-padded garbage, which a `debug_assert` used to
+    /// catch only in debug builds. See [`ChainReport::demux_ok`].
+    pub demux_expected: usize,
 }
 
 impl ChainReport {
@@ -96,9 +104,18 @@ impl ChainReport {
         }
     }
 
-    /// All carriers detected and CRC-clean?
+    /// Did the DEMUX produce exactly the expected number of channel
+    /// blocks? False means the composite length was not a block multiple
+    /// and the tail (or everything past the expected count) was lost —
+    /// a real error in release builds, not just a debug assertion.
+    pub fn demux_ok(&self) -> bool {
+        self.demux_produced == self.demux_expected
+    }
+
+    /// All carriers detected and CRC-clean, and the DEMUX accounted for
+    /// every channel block?
     pub fn all_clean(&self) -> bool {
-        self.carriers.iter().all(|c| c.detected && c.crc_ok)
+        self.demux_ok() && self.carriers.iter().all(|c| c.detected && c.crc_ok)
     }
 }
 

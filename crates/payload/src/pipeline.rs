@@ -1,29 +1,49 @@
-//! The reusable Fig. 2 pipeline engine: per-carrier DEMOD → DECOD → CRC
-//! fanned across a scoped worker pool, with long-lived per-carrier state.
+//! The reusable Fig. 2 pipeline engine: per-carrier Tx synthesis and
+//! DEMOD → DECOD → CRC fanned across a **persistent worker pool**, with
+//! cross-frame software pipelining.
 //!
 //! [`crate::chain::run_mf_tdma_frame`] builds the whole chain from scratch
-//! for every frame: encoders, modulator, resamplers, channelizer,
-//! demodulator and Viterbi trellis are reallocated per call, and the six
-//! carriers are demodulated one after another even though their bursts are
-//! completely independent. This module keeps all of that state alive in a
+//! for every frame. This module keeps all of that state alive in a
 //! [`PipelineEngine`] instead:
 //!
-//! * each active carrier owns a **lane** — encoder, upconversion resampler
-//!   with NCO, burst demodulator and Viterbi decoder — that persists
-//!   across frames and is merely `reset()` between them;
-//! * the per-carrier receive half (DEMOD → DECOD → CRC) fans out across a
-//!   scoped `std::thread` pool ([`PipelineEngine::workers`] wide);
-//! * per-stage counters (frames, samples, UW misses, CRC failures, packets,
-//!   nanoseconds per stage) accumulate in [`PipelineStats`].
+//! * each active carrier owns a **Tx lane** (encoder, modulator,
+//!   upconversion resampler with NCO) and an **Rx lane** (burst
+//!   demodulator, Viterbi decoder, CRC) that persist across frames;
+//! * with `workers > 1` the lanes live inside long-lived pool threads
+//!   (spawned once in [`PipelineEngine::with_workers`], joined on drop)
+//!   fed over bounded SPSC job queues — not re-spawned per frame behind a
+//!   join barrier, which is what kept the old sweep flat;
+//! * both halves are parallel: Tx burst synthesis *and* the per-carrier
+//!   receive chain run on the pool, with only bit drawing, carrier
+//!   summation, ADC noise, the polyphase DEMUX and switch ingress left on
+//!   the engine thread;
+//! * [`PipelineEngine::run_frames`] pipelines across frames: frame
+//!   `i+1`'s Tx synthesis is dispatched *before* frame `i`'s receive
+//!   jobs, so workers always have queued work while the engine thread
+//!   runs the serial stages — steady-state throughput approaches
+//!   `max(serial_ns, parallel_ns / workers)` per frame instead of their
+//!   sum;
+//! * per-stage counters accumulate in [`PipelineStats`].
 //!
 //! # Determinism
 //!
-//! Everything that consumes randomness — information bits and ADC noise —
-//! runs serially on one `StdRng` before the fan-out, in carrier order, and
-//! the switch ingests CRC-clean packets serially in carrier order after the
-//! join. The parallel section is pure per-lane arithmetic on disjoint
-//! state, so a frame's [`ChainReport`] is **bitwise identical** for any
-//! worker count, including the serial `workers == 1` path.
+//! A frame's [`ChainReport`] is **bitwise identical** for any worker
+//! count, including the serial `workers == 1` path, and whether frames
+//! are run one at a time or as a pipelined batch:
+//!
+//! * everything that consumes randomness — information bits and ADC
+//!   noise — runs serially on one per-frame `StdRng` on the engine
+//!   thread, in carrier order;
+//! * each Tx lane synthesizes its burst into a **lane-private** buffer;
+//!   the engine sums those buffers into the composite serially in carrier
+//!   order, so the float additions happen in exactly the serial order no
+//!   matter which worker finished first;
+//! * lanes are bound to workers in fixed carrier-order chunks (the same
+//!   `ceil(lanes / workers)` chunking for every run), each worker owns
+//!   its lanes' state outright, and job/result buffers ping-pong by lane
+//!   index — scheduling can reorder *completion*, never *content*;
+//! * the switch ingests CRC-clean packets serially in carrier order, and
+//!   all counters are folded in frame order when a frame retires.
 
 use crate::chain::{CarrierOutcome, ChainConfig, ChainReport};
 use crate::switch::{BasebandPacket, PacketSwitch};
@@ -38,7 +58,18 @@ use gsp_modem::tdma::{TdmaBurstDemodulator, TdmaBurstModulator, TdmaConfig, Tdma
 use gsp_telemetry::{Counter, Gauge, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frames in flight at once: frame `i-1` retiring (Rx collect + switch),
+/// frame `i` in the serial stages, frame `i+1`'s Tx synthesis queued.
+const SLOTS: usize = 3;
+
+/// How long a result collect waits before declaring a worker dead. The
+/// pool never legitimately stalls — jobs are bounded and workers are
+/// compute-only — so this only turns a wedged test into a loud failure.
+const COLLECT_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Accumulated per-stage counters across every frame an engine has run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -57,10 +88,21 @@ pub struct PipelineStats {
     pub packets_dropped_overflow: u64,
     /// Packets the switch dropped for want of a route.
     pub packets_dropped_no_route: u64,
-    /// Nanoseconds in burst synthesis + FDM composite + noise (Tx side).
+    /// Nanoseconds in the *serial* Tx residue: information-bit drawing,
+    /// carrier summation into the composite and ADC noise. (Per-lane
+    /// burst synthesis moved to the pool — see
+    /// [`PipelineStats::tx_synth_ns`].)
     pub tx_ns: u64,
+    /// Nanoseconds in per-lane burst synthesis (CRC attach, conv encode,
+    /// modulate, upsample, mix), summed across lanes — CPU time, not wall
+    /// time, when workers > 1.
+    pub tx_synth_ns: u64,
     /// Nanoseconds in the polyphase DEMUX.
     pub demux_ns: u64,
+    /// Frames whose DEMUX produced a block count different from the
+    /// expected `ceil(composite / channels)` — formerly a
+    /// `debug_assert`, now a real counter (see [`ChainReport::demux_ok`]).
+    pub demux_errors: u64,
     /// Nanoseconds in burst demodulation, summed across lanes (CPU time,
     /// not wall time, when workers > 1).
     pub demod_ns: u64,
@@ -102,38 +144,105 @@ pub struct LaneHealth {
     pub crc_failures: u64,
 }
 
-/// One carrier's long-lived processing state plus per-frame scratch.
-struct CarrierLane {
-    carrier: usize,
+/// Per-lane, per-frame I/O that ping-pongs between the engine and the
+/// worker owning the lane: ground-truth bits and the synthesized burst on
+/// the way out, channel samples on the way in, outcome and packet on the
+/// way back. Boxed so a job message moves a pointer, not kilobytes; the
+/// buffers reach steady-state capacity after the first frame (or at
+/// construction, via pre-warm) and are never reallocated.
+struct LaneIo {
+    /// Ground-truth information bits (drawn serially by the engine).
+    info: Vec<u8>,
+    /// The lane's burst, upsampled to composite rate and mixed onto its
+    /// carrier — summed into the composite by the engine, in lane order.
+    upsampled: Vec<Cpx>,
+    /// The lane's channel samples out of the DEMUX.
+    samples: Vec<Cpx>,
+    /// Per-frame Rx output.
+    outcome: Option<CarrierOutcome>,
+    /// Per-frame Rx output: the CRC-clean packet, if any.
+    packet: Option<BasebandPacket>,
+    tx_ns: u64,
+    demod_ns: u64,
+    decode_ns: u64,
+    /// Mirror of the lane's cumulative heartbeat counter, carried back so
+    /// the engine can answer watchdog queries without touching the
+    /// worker-owned lane.
+    heartbeats: u64,
+    /// Mirror of the lane's cumulative CRC-failure counter.
+    crc_failures: u64,
+}
+
+impl LaneIo {
+    fn with_capacity(info: usize, upsampled: usize, samples: usize) -> Box<Self> {
+        Box::new(LaneIo {
+            info: Vec::with_capacity(info),
+            upsampled: Vec::with_capacity(upsampled),
+            samples: Vec::with_capacity(samples),
+            outcome: None,
+            packet: None,
+            tx_ns: 0,
+            demod_ns: 0,
+            decode_ns: 0,
+            heartbeats: 0,
+            crc_failures: 0,
+        })
+    }
+}
+
+/// One carrier's long-lived transmit state.
+struct TxLane {
     encoder: ConvEncoder,
+    crc: Crc,
     resampler: RationalResampler,
     carrier_step: f64,
-    demod: TdmaBurstDemodulator,
-    viterbi: ViterbiDecoder,
-    crc: Crc,
-    beams: usize,
+    modulator: TdmaBurstModulator,
     /// Tx scratch: info bits with the CRC attached.
     protected: Vec<u8>,
     /// Tx scratch: the convolutionally coded block.
     coded: Vec<u8>,
     /// Tx scratch: the assembled burst symbols before pulse shaping.
     syms: Vec<Cpx>,
-    /// Per-frame Tx scratch: this carrier's modulated burst.
+    /// Tx scratch: this carrier's modulated burst.
     wave: Vec<Cpx>,
-    /// Per-frame Tx scratch: the burst upsampled to composite rate.
-    upsampled: Vec<Cpx>,
-    /// Per-frame Tx ground truth: the information bits sent.
-    info: Vec<u8>,
+}
+
+impl TxLane {
+    /// Synthesizes the lane's burst from `io.info`: CRC → conv encode →
+    /// modulate → upsample ×M → mix onto the carrier centre, into
+    /// `io.upsampled`. Touches only lane-local state and `io`, so it is
+    /// safe on any worker; the engine later sums the per-lane buffers in
+    /// carrier order, reproducing the serial accumulation bit for bit.
+    fn synth(&mut self, io: &mut LaneIo) {
+        self.crc.attach_into(&io.info, &mut self.protected);
+        self.encoder.encode_into(&self.protected, &mut self.coded);
+        self.modulator
+            .modulate_into(&self.coded, &mut self.syms, &mut self.wave);
+
+        self.resampler.reset();
+        io.upsampled.clear();
+        for i in 0..self.wave.len() {
+            let s = self.wave[i];
+            self.resampler.push(s, &mut io.upsampled);
+        }
+        let mut nco = Nco::from_step(self.carrier_step);
+        for s in io.upsampled.iter_mut() {
+            *s = nco.mix(*s);
+        }
+    }
+}
+
+/// One carrier's long-lived receive state.
+struct RxLane {
+    carrier: usize,
+    demod: TdmaBurstDemodulator,
+    viterbi: ViterbiDecoder,
+    crc: Crc,
+    beams: usize,
     /// Rx scratch: the demodulator's reusable result slot.
     demod_out: TdmaDemodResult,
     /// Rx scratch: the Viterbi decoder's reusable output buffer.
     decoded: Vec<u8>,
-    /// Per-frame Rx output, filled inside the parallel section.
-    outcome: Option<CarrierOutcome>,
-    /// Per-frame Rx output: the CRC-clean packet, if any.
-    packet: Option<BasebandPacket>,
-    demod_ns: u64,
-    decode_ns: u64,
     /// Injected fault, if any (see [`LaneFault`]).
     fault: Option<LaneFault>,
     /// Receive passes completed (frozen while stalled).
@@ -142,68 +251,38 @@ struct CarrierLane {
     crc_fail_count: u64,
 }
 
-impl CarrierLane {
-    /// Tx half (serial): draw info bits, encode, modulate, upsample ×M and
-    /// mix onto the carrier centre, accumulating into `composite`.
-    fn transmit(
-        &mut self,
-        cfg: &ChainConfig,
-        modulator: &TdmaBurstModulator,
-        rng: &mut StdRng,
-        composite: &mut [Cpx],
-        guard: usize,
-    ) {
-        self.info.clear();
-        self.info
-            .extend((0..cfg.info_bits).map(|_| rng.gen_range(0..2u8)));
-        self.crc.attach_into(&self.info, &mut self.protected);
-        self.encoder.encode_into(&self.protected, &mut self.coded);
-        modulator.modulate_into(&self.coded, &mut self.syms, &mut self.wave);
-
-        self.resampler.reset();
-        self.upsampled.clear();
-        for i in 0..self.wave.len() {
-            let s = self.wave[i];
-            self.resampler.push(s, &mut self.upsampled);
-        }
-        let mut nco = Nco::from_step(self.carrier_step);
-        for (i, s) in self.upsampled.iter().enumerate() {
-            if guard + i < composite.len() {
-                composite[guard + i] += nco.mix(*s);
-            }
-        }
-    }
-
-    /// Rx half (parallel-safe): demodulate, decode, CRC-check one channel's
-    /// samples. Touches only lane-local state, and — via the demodulator's
-    /// and decoder's `_into` entry points — no heap in steady state (the
-    /// CRC-clean packet handed to the switch is the one escaping
-    /// allocation).
-    fn receive(&mut self, samples: &[Cpx]) {
+impl RxLane {
+    /// Demodulate, decode, CRC-check one channel's samples (`io.samples`
+    /// against ground truth `io.info`). Touches only lane-local state,
+    /// and — via the demodulator's and decoder's `_into` entry points —
+    /// no heap in steady state (the CRC-clean packet handed to the switch
+    /// is the one escaping allocation).
+    fn receive(&mut self, io: &mut LaneIo) {
         let k = self.carrier;
-        let bits = &self.info;
-        self.packet = None;
+        io.packet = None;
 
         if self.fault == Some(LaneFault::Stall) {
             // Stalled lane: the receive half never runs, so the burst is
             // lost and the heartbeat counter freezes — exactly what a
             // watchdog deadline is there to catch. (The Tx half already
-            // ran serially, so the RNG draw sequence is unchanged.)
-            self.demod_ns = 0;
-            self.decode_ns = 0;
-            self.outcome = Some(CarrierOutcome {
+            // ran, so the RNG draw sequence is unchanged.)
+            io.demod_ns = 0;
+            io.decode_ns = 0;
+            io.outcome = Some(CarrierOutcome {
                 carrier: k,
                 detected: false,
                 crc_ok: false,
-                bit_errors: bits.len(),
-                bits: bits.len(),
+                bit_errors: io.info.len(),
+                bits: io.info.len(),
             });
+            io.heartbeats = self.heartbeats;
+            io.crc_failures = self.crc_fail_count;
             return;
         }
 
         let t0 = Instant::now();
-        let detected = self.demod.demodulate_into(samples, &mut self.demod_out);
-        self.demod_ns = t0.elapsed().as_nanos() as u64;
+        let detected = self.demod.demodulate_into(&io.samples, &mut self.demod_out);
+        io.demod_ns = t0.elapsed().as_nanos() as u64;
 
         let t1 = Instant::now();
         let outcome = if detected {
@@ -213,10 +292,11 @@ impl CarrierLane {
             let crc_ok =
                 self.crc.check(decoded).is_some() && self.fault != Some(LaneFault::CorruptCrc);
             let recovered = &decoded[..decoded.len().saturating_sub(16)];
+            let bits = &io.info;
             let bit_errors = recovered.iter().zip(bits).filter(|(a, b)| a != b).count()
                 + bits.len().saturating_sub(recovered.len());
             if crc_ok {
-                self.packet = Some(BasebandPacket {
+                io.packet = Some(BasebandPacket {
                     source: k as u16,
                     dest_beam: (k % self.beams) as u8,
                     class: 0,
@@ -238,17 +318,242 @@ impl CarrierLane {
                 carrier: k,
                 detected: false,
                 crc_ok: false,
-                bit_errors: bits.len(),
-                bits: bits.len(),
+                bit_errors: io.info.len(),
+                bits: io.info.len(),
             }
         };
-        self.decode_ns = t1.elapsed().as_nanos() as u64;
+        io.decode_ns = t1.elapsed().as_nanos() as u64;
         if outcome.detected && !outcome.crc_ok {
             self.crc_fail_count += 1;
         }
         self.heartbeats += 1;
-        self.outcome = Some(outcome);
+        io.outcome = Some(outcome);
+        io.heartbeats = self.heartbeats;
+        io.crc_failures = self.crc_fail_count;
     }
+}
+
+/// A unit of work for a pool worker. Lane jobs carry the frame slot they
+/// belong to, so results of different in-flight frames cannot be
+/// confused; control messages ride the same FIFO queues and therefore
+/// take effect in program order relative to frame jobs.
+enum Job {
+    /// Synthesize lane `lane`'s burst for the frame in `slot`.
+    Tx {
+        slot: usize,
+        lane: usize,
+        io: Box<LaneIo>,
+    },
+    /// Receive lane `lane`'s channel samples for the frame in `slot`.
+    Rx {
+        slot: usize,
+        lane: usize,
+        io: Box<LaneIo>,
+    },
+    /// Register the worker's demodulators on a telemetry registry.
+    Telemetry(Registry),
+    /// Impose (or clear) a fault on one lane.
+    Fault {
+        lane: usize,
+        fault: Option<LaneFault>,
+    },
+}
+
+/// A finished lane job on its way back to the engine.
+struct Done {
+    slot: usize,
+    lane: usize,
+    rx: bool,
+    io: Box<LaneIo>,
+}
+
+fn worker_loop(
+    base: usize,
+    mut lanes: Vec<(TxLane, RxLane)>,
+    jobs: Receiver<Job>,
+    done: Sender<Done>,
+) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Tx { slot, lane, mut io } => {
+                let t0 = Instant::now();
+                lanes[lane - base].0.synth(&mut io);
+                io.tx_ns = t0.elapsed().as_nanos() as u64;
+                if done
+                    .send(Done {
+                        slot,
+                        lane,
+                        rx: false,
+                        io,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Job::Rx { slot, lane, mut io } => {
+                lanes[lane - base].1.receive(&mut io);
+                if done
+                    .send(Done {
+                        slot,
+                        lane,
+                        rx: true,
+                        io,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Job::Telemetry(registry) => {
+                for (_, rx) in &mut lanes {
+                    rx.demod.set_telemetry(&registry);
+                }
+            }
+            Job::Fault { lane, fault } => lanes[lane - base].1.fault = fault,
+        }
+    }
+}
+
+/// The persistent worker pool: one long-lived thread per lane chunk, fed
+/// over a bounded SPSC job queue (the engine is the only sender), results
+/// funneled back over one shared channel. Lane state is *moved into* the
+/// workers at spawn; the engine talks to it only through messages, so
+/// there is no shared mutable state and no unsafe.
+struct WorkerPool {
+    job_txs: Vec<SyncSender<Job>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    /// Lanes per worker: lane `l` belongs to worker `l / chunk` — the
+    /// same fixed carrier-order chunking the scoped fan-out used, so the
+    /// lane→worker binding is independent of scheduling.
+    chunk: usize,
+    /// Results that arrived while collecting a different (slot, kind) —
+    /// the pipelined schedule interleaves frames, so a Tx result of frame
+    /// `i+1` can land while the engine is draining frame `i`'s Rx.
+    pending: Vec<Done>,
+}
+
+impl WorkerPool {
+    fn spawn(lanes: Vec<(TxLane, RxLane)>, workers: usize) -> Self {
+        let n = lanes.len();
+        let chunk = n.div_ceil(workers);
+        let spawned = n.div_ceil(chunk);
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(spawned);
+        let mut handles = Vec::with_capacity(spawned);
+        let mut iter = lanes.into_iter();
+        for w in 0..spawned {
+            let my: Vec<_> = iter.by_ref().take(chunk).collect();
+            // Worst case in flight per worker: one frame's Tx plus one
+            // frame's Rx for its chunk, plus a couple of control messages
+            // between batches.
+            let (job_tx, job_rx) = mpsc::sync_channel(2 * chunk + 4);
+            let done = done_tx.clone();
+            let base = w * chunk;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gsp-payload-{w}"))
+                    .spawn(move || worker_loop(base, my, job_rx, done))
+                    .expect("spawn payload worker"),
+            );
+            job_txs.push(job_tx);
+        }
+        WorkerPool {
+            job_txs,
+            done_rx,
+            handles,
+            chunk,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Sends a lane-addressed job to the worker owning that lane.
+    fn dispatch(&self, lane: usize, job: Job) {
+        self.job_txs[lane / self.chunk]
+            .send(job)
+            .expect("payload worker alive");
+    }
+
+    /// Sends a control message to every worker.
+    fn broadcast(&self, make: impl Fn() -> Job) {
+        for tx in &self.job_txs {
+            tx.send(make()).expect("payload worker alive");
+        }
+    }
+
+    /// Collects `need` results of the given (slot, kind), restoring each
+    /// `LaneIo` to its place in `ios`. Results belonging to other
+    /// in-flight frames are parked in `pending`.
+    fn collect(
+        &mut self,
+        slot: usize,
+        want_rx: bool,
+        mut need: usize,
+        ios: &mut [Option<Box<LaneIo>>],
+    ) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].slot == slot && self.pending[i].rx == want_rx {
+                let d = self.pending.swap_remove(i);
+                ios[d.lane] = Some(d.io);
+                need -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        while need > 0 {
+            let d = self
+                .done_rx
+                .recv_timeout(COLLECT_TIMEOUT)
+                .expect("payload worker died or wedged");
+            if d.slot == slot && d.rx == want_rx {
+                ios[d.lane] = Some(d.io);
+                need -= 1;
+            } else {
+                self.pending.push(d);
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job queues ends each worker's recv loop; they
+        // drain whatever was queued, then exit.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Where the lanes live: inline for the serial path, in pool threads
+/// otherwise. `workers == 1` deliberately stays a plain in-thread loop —
+/// it is the bitwise reference and the bench baseline, and must carry
+/// zero queue overhead.
+enum Backend {
+    Serial(Vec<(TxLane, RxLane)>),
+    Pool(WorkerPool),
+}
+
+/// Per-slot state of one in-flight frame.
+struct FrameSlot {
+    /// One I/O buffer per lane; `None` while the lane's job is in flight.
+    ios: Vec<Option<Box<LaneIo>>>,
+    /// The frame's RNG, carried from bit drawing (phase A) to ADC noise
+    /// (phase B) so the draw sequence matches the historical serial code.
+    rng: Option<StdRng>,
+    /// Frame wall-clock start (phase A entry).
+    started: Option<Instant>,
+    /// Serial Tx nanoseconds so far (bit draw + summation + noise).
+    tx_serial_ns: u64,
+    demux_ns: u64,
+    /// Channel blocks the DEMUX produced.
+    produced: usize,
+    /// Channel blocks the DEMUX should have produced.
+    expected: usize,
+    composite_len: usize,
 }
 
 /// The engine's metric handles, all no-op until
@@ -262,10 +567,14 @@ impl CarrierLane {
 struct EngineTelemetry {
     /// Whether the handles are live (gates the extra wall-clock reads).
     enabled: bool,
-    /// `payload.frame.ns` — whole-frame wall time.
+    /// `payload.frame.ns` — whole-frame wall time (dispatch to retire; in
+    /// a pipelined batch this overlaps neighbouring frames).
     frame_ns: Histogram,
-    /// `payload.tx.ns` — serial Tx + noise stage, per frame.
+    /// `payload.tx.ns` — serial Tx residue (bit draw + sum + noise), per
+    /// frame.
     tx_ns: Histogram,
+    /// `payload.tx.synth.ns` — per-lane burst synthesis.
+    tx_synth_ns: Histogram,
     /// `payload.demux.ns` — polyphase channelizer stage, per frame.
     demux_ns: Histogram,
     /// `payload.demod.ns` — burst demodulation, per carrier lane.
@@ -278,33 +587,50 @@ struct EngineTelemetry {
     composite_samples: Counter,
     uw_misses: Counter,
     crc_failures: Counter,
+    /// `payload.demux.errors` — frames whose DEMUX block count was off.
+    demux_errors: Counter,
     packets_forwarded: Counter,
     packets_dropped_overflow: Counter,
     packets_dropped_no_route: Counter,
-    /// `payload.workers` — configured receive-side worker count.
+    /// `payload.workers` — configured worker count.
     workers: Gauge,
-    /// `payload.workers.utilization` — lane CPU time over `workers` ×
-    /// parallel-section wall time, last frame.
+    /// `payload.workers.utilization` — summed lane CPU time over
+    /// `workers` × wall time of the last `run_frame*`/`run_frames` call.
     utilization: Gauge,
+    /// `payload.pool.queue_depth` — lane jobs in flight right after an Rx
+    /// dispatch (pool mode only).
+    queue_depth: Gauge,
 }
 
-/// Reusable Fig. 2 payload pipeline with a scoped per-carrier worker pool.
+/// Reusable Fig. 2 payload pipeline with a persistent worker pool.
 pub struct PipelineEngine {
     cfg: ChainConfig,
     workers: usize,
-    lanes: Vec<CarrierLane>,
-    modulator: TdmaBurstModulator,
+    n_lanes: usize,
+    backend: Backend,
     /// Samples per modulated burst (fixed by the burst format).
     burst_len: usize,
     channelizer: PolyphaseChannelizer,
     stats: PipelineStats,
     /// Per-frame scratch: the FDM composite at ADC rate.
     composite: Vec<Cpx>,
-    /// Per-frame scratch: all channel streams in one flat channel-major
-    /// slab — channel `c`'s samples live at `c*blocks..(c+1)*blocks`.
-    channel_slab: Vec<Cpx>,
     /// Per-frame scratch: the channelizer's one-block output vector.
     demux_frame: Vec<Cpx>,
+    /// In-flight frame slots (only slot 0 is used outside pipelined
+    /// batches).
+    slots: Vec<FrameSlot>,
+    /// Reusable switch scratch: reset + swapped with the outgoing
+    /// report's switch each frame, so steady-state ingress allocates
+    /// nothing (PR 3's hot-path guarantee, restored).
+    switch: PacketSwitch,
+    /// Engine-side mirror of each lane's injected fault (the lane itself
+    /// may live in a worker thread).
+    lane_faults: Vec<Option<LaneFault>>,
+    /// Engine-side mirror of each lane's watchdog counters, refreshed
+    /// when the lane's frame retires.
+    lane_health: Vec<LaneHealth>,
+    /// Lane CPU ns accumulated since the current public call began.
+    busy_ns: u64,
     tel: EngineTelemetry,
 }
 
@@ -317,54 +643,110 @@ impl PipelineEngine {
         Self::with_workers(cfg, cores)
     }
 
-    /// Engine with an explicit worker count (`1` = fully serial receive).
+    /// Engine with an explicit worker count (`1` = fully serial, no pool
+    /// threads). Workers beyond one per active carrier are clamped.
+    ///
+    /// Construction pre-warms every lane — survivor matrices, demodulator
+    /// workspaces, modulation scratch and the per-slot I/O buffers are
+    /// sized here — so first-frame latency matches steady state instead
+    /// of spiking on cold allocations.
     pub fn with_workers(cfg: ChainConfig, workers: usize) -> Self {
         assert!(cfg.active_carriers <= cfg.channels);
         assert!(workers >= 1);
         let m = cfg.channels;
+        let n = cfg.active_carriers;
         let code = ConvCode::umts_half();
         let coded_bits = (cfg.info_bits + 16 + 8) * 2;
         let fmt = BurstFormat::standard(24, 24, coded_bits / 2);
         let tdma_cfg = TdmaConfig::new(fmt, cfg.timing);
-        let lanes = (0..cfg.active_carriers)
-            .map(|k| CarrierLane {
-                carrier: k,
-                encoder: ConvEncoder::new(code.clone()),
-                resampler: RationalResampler::new(1.0, m as f64),
-                carrier_step: std::f64::consts::TAU * k as f64 / m as f64,
-                demod: TdmaBurstDemodulator::new(tdma_cfg.clone()),
-                viterbi: ViterbiDecoder::new(code.clone()),
-                crc: Crc::new(CrcKind::Crc16),
-                beams: cfg.beams,
-                protected: Vec::new(),
-                coded: Vec::new(),
-                syms: Vec::new(),
-                wave: Vec::new(),
-                upsampled: Vec::new(),
-                info: Vec::new(),
-                demod_out: TdmaDemodResult::default(),
-                decoded: Vec::new(),
-                outcome: None,
-                packet: None,
-                demod_ns: 0,
-                decode_ns: 0,
-                fault: None,
-                heartbeats: 0,
-                crc_fail_count: 0,
+        let modulator = TdmaBurstModulator::new(tdma_cfg.clone());
+        let burst_len = modulator.modulate(&vec![0u8; coded_bits]).len();
+        let guard = 64 * m;
+        let composite_len = burst_len * m + 2 * guard;
+        let blocks = composite_len / m;
+
+        let mut lanes: Vec<(TxLane, RxLane)> = (0..n)
+            .map(|k| {
+                (
+                    TxLane {
+                        encoder: ConvEncoder::new(code.clone()),
+                        crc: Crc::new(CrcKind::Crc16),
+                        resampler: RationalResampler::new(1.0, m as f64),
+                        carrier_step: std::f64::consts::TAU * k as f64 / m as f64,
+                        modulator: modulator.clone(),
+                        protected: Vec::new(),
+                        coded: Vec::new(),
+                        syms: Vec::new(),
+                        wave: Vec::new(),
+                    },
+                    RxLane {
+                        carrier: k,
+                        demod: TdmaBurstDemodulator::new(tdma_cfg.clone()),
+                        viterbi: ViterbiDecoder::new(code.clone()),
+                        crc: Crc::new(CrcKind::Crc16),
+                        beams: cfg.beams,
+                        demod_out: TdmaDemodResult::default(),
+                        decoded: Vec::new(),
+                        fault: None,
+                        heartbeats: 0,
+                        crc_fail_count: 0,
+                    },
+                )
             })
             .collect();
-        let modulator = TdmaBurstModulator::new(tdma_cfg);
-        let burst_len = modulator.modulate(&vec![0u8; coded_bits]).len();
+
+        // Pre-warm: run one throwaway burst through each Tx lane (sizes
+        // the encode/modulate/upsample scratch), grow each Viterbi
+        // survivor matrix to block size, and push one zero block through
+        // each demodulator (sizes its matched-filter and symbol buffers;
+        // telemetry handles are still no-op, and lane heartbeats are
+        // untouched, so nothing observable changes).
+        let mut warm = LaneIo::with_capacity(cfg.info_bits, 0, blocks);
+        warm.info = vec![0u8; cfg.info_bits];
+        warm.samples = vec![Cpx::ZERO; blocks];
+        for (tx, rx) in &mut lanes {
+            tx.synth(&mut warm);
+            rx.viterbi.reserve_steps(coded_bits / 2);
+            let _ = rx.demod.demodulate_into(&warm.samples, &mut rx.demod_out);
+            rx.decoded.reserve(cfg.info_bits + 24);
+        }
+        let upsampled_len = warm.upsampled.len();
+
+        let workers = workers.min(n.max(1));
+        let slots = (0..SLOTS)
+            .map(|_| FrameSlot {
+                ios: (0..n)
+                    .map(|_| Some(LaneIo::with_capacity(cfg.info_bits, upsampled_len, blocks)))
+                    .collect(),
+                rng: None,
+                started: None,
+                tx_serial_ns: 0,
+                demux_ns: 0,
+                produced: 0,
+                expected: 0,
+                composite_len: 0,
+            })
+            .collect();
+        let backend = if workers <= 1 || n <= 1 {
+            Backend::Serial(lanes)
+        } else {
+            Backend::Pool(WorkerPool::spawn(lanes, workers))
+        };
+
         PipelineEngine {
-            workers: workers.min(cfg.active_carriers.max(1)),
-            lanes,
-            modulator,
+            workers,
+            n_lanes: n,
+            backend,
             burst_len,
             channelizer: PolyphaseChannelizer::new(m, 12),
             stats: PipelineStats::default(),
-            composite: Vec::new(),
-            channel_slab: Vec::new(),
+            composite: Vec::with_capacity(composite_len),
             demux_frame: vec![Cpx::ZERO; m],
+            slots,
+            switch: PacketSwitch::new(cfg.beams, cfg.switch_queue_limit),
+            lane_faults: vec![None; n],
+            lane_health: vec![LaneHealth::default(); n],
+            busy_ns: 0,
             tel: EngineTelemetry::default(),
             cfg,
         }
@@ -372,13 +754,16 @@ impl PipelineEngine {
 
     /// Registers the engine's metrics on `registry` and starts recording
     /// into them: per-stage latency histograms (`payload.tx.ns`,
-    /// `payload.demux.ns`, per-lane `payload.demod.ns` /
-    /// `payload.decode.ns`, `payload.switch.ns`, `payload.frame.ns`),
-    /// outcome counters (`payload.frames`, `payload.uw_misses`,
-    /// `payload.crc.failures`, `payload.packets.*`) and worker gauges
-    /// (`payload.workers`, `payload.workers.utilization`). The lanes'
-    /// burst demodulators register their `modem.tdma.*` counters on the
-    /// same registry.
+    /// `payload.tx.synth.ns`, `payload.demux.ns`, per-lane
+    /// `payload.demod.ns` / `payload.decode.ns`, `payload.switch.ns`,
+    /// `payload.frame.ns`), outcome counters (`payload.frames`,
+    /// `payload.uw_misses`, `payload.crc.failures`,
+    /// `payload.demux.errors`, `payload.packets.*`) and worker gauges
+    /// (`payload.workers`, `payload.workers.utilization`,
+    /// `payload.pool.queue_depth`). The lanes' burst demodulators
+    /// register their `modem.tdma.*` counters on the same registry —
+    /// delivered to pool workers as a control message on the same FIFO
+    /// queues as frame jobs, so it takes effect before the next frame.
     ///
     /// Telemetry is observed, never consulted: frame reports stay bitwise
     /// identical whether `registry` is live, no-op, or never installed.
@@ -387,6 +772,7 @@ impl PipelineEngine {
             enabled: registry.enabled(),
             frame_ns: registry.histogram_ns("payload.frame.ns"),
             tx_ns: registry.histogram_ns("payload.tx.ns"),
+            tx_synth_ns: registry.histogram_ns("payload.tx.synth.ns"),
             demux_ns: registry.histogram_ns("payload.demux.ns"),
             demod_ns: registry.histogram_ns("payload.demod.ns"),
             decode_ns: registry.histogram_ns("payload.decode.ns"),
@@ -395,15 +781,22 @@ impl PipelineEngine {
             composite_samples: registry.counter("payload.composite_samples"),
             uw_misses: registry.counter("payload.uw_misses"),
             crc_failures: registry.counter("payload.crc.failures"),
+            demux_errors: registry.counter("payload.demux.errors"),
             packets_forwarded: registry.counter("payload.packets.forwarded"),
             packets_dropped_overflow: registry.counter("payload.packets.dropped_overflow"),
             packets_dropped_no_route: registry.counter("payload.packets.dropped_no_route"),
             workers: registry.gauge("payload.workers"),
             utilization: registry.gauge("payload.workers.utilization"),
+            queue_depth: registry.gauge("payload.pool.queue_depth"),
         };
         self.tel.workers.set(self.workers as f64);
-        for lane in &mut self.lanes {
-            lane.demod.set_telemetry(registry);
+        match &mut self.backend {
+            Backend::Serial(lanes) => {
+                for (_, rx) in lanes {
+                    rx.demod.set_telemetry(registry);
+                }
+            }
+            Backend::Pool(pool) => pool.broadcast(|| Job::Telemetry(registry.clone())),
         }
     }
 
@@ -412,7 +805,7 @@ impl PipelineEngine {
         &self.cfg
     }
 
-    /// Receive-side worker count.
+    /// Worker count (clamped to the active carrier count).
     pub fn workers(&self) -> usize {
         self.workers
     }
@@ -428,41 +821,322 @@ impl PipelineEngine {
         self.stats = PipelineStats::default();
     }
 
+    fn set_fault(&mut self, carrier: usize, fault: Option<LaneFault>) {
+        if carrier >= self.n_lanes {
+            return;
+        }
+        self.lane_faults[carrier] = fault;
+        match &mut self.backend {
+            Backend::Serial(lanes) => lanes[carrier].1.fault = fault,
+            Backend::Pool(pool) => pool.dispatch(
+                carrier,
+                Job::Fault {
+                    lane: carrier,
+                    fault,
+                },
+            ),
+        }
+    }
+
     /// Imposes `fault` on carrier lane `carrier` (no-op out of range).
     /// The fault persists across frames until [`Self::clear_lane_fault`].
     pub fn inject_lane_fault(&mut self, carrier: usize, fault: LaneFault) {
-        if let Some(lane) = self.lanes.get_mut(carrier) {
-            lane.fault = Some(fault);
-        }
+        self.set_fault(carrier, Some(fault));
     }
 
     /// Clears any injected fault on lane `carrier` — the recovery side of
     /// an FDIR lane reset (no-op out of range).
     pub fn clear_lane_fault(&mut self, carrier: usize) {
-        if let Some(lane) = self.lanes.get_mut(carrier) {
-            lane.fault = None;
-        }
+        self.set_fault(carrier, None);
     }
 
     /// The fault currently imposed on lane `carrier`, if any.
     pub fn lane_fault(&self, carrier: usize) -> Option<LaneFault> {
-        self.lanes.get(carrier).and_then(|l| l.fault)
+        self.lane_faults.get(carrier).copied().flatten()
     }
 
     /// Watchdog counters for lane `carrier` (default-zero out of range).
+    /// Sampled when the lane's most recent frame retired.
     pub fn lane_health(&self, carrier: usize) -> LaneHealth {
-        self.lanes
-            .get(carrier)
-            .map(|l| LaneHealth {
-                heartbeats: l.heartbeats,
-                crc_failures: l.crc_fail_count,
-            })
-            .unwrap_or_default()
+        self.lane_health.get(carrier).copied().unwrap_or_default()
+    }
+
+    /// An empty report shell shaped for this engine (recycled by
+    /// [`PipelineEngine::run_frame_into`] callers to keep the hot loop
+    /// allocation-free).
+    fn empty_report(&self) -> ChainReport {
+        ChainReport {
+            carriers: Vec::new(),
+            packets_forwarded: 0,
+            packets_dropped_overflow: 0,
+            packets_dropped_no_route: 0,
+            composite_samples: 0,
+            switch: PacketSwitch::new(self.cfg.beams, self.cfg.switch_queue_limit),
+            info_bits: Vec::new(),
+            demux_produced: 0,
+            demux_expected: 0,
+        }
+    }
+
+    /// Phase A of a frame: draw every lane's information bits (serially,
+    /// in carrier order, on the frame's own RNG) and hand the lanes their
+    /// Tx synthesis work. In a pipelined batch this runs for frame `i+1`
+    /// *before* frame `i`'s Rx jobs are dispatched, so workers pick Tx
+    /// work up the moment they drain the previous frame.
+    fn phase_a(&mut self, slot: usize, seed: u64) {
+        let n = self.n_lanes;
+        let info_bits = self.cfg.info_bits;
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        {
+            let sl = &mut self.slots[slot];
+            sl.started = Some(started);
+            let t0 = Instant::now();
+            for io in sl.ios[..n].iter_mut() {
+                let io = io.as_mut().expect("frame slot busy");
+                io.info.clear();
+                io.info
+                    .extend((0..info_bits).map(|_| rng.gen_range(0..2u8)));
+            }
+            sl.tx_serial_ns = t0.elapsed().as_nanos() as u64;
+            sl.rng = Some(rng);
+        }
+        match &mut self.backend {
+            Backend::Serial(lanes) => {
+                let sl = &mut self.slots[slot];
+                for (k, (tx, _)) in lanes.iter_mut().enumerate().take(n) {
+                    let io = sl.ios[k].as_mut().expect("frame slot busy");
+                    let t0 = Instant::now();
+                    tx.synth(io);
+                    io.tx_ns = t0.elapsed().as_nanos() as u64;
+                }
+            }
+            Backend::Pool(pool) => {
+                let sl = &mut self.slots[slot];
+                for (k, io) in sl.ios[..n].iter_mut().enumerate() {
+                    let io = io.take().expect("frame slot busy");
+                    pool.dispatch(k, Job::Tx { slot, lane: k, io });
+                }
+            }
+        }
+    }
+
+    /// Phase B of a frame: collect the synthesized bursts, sum them into
+    /// the composite in carrier order (bitwise identical to the old
+    /// serial accumulation), apply ADC noise on the frame's RNG, run the
+    /// polyphase DEMUX straight into each lane's sample buffer, and
+    /// dispatch the receive jobs.
+    fn phase_b(&mut self, slot: usize) {
+        let n = self.n_lanes;
+        let m = self.cfg.channels;
+        let guard = 64 * m;
+        let composite_len = self.burst_len * m + 2 * guard;
+        if let Backend::Pool(pool) = &mut self.backend {
+            pool.collect(slot, false, n, &mut self.slots[slot].ios);
+        }
+
+        // ---- Serial Tx residue: carrier summation + ADC noise.
+        let t_tx = Instant::now();
+        {
+            let sl = &mut self.slots[slot];
+            self.composite.clear();
+            self.composite.resize(composite_len, Cpx::ZERO);
+            for io in sl.ios[..n].iter() {
+                let io = io.as_ref().expect("tx collected");
+                for (i, s) in io.upsampled.iter().enumerate() {
+                    if guard + i < composite_len {
+                        self.composite[guard + i] += *s;
+                    }
+                }
+            }
+            let rng = sl.rng.take();
+            if let Some(db) = self.cfg.esn0_db {
+                // Per-carrier Es/N0 calibration: the channelizer passes an
+                // on-centre carrier with unit gain while keeping only the
+                // channel's share of the composite noise (measured noise
+                // bandwidth ≈ 1.1/m of the prototype), so composite noise
+                // is 1.1·m times the per-channel target.
+                let mut rng = rng.expect("phase A seeded the frame RNG");
+                let mut ch = AwgnChannel::from_esn0_db(db - 10.0 * (1.1 * m as f64).log10());
+                ch.apply(&mut self.composite, &mut rng);
+            }
+            sl.tx_serial_ns += t_tx.elapsed().as_nanos() as u64;
+        }
+
+        // ---- DEMUX (serial): polyphase channelizer, scattered straight
+        // into each active lane's sample buffer (lane k demodulates
+        // channel k; inactive channels are discarded).
+        let t_demux = Instant::now();
+        let blocks = composite_len / m;
+        {
+            let sl = &mut self.slots[slot];
+            self.channelizer.reset();
+            for io in sl.ios[..n].iter_mut() {
+                let samples = &mut io.as_mut().expect("tx collected").samples;
+                samples.clear();
+                samples.resize(blocks, Cpx::ZERO);
+            }
+            let mut produced = 0usize;
+            for &x in &self.composite {
+                if self.channelizer.push(x, &mut self.demux_frame) {
+                    if produced < blocks {
+                        for (k, io) in sl.ios[..n].iter_mut().enumerate() {
+                            io.as_mut().expect("tx collected").samples[produced] =
+                                self.demux_frame[k];
+                        }
+                    }
+                    produced += 1;
+                }
+            }
+            // Formerly `debug_assert_eq!(produced, blocks)`, which
+            // vanished in release builds and let a short composite decode
+            // zero-padded garbage silently. Now it is bookkeeping that
+            // phase C turns into a counter and report field.
+            sl.produced = produced;
+            sl.expected = composite_len.div_ceil(m);
+            sl.composite_len = composite_len;
+            sl.demux_ns = t_demux.elapsed().as_nanos() as u64;
+        }
+
+        // ---- Rx dispatch.
+        match &mut self.backend {
+            Backend::Serial(lanes) => {
+                let sl = &mut self.slots[slot];
+                for (k, (_, rx)) in lanes.iter_mut().enumerate().take(n) {
+                    rx.receive(sl.ios[k].as_mut().expect("tx collected"));
+                }
+            }
+            Backend::Pool(pool) => {
+                let sl = &mut self.slots[slot];
+                for (k, io) in sl.ios[..n].iter_mut().enumerate() {
+                    let io = io.take().expect("tx collected");
+                    pool.dispatch(k, Job::Rx { slot, lane: k, io });
+                }
+                if self.tel.enabled {
+                    let in_flight = self
+                        .slots
+                        .iter()
+                        .flat_map(|s| s.ios.iter())
+                        .filter(|io| io.is_none())
+                        .count();
+                    self.tel.queue_depth.set(in_flight as f64);
+                }
+            }
+        }
+    }
+
+    /// Phase C of a frame: collect the receive results, ingest CRC-clean
+    /// packets into the (reused) switch serially in carrier order, fold
+    /// every counter in frame order, and assemble the report into
+    /// `report` (whose buffers are recycled).
+    fn phase_c(&mut self, slot: usize, tick: u64, report: &mut ChainReport) {
+        let n = self.n_lanes;
+        if let Backend::Pool(pool) = &mut self.backend {
+            pool.collect(slot, true, n, &mut self.slots[slot].ios);
+        }
+
+        let t_switch = Instant::now();
+        report.carriers.clear();
+        report.info_bits.clear();
+        report.carriers.reserve(n);
+        report.info_bits.reserve(n);
+        let mut busy = 0u64;
+        {
+            let sl = &mut self.slots[slot];
+            for (k, io) in sl.ios[..n].iter_mut().enumerate() {
+                let io = io.as_mut().expect("rx collected");
+                let outcome = io.outcome.take().expect("lane ran");
+                if !outcome.detected {
+                    self.stats.uw_misses += 1;
+                    self.tel.uw_misses.inc();
+                } else if !outcome.crc_ok {
+                    self.stats.crc_failures += 1;
+                    self.tel.crc_failures.inc();
+                }
+                if let Some(mut pkt) = io.packet.take() {
+                    pkt.born_tick = tick;
+                    self.switch.ingress(pkt);
+                }
+                self.stats.tx_synth_ns += io.tx_ns;
+                self.stats.demod_ns += io.demod_ns;
+                self.stats.decode_ns += io.decode_ns;
+                self.tel.tx_synth_ns.record(io.tx_ns);
+                self.tel.demod_ns.record(io.demod_ns);
+                self.tel.decode_ns.record(io.decode_ns);
+                busy += io.tx_ns + io.demod_ns + io.decode_ns;
+                self.lane_health[k] = LaneHealth {
+                    heartbeats: io.heartbeats,
+                    crc_failures: io.crc_failures,
+                };
+                report.carriers.push(outcome);
+                // The report owns the ground-truth bits (they escape the
+                // frame); taking them instead of cloning skips the copy,
+                // and phase A refills the buffer next frame.
+                report.info_bits.push(std::mem::take(&mut io.info));
+            }
+        }
+        let switch_ns = t_switch.elapsed().as_nanos() as u64;
+        self.busy_ns += busy;
+        self.stats.switch_ns += switch_ns;
+        self.tel.switch_ns.record(switch_ns);
+
+        let sl = &mut self.slots[slot];
+        self.stats.tx_ns += sl.tx_serial_ns;
+        self.tel.tx_ns.record(sl.tx_serial_ns);
+        self.stats.demux_ns += sl.demux_ns;
+        self.tel.demux_ns.record(sl.demux_ns);
+        if sl.produced != sl.expected {
+            self.stats.demux_errors += 1;
+            self.tel.demux_errors.inc();
+        }
+
+        let sw_stats = self.switch.stats();
+        self.stats.frames += 1;
+        self.stats.composite_samples += sl.composite_len as u64;
+        self.stats.packets_forwarded += sw_stats.forwarded;
+        self.stats.packets_dropped_overflow += sw_stats.dropped_overflow;
+        self.stats.packets_dropped_no_route += sw_stats.dropped_no_route;
+        self.tel.frames.inc();
+        self.tel.composite_samples.add(sl.composite_len as u64);
+        self.tel.packets_forwarded.add(sw_stats.forwarded);
+        self.tel
+            .packets_dropped_overflow
+            .add(sw_stats.dropped_overflow);
+        self.tel
+            .packets_dropped_no_route
+            .add(sw_stats.dropped_no_route);
+
+        report.packets_forwarded = sw_stats.forwarded;
+        report.packets_dropped_overflow = sw_stats.dropped_overflow;
+        report.packets_dropped_no_route = sw_stats.dropped_no_route;
+        report.composite_samples = sl.composite_len;
+        report.demux_produced = sl.produced;
+        report.demux_expected = sl.expected;
+        // Hand the filled switch to the report and keep its (reset)
+        // predecessor as next frame's scratch — the queues' capacity
+        // survives the swap, so steady-state ingress never allocates.
+        report.switch.reset();
+        std::mem::swap(&mut self.switch, &mut report.switch);
+
+        if let Some(t0) = sl.started.take() {
+            self.tel.frame_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn finish_utilization(&mut self, t0: Instant) {
+        if self.tel.enabled {
+            let wall = t0.elapsed().as_nanos() as u64;
+            if wall > 0 {
+                self.tel
+                    .utilization
+                    .set(self.busy_ns as f64 / (wall as f64 * self.workers as f64));
+            }
+        }
     }
 
     /// Runs one MF-TDMA frame; equivalent to
     /// [`crate::chain::run_mf_tdma_frame`] but reusing all per-carrier
-    /// state and fanning the receive half across the worker pool.
+    /// state and the worker pool.
     ///
     /// Packets leave the switch with `born_tick == 0`; a frame-clocked
     /// caller should use [`PipelineEngine::run_frame_at`] instead.
@@ -477,164 +1151,71 @@ impl PipelineEngine {
     /// of `(config, seed, tick)` — the tick is an input, never read from
     /// engine state.
     pub fn run_frame_at(&mut self, seed: u64, tick: u64) -> ChainReport {
-        let frame_span = self.tel.frame_ns.span();
-        let cfg = &self.cfg;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let m = cfg.channels;
-        let guard = 64 * m;
+        let mut report = self.empty_report();
+        self.run_frame_into(seed, tick, &mut report);
+        report
+    }
 
-        // ---- Tx (serial): bits → CRC → conv → burst → FDM composite.
-        let t_tx = Instant::now();
-        let composite_len = self.burst_len * m + 2 * guard;
-        self.composite.clear();
-        self.composite.resize(composite_len, Cpx::ZERO);
-        let modulator = &self.modulator;
-        for lane in &mut self.lanes {
-            lane.transmit(cfg, modulator, &mut rng, &mut self.composite, guard);
-        }
-
-        // ---- ADC noise (serial, same RNG).
-        if let Some(db) = cfg.esn0_db {
-            // Per-carrier Es/N0 calibration: the channelizer passes an
-            // on-centre carrier with unit gain while keeping only the
-            // channel's share of the composite noise (measured noise
-            // bandwidth ≈ 1.1/m of the prototype), so composite noise is
-            // 1.1·m times the per-channel target.
-            let mut ch = AwgnChannel::from_esn0_db(db - 10.0 * (1.1 * m as f64).log10());
-            ch.apply(&mut self.composite, &mut rng);
-        }
-        let tx_ns = t_tx.elapsed().as_nanos() as u64;
-        self.stats.tx_ns += tx_ns;
-        self.tel.tx_ns.record(tx_ns);
-
-        // ---- DEMUX (serial): polyphase channelizer, scattered straight
-        // into the flat channel-major slab (channel c's stream is the
-        // contiguous run c*blocks..(c+1)*blocks — exactly the slice its
-        // lane demodulates).
-        let t_demux = Instant::now();
-        self.channelizer.reset();
-        let blocks = composite_len / m;
-        self.channel_slab.clear();
-        self.channel_slab.resize(m * blocks, Cpx::ZERO);
-        let mut produced = 0usize;
-        for &s in &self.composite {
-            if self.channelizer.push(s, &mut self.demux_frame) {
-                for (ch, &v) in self.demux_frame.iter().enumerate() {
-                    self.channel_slab[ch * blocks + produced] = v;
-                }
-                produced += 1;
-            }
-        }
-        debug_assert_eq!(produced, blocks, "composite length not a block multiple");
-        let demux_ns = t_demux.elapsed().as_nanos() as u64;
-        self.stats.demux_ns += demux_ns;
-        self.tel.demux_ns.record(demux_ns);
-
-        // ---- Per-carrier Rx: DEMOD → DECOD → CRC, fanned across workers.
-        // Lanes are handed out in contiguous chunks; each worker touches
-        // only its own lanes plus a shared read-only view of the channel
-        // slab, so results cannot depend on scheduling.
-        let slab = &self.channel_slab;
-        // Parallel-section wall clock, read only when telemetry is live
-        // (the utilization gauge is the sole consumer).
-        let t_par = self.tel.enabled.then(Instant::now);
-        if self.workers <= 1 || self.lanes.len() <= 1 {
-            for lane in &mut self.lanes {
-                let c = lane.carrier;
-                lane.receive(&slab[c * blocks..(c + 1) * blocks]);
-            }
-        } else {
-            let chunk = self.lanes.len().div_ceil(self.workers);
-            std::thread::scope(|scope| {
-                for lanes in self.lanes.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for lane in lanes {
-                            let c = lane.carrier;
-                            lane.receive(&slab[c * blocks..(c + 1) * blocks]);
-                        }
-                    });
-                }
-            });
-        }
-        let par_wall_ns = t_par.map(|t| t.elapsed().as_nanos() as u64);
-
-        // ---- Switch ingress (serial, carrier order) + report assembly.
-        let t_switch = Instant::now();
-        let mut switch = PacketSwitch::new(cfg.beams, cfg.switch_queue_limit);
-        let mut outcomes = Vec::with_capacity(self.lanes.len());
-        let mut info = Vec::with_capacity(self.lanes.len());
-        let mut lane_busy_ns = 0u64;
-        for lane in &mut self.lanes {
-            let outcome = lane.outcome.take().expect("lane ran");
-            if !outcome.detected {
-                self.stats.uw_misses += 1;
-                self.tel.uw_misses.inc();
-            } else if !outcome.crc_ok {
-                self.stats.crc_failures += 1;
-                self.tel.crc_failures.inc();
-            }
-            if let Some(mut pkt) = lane.packet.take() {
-                pkt.born_tick = tick;
-                switch.ingress(pkt);
-            }
-            self.stats.demod_ns += lane.demod_ns;
-            self.stats.decode_ns += lane.decode_ns;
-            self.tel.demod_ns.record(lane.demod_ns);
-            self.tel.decode_ns.record(lane.decode_ns);
-            lane_busy_ns += lane.demod_ns + lane.decode_ns;
-            outcomes.push(outcome);
-            // The report owns the ground-truth bits (they escape the
-            // frame); taking them instead of cloning skips the copy, and
-            // the lane's next transmit() refills its buffer.
-            info.push(std::mem::take(&mut lane.info));
-        }
-        let switch_ns = t_switch.elapsed().as_nanos() as u64;
-        self.stats.switch_ns += switch_ns;
-        self.tel.switch_ns.record(switch_ns);
-
-        let sw_stats = switch.stats();
-        let (forwarded, dropped_overflow, dropped_no_route) = (
-            sw_stats.forwarded,
-            sw_stats.dropped_overflow,
-            sw_stats.dropped_no_route,
-        );
-        self.stats.frames += 1;
-        self.stats.composite_samples += composite_len as u64;
-        self.stats.packets_forwarded += forwarded;
-        self.stats.packets_dropped_overflow += dropped_overflow;
-        self.stats.packets_dropped_no_route += dropped_no_route;
-
-        self.tel.frames.inc();
-        self.tel.composite_samples.add(composite_len as u64);
-        self.tel.packets_forwarded.add(forwarded);
-        self.tel.packets_dropped_overflow.add(dropped_overflow);
-        self.tel.packets_dropped_no_route.add(dropped_no_route);
-        if let Some(wall) = par_wall_ns {
-            if wall > 0 {
-                self.tel
-                    .utilization
-                    .set(lane_busy_ns as f64 / (wall as f64 * self.workers as f64));
-            }
-        }
-        drop(frame_span);
-
-        ChainReport {
-            carriers: outcomes,
-            packets_forwarded: forwarded,
-            packets_dropped_overflow: dropped_overflow,
-            packets_dropped_no_route: dropped_no_route,
-            composite_samples: composite_len,
-            switch,
-            info_bits: info,
-        }
+    /// [`PipelineEngine::run_frame_at`] into a caller-recycled report:
+    /// the report's switch, outcome and ground-truth buffers are reused,
+    /// so a tick loop that feeds the previous report back in runs the
+    /// whole frame without heap allocation. The result is bitwise
+    /// identical to a fresh [`PipelineEngine::run_frame_at`] regardless
+    /// of what `report` held before.
+    pub fn run_frame_into(&mut self, seed: u64, tick: u64, report: &mut ChainReport) {
+        let t0 = Instant::now();
+        self.busy_ns = 0;
+        self.phase_a(0, seed);
+        self.phase_b(0);
+        self.phase_c(0, tick, report);
+        self.finish_utilization(t0);
     }
 
     /// Runs `n_frames` frames, frame `i` seeded with
     /// [`frame_seed`]`(seed, i)`, and returns the per-frame reports.
+    ///
+    /// With a pool backend the frames are software-pipelined (`SLOTS`
+    /// deep): frame `i+1`'s Tx synthesis is dispatched before frame `i`'s
+    /// receive jobs so the workers stay busy through the engine's serial
+    /// stages, and frame `i-1` retires while `i` and `i+1` are still in
+    /// flight. Reports are identical to running the frames one at a time.
     pub fn run_frames(&mut self, n_frames: usize, seed: u64) -> Vec<ChainReport> {
-        (0..n_frames)
-            .map(|i| self.run_frame(frame_seed(seed, i)))
-            .collect()
+        let t0 = Instant::now();
+        self.busy_ns = 0;
+        let mut reports = Vec::with_capacity(n_frames);
+        if n_frames == 0 {
+            return reports;
+        }
+        if matches!(self.backend, Backend::Serial(_)) {
+            // Serial backend: nothing to overlap; keep frames strictly
+            // sequential (this is the bitwise reference and the bench
+            // baseline).
+            for i in 0..n_frames {
+                let mut report = self.empty_report();
+                self.phase_a(0, frame_seed(seed, i));
+                self.phase_b(0);
+                self.phase_c(0, 0, &mut report);
+                reports.push(report);
+            }
+        } else {
+            self.phase_a(0, frame_seed(seed, 0));
+            for i in 0..n_frames {
+                if i + 1 < n_frames {
+                    self.phase_a((i + 1) % SLOTS, frame_seed(seed, i + 1));
+                }
+                self.phase_b(i % SLOTS);
+                if i >= 1 {
+                    let mut report = self.empty_report();
+                    self.phase_c((i - 1) % SLOTS, 0, &mut report);
+                    reports.push(report);
+                }
+            }
+            let mut report = self.empty_report();
+            self.phase_c((n_frames - 1) % SLOTS, 0, &mut report);
+            reports.push(report);
+        }
+        self.finish_utilization(t0);
+        reports
     }
 }
 
@@ -687,6 +1268,66 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_batches_match_single_frames() {
+        // The SLOTS-deep pipelined schedule must be invisible in the
+        // reports: a pooled batch equals the same frames run one at a
+        // time on a serial engine.
+        let cfg = ChainConfig {
+            esn0_db: Some(10.0),
+            ..ChainConfig::default()
+        };
+        let mut pooled = PipelineEngine::with_workers(cfg.clone(), 3);
+        let batch = pooled.run_frames(7, 123);
+        let mut serial = PipelineEngine::with_workers(cfg, 1);
+        for (i, report) in batch.iter().enumerate() {
+            assert_eq!(report, &serial.run_frame(frame_seed(123, i)), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn run_frame_into_recycles_without_changing_results() {
+        // Feeding the previous report back in (switch, outcome and bit
+        // buffers reused) must be bitwise identical to fresh reports.
+        let cfg = ChainConfig {
+            esn0_db: Some(12.0),
+            ..ChainConfig::default()
+        };
+        let mut engine = PipelineEngine::with_workers(cfg.clone(), 2);
+        let mut recycled = engine.empty_report();
+        let mut fresh_engine = PipelineEngine::with_workers(cfg, 2);
+        for seed in [4u64, 9, 100, 9] {
+            engine.run_frame_into(seed, 7, &mut recycled);
+            let fresh = fresh_engine.run_frame_at(seed, 7);
+            assert_eq!(recycled, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn demux_shortfall_is_surfaced_not_asserted() {
+        // A DEMUX block shortfall must reach the report and the stats as
+        // a real error in any build profile — the old debug_assert
+        // vanished in release. The engine's own composite is always a
+        // block multiple, so fake the bookkeeping the way a channelizer
+        // bug would and check the plumbing end to end.
+        let mut engine = PipelineEngine::with_workers(ChainConfig::default(), 1);
+        let mut report = engine.empty_report();
+        engine.phase_a(0, 11);
+        engine.phase_b(0);
+        assert_eq!(engine.slots[0].produced, engine.slots[0].expected);
+        engine.slots[0].produced -= 1; // simulate an under-producing DEMUX
+        engine.phase_c(0, 0, &mut report);
+        assert!(!report.demux_ok());
+        assert!(!report.all_clean(), "demux shortfall must spoil all_clean");
+        assert_eq!(report.demux_expected, report.demux_produced + 1);
+        assert_eq!(engine.stats().demux_errors, 1);
+
+        // And a healthy frame counts nothing.
+        let healthy = engine.run_frame(11);
+        assert!(healthy.demux_ok() && healthy.all_clean());
+        assert_eq!(engine.stats().demux_errors, 1);
+    }
+
+    #[test]
     fn stats_count_frames_and_packets() {
         let cfg = ChainConfig::default(); // noiseless: everything decodes
         let mut engine = PipelineEngine::new(cfg);
@@ -695,6 +1336,7 @@ mod tests {
         assert_eq!(s.frames, 3);
         assert_eq!(s.uw_misses, 0);
         assert_eq!(s.crc_failures, 0);
+        assert_eq!(s.demux_errors, 0);
         assert_eq!(s.packets_forwarded, 18);
         assert_eq!(
             s.composite_samples,
@@ -703,7 +1345,7 @@ mod tests {
                 .map(|r| r.composite_samples as u64)
                 .sum::<u64>()
         );
-        assert!(s.demod_ns > 0 && s.decode_ns > 0);
+        assert!(s.demod_ns > 0 && s.decode_ns > 0 && s.tx_synth_ns > 0);
     }
 
     #[test]
@@ -769,6 +1411,29 @@ mod tests {
         let recovered = engine.run_frame(23);
         let fresh = PipelineEngine::new(ChainConfig::default()).run_frame(23);
         assert_eq!(recovered, fresh);
+    }
+
+    #[test]
+    fn faults_reach_pool_workers_too() {
+        // Same fault choreography, but with the lanes living in pool
+        // threads: injection and clearing travel as control messages on
+        // the job queues and must behave exactly like the serial path.
+        let mut pooled = PipelineEngine::with_workers(ChainConfig::default(), 3);
+        let mut serial = PipelineEngine::with_workers(ChainConfig::default(), 1);
+        for e in [&mut pooled, &mut serial] {
+            e.run_frame(50);
+            e.inject_lane_fault(1, LaneFault::Stall);
+            e.inject_lane_fault(5, LaneFault::CorruptCrc);
+        }
+        assert_eq!(pooled.run_frame(51), serial.run_frame(51));
+        assert_eq!(pooled.lane_health(1), serial.lane_health(1));
+        assert_eq!(pooled.lane_health(5), serial.lane_health(5));
+        for e in [&mut pooled, &mut serial] {
+            e.clear_lane_fault(1);
+            e.clear_lane_fault(5);
+        }
+        assert_eq!(pooled.run_frame(52), serial.run_frame(52));
+        assert_eq!(pooled.lane_health(1), serial.lane_health(1));
     }
 
     #[test]

@@ -173,6 +173,28 @@ impl PacketSwitch {
         }
     }
 
+    /// Returns the switch to its as-constructed state — queues emptied,
+    /// counters zeroed, WRR positions rewound — while keeping every
+    /// queue's allocated capacity. A reset switch compares equal to a
+    /// fresh [`PacketSwitch::with_qos`] of the same shape, which is what
+    /// lets the pipeline engine keep one switch as reusable per-frame
+    /// scratch instead of allocating a new one every frame.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        let initial_quantum = self
+            .wrr_classes
+            .first()
+            .map(|&k| self.qos.classes[k].weight)
+            .unwrap_or(0);
+        self.wrr_current.fill(0);
+        self.wrr_remaining.fill(initial_quantum);
+        self.stats = SwitchStats::default();
+        self.class_stats.fill(ClassStats::default());
+        self.edac_corrected.fill(0);
+    }
+
     /// Number of downlink beams.
     pub fn beams(&self) -> usize {
         self.beams
@@ -388,6 +410,49 @@ mod tests {
             (2, 3, 0)
         );
         assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn reset_restores_the_as_constructed_state() {
+        // The pipeline engine reuses one switch as per-frame scratch:
+        // after reset() it must be indistinguishable from a fresh build —
+        // queues, counters, WRR positions, EDAC tallies — including after
+        // WRR service has advanced mid-quantum.
+        let qos = QosConfig {
+            classes: vec![
+                ClassConfig {
+                    strict: true,
+                    weight: 1,
+                    queue_limit: 4,
+                    early_drop: None,
+                },
+                ClassConfig {
+                    strict: false,
+                    weight: 3,
+                    queue_limit: 2,
+                    early_drop: Some(1),
+                },
+                ClassConfig {
+                    strict: false,
+                    weight: 2,
+                    queue_limit: 4,
+                    early_drop: None,
+                },
+            ],
+        };
+        let mut sw = PacketSwitch::with_qos(2, qos.clone());
+        for i in 0..6 {
+            sw.ingress(cpkt(i, (i % 3) as u8, (i % 3) as u8));
+        }
+        let _ = sw.egress(0); // advance WRR state mid-quantum
+        let _ = sw.egress(1);
+        sw.reset();
+        assert_eq!(sw, PacketSwitch::with_qos(2, qos));
+
+        // And a reset switch behaves like a fresh one thereafter.
+        sw.ingress(pkt(9, 1));
+        assert_eq!(sw.stats().forwarded, 1);
+        assert_eq!(sw.egress(1).unwrap().source, 9);
     }
 
     #[test]

@@ -33,18 +33,44 @@ fn configs() -> Vec<ChainConfig> {
 
 #[test]
 fn parallel_engine_is_bitwise_identical_to_serial() {
-    // The acceptance bar: for the same (cfg, seed), an engine with as many
-    // workers as carriers (≥ cores) must produce a ChainReport identical —
-    // outcomes, switch queues, packet bytes, ground-truth bits — to the
-    // fully serial path.
+    // The acceptance bar: for the same (cfg, seed), an engine at *every*
+    // worker count 1..=8 — including counts above the active carrier
+    // count, where the clamp and partial chunks kick in — must produce a
+    // ChainReport identical (outcomes, switch queues, packet bytes,
+    // ground-truth bits) to the fully serial path.
     for cfg in configs() {
         let mut serial = PipelineEngine::with_workers(cfg.clone(), 1);
-        let mut parallel = PipelineEngine::with_workers(cfg.clone(), cfg.active_carriers);
-        for seed in [1u64, 17, 400] {
-            let a = serial.run_frame(seed);
-            let b = parallel.run_frame(seed);
-            assert_eq!(a, b, "cfg {cfg:?} seed {seed}");
+        for workers in 2..=8usize {
+            let mut parallel = PipelineEngine::with_workers(cfg.clone(), workers);
+            for seed in [1u64, 17, 400] {
+                let a = serial.run_frame(seed);
+                let b = parallel.run_frame(seed);
+                assert_eq!(a, b, "cfg {cfg:?} workers {workers} seed {seed}");
+            }
         }
+    }
+}
+
+#[test]
+fn long_running_pool_matches_a_fresh_engine() {
+    // Pool reuse must be invisible: an engine whose workers have chewed
+    // through many batched frames (queues exercised, buffers recycled,
+    // pipelining engaged) must keep agreeing frame-for-frame with a
+    // freshly constructed engine at a different worker count.
+    let cfg = ChainConfig {
+        esn0_db: Some(10.0),
+        ..ChainConfig::default()
+    };
+    let mut veteran = PipelineEngine::with_workers(cfg.clone(), 4);
+    veteran.run_frames(12, 1000); // age the pool
+    for seed in [5u64, 77] {
+        let fresh = PipelineEngine::with_workers(cfg.clone(), 2);
+        let a = veteran.run_frames(3, seed);
+        let b = {
+            let mut f = fresh;
+            f.run_frames(3, seed)
+        };
+        assert_eq!(a, b, "seed {seed}");
     }
 }
 

@@ -157,6 +157,31 @@ proptest! {
     }
 
     #[test]
+    fn recycled_engine_reports_match_fresh_ones(
+        seed in any::<u64>(),
+        workers in 1usize..=4,
+        noisy in any::<bool>(),
+    ) {
+        // The reused-workspace pattern, pipeline-engine edition: a
+        // long-lived engine writing into a recycled ChainReport (switch
+        // scratch reset + swapped, bit/outcome buffers reused) must stay
+        // bitwise identical to a fresh engine filling a fresh report.
+        use gsp_payload::chain::ChainConfig;
+        use gsp_payload::pipeline::PipelineEngine;
+        let cfg = ChainConfig {
+            active_carriers: 2,
+            info_bits: 32,
+            esn0_db: noisy.then_some(9.0),
+            ..ChainConfig::default()
+        };
+        let mut engine = PipelineEngine::with_workers(cfg.clone(), workers);
+        let mut recycled = engine.run_frame_at(seed, 3); // dirty the report
+        engine.run_frame_into(seed ^ 1, 4, &mut recycled);
+        let fresh = PipelineEngine::with_workers(cfg, 1).run_frame_at(seed ^ 1, 4);
+        prop_assert_eq!(recycled, fresh);
+    }
+
+    #[test]
     fn turbo_inverts_encoder_noiselessly(
         seed in any::<u64>(),
         k in 40usize..200,
