@@ -15,6 +15,17 @@
 //! `BENCH_payload.json`). `--workers 4` benches a single point. Seed
 //! comes from `GSP_SEED` like the experiment binaries.
 //!
+//! The artefact also records a `"kernels"` section — the compute-kernel
+//! backend matrix. Its `"matrix"` rows micro-bench each registered
+//! kernel (FIR dot, UW correlate-and-energy, FFT butterflies, Viterbi
+//! ACS, max-log-MAP) once per backend on identical inputs; its `"e2e"`
+//! rows re-run the 1-worker engine with the receive chain pinned to each
+//! backend (`ChainConfig::kernel_backend`) and record the stage p50s.
+//! `"decode_speedup"` is the scalar/SIMD ratio of `payload.decode.ns`
+//! p50 — the number `perf_gate` ratchets against when `"host_simd"` is
+//! true. On a host without the required CPU features the SIMD columns
+//! are `null` and the gate skips the ratio check.
+//!
 //! Besides the measured sweep the artefact records a `"scaling"` summary:
 //! the **measured** last/first frames-per-second ratio, and the
 //! **modeled** ratio — the Amdahl bound `(serial + parallel) / (serial +
@@ -27,9 +38,16 @@
 //! (`"host_parallelism"` records what this run had, and `perf_gate`
 //! conditions its measured-ratio check on it).
 
+use gsp_coding::{kernels as trellis_kernels, ConvCode, TurboCode, TurboDecoder, ViterbiDecoder};
+use gsp_dsp::fft::Fft;
+use gsp_dsp::kernels::{self as cpx_kernels, Backend, CpxKernelHandle};
+use gsp_dsp::Cpx;
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
 use gsp_telemetry::{Registry, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
 use std::time::Instant;
 
 fn arg_value(name: &str) -> Option<String> {
@@ -101,6 +119,173 @@ fn amdahl(serial_ns: f64, parallel_ns: f64, workers: usize) -> f64 {
     } else {
         t1 / tw
     }
+}
+
+/// Median-of-runs nanosecond cost of one call to `f` (after one warmup
+/// call), amortised over `reps` calls per run.
+fn time_ns<F: FnMut()>(mut f: F, reps: usize) -> u64 {
+    f();
+    let mut runs: Vec<u64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            (t0.elapsed().as_nanos() as u64) / reps.max(1) as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    runs[runs.len() / 2]
+}
+
+/// One row of the kernel backend matrix.
+struct KernelRow {
+    kernel: &'static str,
+    scalar_ns: u64,
+    simd_ns: Option<u64>,
+}
+
+/// Micro-benches one compute-kernel workload under `handle`.
+fn bench_cpx_kernel(kernel: &'static str, handle: CpxKernelHandle, rng: &mut StdRng) -> u64 {
+    match kernel {
+        "dsp.dot_real" => {
+            // FIR inner product: 48 taps slid across a 4096-sample window,
+            // the matched-filter shape of the Fig. 2 lanes.
+            let x: Vec<Cpx> = (0..4096 + 48)
+                .map(|_| Cpx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let h: Vec<f64> = (0..48).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            time_ns(
+                || {
+                    let mut acc = Cpx::ZERO;
+                    for pos in 0..4096 {
+                        acc = handle.dot_real(&x[pos..pos + 48], &h, acc);
+                    }
+                    black_box(acc);
+                },
+                8,
+            )
+        }
+        "dsp.corr_energy" => {
+            // UW search: a 24-symbol reference correlated at 4096 offsets.
+            let y: Vec<Cpx> = (0..4096 + 24)
+                .map(|_| Cpx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let r: Vec<Cpx> = (0..24)
+                .map(|_| Cpx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            time_ns(
+                || {
+                    let mut best = 0.0f64;
+                    for pos in 0..4096 {
+                        let (acc, energy) = handle.corr_energy(&y[pos..pos + 24], &r);
+                        best = best.max(acc.norm_sqr() * energy);
+                    }
+                    black_box(best);
+                },
+                8,
+            )
+        }
+        "dsp.fft" => {
+            // The channelizer-sized transform, batched.
+            let fft = Fft::with_kernels(256, handle);
+            let seed_buf: Vec<Cpx> = (0..256)
+                .map(|_| Cpx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut buf = seed_buf.clone();
+            time_ns(
+                || {
+                    for _ in 0..128 {
+                        buf.copy_from_slice(&seed_buf);
+                        fft.forward(&mut buf);
+                        black_box(buf[0]);
+                    }
+                },
+                8,
+            )
+        }
+        other => unreachable!("unknown cpx kernel {other}"),
+    }
+}
+
+/// Micro-benches one trellis-kernel workload under the backend's handle.
+fn bench_trellis_kernel(kernel: &'static str, backend: Backend, rng: &mut StdRng) -> u64 {
+    let handle = trellis_kernels::for_backend(backend);
+    match kernel {
+        "coding.viterbi" => {
+            // The pipeline's decode shape: K=9 rate-1/2, 120 info bits.
+            let k = 120;
+            let code = ConvCode::umts_half();
+            let llrs: Vec<f64> = (0..2 * (k + 8)).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let mut dec = ViterbiDecoder::with_kernels(code, handle);
+            let mut out = Vec::new();
+            time_ns(
+                || {
+                    dec.decode_into(&llrs, &mut out);
+                    black_box(out.len());
+                },
+                16,
+            )
+        }
+        "coding.turbo" => {
+            // One max-log-MAP-heavy block: K=96, 4 iterations.
+            let code = TurboCode::new(96);
+            let llrs: Vec<f64> = (0..code.coded_len())
+                .map(|_| rng.gen_range(-4.0..4.0))
+                .collect();
+            let mut dec = TurboDecoder::with_kernels(code, handle);
+            let mut out = Vec::new();
+            time_ns(
+                || {
+                    dec.decode_into(&llrs, 4, &mut out);
+                    black_box(out.len());
+                },
+                16,
+            )
+        }
+        other => unreachable!("unknown trellis kernel {other}"),
+    }
+}
+
+/// Builds the per-kernel backend matrix (scalar always; SIMD when the
+/// host supports it). Identical inputs per row: the generator is
+/// reseeded per (row, backend) pair.
+fn kernel_matrix(seed: u64) -> Vec<KernelRow> {
+    let simd = cpx_kernels::simd_available();
+    let cpx_rows = ["dsp.dot_real", "dsp.corr_energy", "dsp.fft"];
+    let trellis_rows = ["coding.viterbi", "coding.turbo"];
+    let mut rows = Vec::new();
+    for name in cpx_rows {
+        let scalar_ns = bench_cpx_kernel(
+            name,
+            cpx_kernels::for_backend(Backend::Scalar),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let simd_ns = simd.then(|| {
+            bench_cpx_kernel(
+                name,
+                cpx_kernels::for_backend(Backend::Simd),
+                &mut StdRng::seed_from_u64(seed),
+            )
+        });
+        rows.push(KernelRow {
+            kernel: name,
+            scalar_ns,
+            simd_ns,
+        });
+    }
+    for name in trellis_rows {
+        let scalar_ns =
+            bench_trellis_kernel(name, Backend::Scalar, &mut StdRng::seed_from_u64(seed));
+        let simd_ns = simd
+            .then(|| bench_trellis_kernel(name, Backend::Simd, &mut StdRng::seed_from_u64(seed)));
+        rows.push(KernelRow {
+            kernel: name,
+            scalar_ns,
+            simd_ns,
+        });
+    }
+    rows
 }
 
 fn run_point(cfg: &ChainConfig, requested: usize, frames: usize, seed: u64) -> SweepPoint {
@@ -190,6 +375,100 @@ fn main() {
         parallel_pf,
     );
 
+    // Kernel backend matrix: per-kernel micro rows plus e2e pinned runs.
+    let host_simd = cpx_kernels::simd_available();
+    let selected = cpx_kernels::active().backend().label();
+    println!("\nkernel backends (host_simd={host_simd}, selected={selected}):");
+    let rows = kernel_matrix(seed);
+    for row in &rows {
+        match row.simd_ns {
+            Some(s) => println!(
+                "  {:<17} scalar {:>9} ns  simd {:>9} ns  ({:.2}x)",
+                row.kernel,
+                row.scalar_ns,
+                s,
+                row.scalar_ns as f64 / s.max(1) as f64
+            ),
+            None => println!(
+                "  {:<17} scalar {:>9} ns  simd        n/a",
+                row.kernel, row.scalar_ns
+            ),
+        }
+    }
+    let e2e_frames = frames.clamp(4, 8);
+    let e2e_backends: Vec<Backend> = if host_simd {
+        vec![Backend::Scalar, Backend::Simd]
+    } else {
+        vec![Backend::Scalar]
+    };
+    let e2e: Vec<(Backend, SweepPoint)> = e2e_backends
+        .into_iter()
+        .map(|b| {
+            let pinned = ChainConfig {
+                kernel_backend: Some(b),
+                ..cfg.clone()
+            };
+            (b, run_point(&pinned, 1, e2e_frames, seed))
+        })
+        .collect();
+    let e2e_p50 = |p: &SweepPoint, name: &str| p.snapshot.histogram(name).map_or(0, |h| h.p50);
+    for (b, p) in &e2e {
+        println!(
+            "  e2e {:<13} decode p50 {:>9} ns  demod p50 {:>9} ns  frame p50 {:>10} ns",
+            b.label(),
+            e2e_p50(p, "payload.decode.ns"),
+            e2e_p50(p, "payload.demod.ns"),
+            e2e_p50(p, "payload.frame.ns"),
+        );
+    }
+    let speedup = |name: &str| -> Option<f64> {
+        let scalar = e2e_p50(&e2e.first()?.1, name);
+        let simd = e2e.iter().find(|(b, _)| *b == Backend::Simd)?;
+        Some(scalar as f64 / e2e_p50(&simd.1, name).max(1) as f64)
+    };
+    let decode_speedup = speedup("payload.decode.ns");
+    let frame_speedup = speedup("payload.frame.ns");
+    if let (Some(d), Some(f)) = (decode_speedup, frame_speedup) {
+        println!("  e2e speedup: decode {d:.2}x, frame {f:.2}x (scalar p50 / simd p50)");
+    }
+
+    let matrix_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let (simd_ns, speedup) = match r.simd_ns {
+                Some(s) => (format!("{s}"), jf(r.scalar_ns as f64 / s.max(1) as f64)),
+                None => ("null".to_string(), "null".to_string()),
+            };
+            format!(
+                "{{\"kernel\":\"{}\",\"scalar_ns\":{},\"simd_ns\":{},\"speedup\":{}}}",
+                r.kernel, r.scalar_ns, simd_ns, speedup
+            )
+        })
+        .collect();
+    let e2e_json: Vec<String> = e2e
+        .iter()
+        .map(|(b, p)| {
+            format!(
+                "{{\"backend\":\"{}\",\"frames\":{},\"decode_ns_p50\":{},\
+                 \"demod_ns_p50\":{},\"frame_ns_p50\":{}}}",
+                b.label(),
+                p.frames,
+                e2e_p50(p, "payload.decode.ns"),
+                e2e_p50(p, "payload.demod.ns"),
+                e2e_p50(p, "payload.frame.ns"),
+            )
+        })
+        .collect();
+    let kernels_json = format!(
+        "{{\"host_simd\":{host_simd},\"selected\":\"{selected}\",\
+         \"decode_speedup\":{},\"frame_speedup\":{},\n\
+         \"matrix\":[\n{}\n],\n\"e2e\":[\n{}\n]}}",
+        decode_speedup.map_or("null".to_string(), jf),
+        frame_speedup.map_or("null".to_string(), jf),
+        matrix_json.join(",\n"),
+        e2e_json.join(",\n")
+    );
+
     let sweep_json: Vec<String> = points
         .iter()
         .map(|p| {
@@ -222,6 +501,7 @@ fn main() {
     );
     let json = format!(
         "{{\"host_parallelism\":{host_parallelism},\n\"scaling\":{scaling_json},\n\
+         \"kernels\":{kernels_json},\n\
          \"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")

@@ -34,6 +34,7 @@ pub mod bits;
 pub mod conv;
 pub mod crc;
 pub mod interleave;
+pub mod kernels;
 pub mod ratematch;
 pub mod turbo;
 pub mod viterbi;

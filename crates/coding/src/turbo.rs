@@ -9,6 +9,7 @@
 
 use crate::bits::llr_to_bit;
 use crate::interleave::{prime_interleaver, Interleaver};
+use crate::kernels::{self, TrellisKernelHandle};
 
 /// Number of trellis states of each constituent encoder.
 const STATES: usize = 8;
@@ -118,12 +119,20 @@ impl TurboCode {
 /// trellis buffers, extrinsic vectors and the systematic/parity stream
 /// splits are all preallocated, so steady-state decoding via
 /// [`TurboDecoder::decode_into`] performs no heap allocation.
+///
+/// The forward/backward recursions and the extrinsic extraction dispatch
+/// through a pluggable kernel backend ([`crate::kernels`]); output is
+/// bitwise identical on every backend.
 #[derive(Clone, Debug)]
 pub struct TurboDecoder {
     code: TurboCode,
     // Preallocated working storage, reused across blocks.
     alpha: Vec<[f64; STATES]>,
     beta: Vec<[f64; STATES]>,
+    /// Per-step branch-metric table over the information steps:
+    /// `gammas[t][(d<<1)|z]`. Only four values exist per step, so the
+    /// recursions become table lookups the SIMD backend can permute.
+    gammas: Vec<[f64; 4]>,
     ext1: Vec<f64>,
     ext2: Vec<f64>,
     apriori: Vec<f64>,
@@ -133,17 +142,29 @@ pub struct TurboDecoder {
     sys: Vec<f64>,
     par1: Vec<f64>,
     par2: Vec<f64>,
+    /// Compute-kernel backend for the trellis recursions.
+    kernels: TrellisKernelHandle,
 }
 
 impl TurboDecoder {
-    /// Builds a decoder for `code`.
+    /// Builds a decoder for `code`, using the process-wide kernel backend
+    /// selection.
     pub fn new(code: TurboCode) -> Self {
+        Self::with_kernels(code, kernels::active())
+    }
+
+    /// Builds a decoder pinned to a specific kernel backend handle — the
+    /// per-instance override used by cross-backend tests and benches.
+    /// Decoded bits are bitwise identical to [`TurboDecoder::new`] on any
+    /// backend.
+    pub fn with_kernels(code: TurboCode, kernels: TrellisKernelHandle) -> Self {
         let k = code.info_len();
         let steps = k + TAIL;
         TurboDecoder {
             code,
             alpha: vec![[0.0; STATES]; steps + 1],
             beta: vec![[0.0; STATES]; steps + 1],
+            gammas: vec![[0.0; 4]; k],
             ext1: vec![0.0; k],
             ext2: vec![0.0; k],
             apriori: vec![0.0; k],
@@ -152,6 +173,7 @@ impl TurboDecoder {
             sys: vec![0.0; k],
             par1: vec![0.0; k],
             par2: vec![0.0; k],
+            kernels,
         }
     }
 
@@ -160,13 +182,28 @@ impl TurboDecoder {
         &self.code
     }
 
+    /// The compute backend handle this decoder dispatches through.
+    pub fn kernel_backend(&self) -> TrellisKernelHandle {
+        self.kernels
+    }
+
     /// Max-log-MAP over one constituent. Writes per-bit extrinsic LLRs to
     /// `ext`. `sys`/`par`/`apriori` have length K; tails length 3 each.
-    /// (State-indexed trellis loops are the natural idiom here.)
+    ///
+    /// The information steps run through the kernel backend; the three
+    /// tail steps (one termination input per state, no extrinsic) stay in
+    /// the scalar driver. Both paths are bitwise identical to the
+    /// historical single-loop implementation: the four-entry gamma table
+    /// holds exactly the values `±a ± b` that the per-branch expression
+    /// produced (±1 multiplies and IEEE negation are exact), and
+    /// [`kernels::MAP_NEG`] absorbs branch metrics so unreachable states
+    /// keep the precise sentinel the historical skip tests relied on.
     #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
     fn bcjr(
+        kernels: TrellisKernelHandle,
         alpha: &mut [[f64; STATES]],
         beta: &mut [[f64; STATES]],
+        gammas: &mut [[f64; 4]],
         sys: &[f64],
         par: &[f64],
         apriori: &[f64],
@@ -176,93 +213,65 @@ impl TurboDecoder {
     ) {
         let k = sys.len();
         let steps = k + TAIL;
-        const NEG: f64 = -1e300;
+        const NEG: f64 = crate::kernels::MAP_NEG;
 
-        // Branch metric of (state, input) at step t.
-        let gamma = |t: usize, s: usize, d: u8| -> (f64, usize) {
+        // Per-step branch-metric table over the information steps, indexed
+        // by (d<<1)|z: with a = ½(sys+apriori) and b = ½·par the four
+        // combinations of x, z ∈ {±1} are exactly ±a ± b.
+        for (t, g) in gammas.iter_mut().enumerate() {
+            let a = 0.5 * (sys[t] + apriori[t]);
+            let b = 0.5 * par[t];
+            *g = [a + b, a - b, -a + b, -a - b];
+        }
+
+        // Branch metric of (state, input) at tail step t (t ≥ k).
+        let tail_gamma = |t: usize, s: usize, d: u8| -> (f64, usize) {
             let (ns, z) = RscTrellis::step(s, d);
             let x = 1.0 - 2.0 * d as f64;
             let zz = 1.0 - 2.0 * z as f64;
-            let g = if t < k {
-                0.5 * (sys[t] + apriori[t]) * x + 0.5 * par[t] * zz
-            } else {
-                0.5 * tail_sys[t - k] * x + 0.5 * tail_par[t - k] * zz
-            };
-            (g, ns)
+            (0.5 * tail_sys[t - k] * x + 0.5 * tail_par[t - k] * zz, ns)
         };
 
-        // Forward recursion (encoder starts in state 0).
+        // Forward recursion (encoder starts in state 0): information steps
+        // in the kernel, tail steps scalar (single termination input).
         alpha[0] = [NEG; STATES];
         alpha[0][0] = 0.0;
-        for t in 0..steps {
+        kernels.map_forward(&mut alpha[..=k], gammas);
+        for t in k..steps {
             let mut next = [NEG; STATES];
             for s in 0..STATES {
                 let a = alpha[t][s];
                 if a <= NEG {
                     continue;
                 }
-                let inputs: &[u8] = if t < k {
-                    &[0, 1]
-                } else {
-                    &[RscTrellis::term_input(s)]
-                };
-                for &d in inputs {
-                    let (g, ns) = gamma(t, s, d);
-                    let m = a + g;
-                    if m > next[ns] {
-                        next[ns] = m;
-                    }
+                let (g, ns) = tail_gamma(t, s, RscTrellis::term_input(s));
+                let m = a + g;
+                if m > next[ns] {
+                    next[ns] = m;
                 }
             }
             alpha[t + 1] = next;
         }
 
-        // Backward recursion (termination ends in state 0).
+        // Backward recursion (termination ends in state 0): tail steps
+        // scalar down to beta[k], then the kernel takes over.
         beta[steps] = [NEG; STATES];
         beta[steps][0] = 0.0;
-        for t in (0..steps).rev() {
+        for t in (k..steps).rev() {
             let mut prev = [NEG; STATES];
             for s in 0..STATES {
-                let inputs: &[u8] = if t < k {
-                    &[0, 1]
-                } else {
-                    &[RscTrellis::term_input(s)]
-                };
-                for &d in inputs {
-                    let (g, ns) = gamma(t, s, d);
-                    let m = g + beta[t + 1][ns];
-                    if m > prev[s] {
-                        prev[s] = m;
-                    }
+                let (g, ns) = tail_gamma(t, s, RscTrellis::term_input(s));
+                let m = g + beta[t + 1][ns];
+                if m > prev[s] {
+                    prev[s] = m;
                 }
             }
             beta[t] = prev;
         }
+        kernels.map_backward(&mut beta[..=k], gammas);
 
         // Per-bit LLR and extrinsic extraction over the information steps.
-        for t in 0..k {
-            let mut m0 = NEG;
-            let mut m1 = NEG;
-            for s in 0..STATES {
-                let a = alpha[t][s];
-                if a <= NEG {
-                    continue;
-                }
-                for d in 0..2u8 {
-                    let (g, ns) = gamma(t, s, d);
-                    let m = a + g + beta[t + 1][ns];
-                    if d == 0 {
-                        if m > m0 {
-                            m0 = m;
-                        }
-                    } else if m > m1 {
-                        m1 = m;
-                    }
-                }
-            }
-            let llr = m0 - m1; // positive ⇔ bit 0
-            ext[t] = llr - sys[t] - apriori[t];
-        }
+        kernels.map_extrinsic(alpha, beta, gammas, sys, apriori, ext);
     }
 
     /// Decodes a received block of `3K + 12` channel LLRs (same ordering as
@@ -317,8 +326,10 @@ impl TurboDecoder {
                 .interleaver
                 .deinterleave(&self.ext2, &mut self.apriori);
             Self::bcjr(
+                self.kernels,
                 &mut self.alpha,
                 &mut self.beta,
+                &mut self.gammas,
                 &self.sys,
                 &self.par1,
                 &self.apriori,
@@ -332,8 +343,10 @@ impl TurboDecoder {
                 .interleave(&self.ext1, &mut self.scratch);
             self.apriori.copy_from_slice(&self.scratch);
             Self::bcjr(
+                self.kernels,
                 &mut self.alpha,
                 &mut self.beta,
+                &mut self.gammas,
                 &self.sys_il,
                 &self.par2,
                 &self.apriori,

@@ -7,19 +7,29 @@
 //! max-likelihood for BPSK/QPSK over AWGN.
 
 use crate::conv::ConvCode;
+use crate::kernels::{self, TrellisKernelHandle};
 
 /// Reusable Viterbi decoder: the trellis tables are precomputed once per
 /// code, and every working buffer — path metrics, survivor matrix,
 /// per-step branch metrics — is owned by the decoder and reused across
 /// blocks, so steady-state decoding via
 /// [`ViterbiDecoder::decode_into`] performs no heap allocation.
+///
+/// The branch-metric and add-compare-select inner loops dispatch through a
+/// pluggable kernel backend ([`crate::kernels`]); output is bitwise
+/// identical on every backend.
 #[derive(Clone, Debug)]
 pub struct ViterbiDecoder {
     code: ConvCode,
-    /// `outputs[state*2 + bit]` = packed coded bits for that transition.
-    outputs: Vec<u32>,
-    /// `next[state*2 + bit]` = successor state.
-    next: Vec<u32>,
+    /// `pred_out0[ns]` / `pred_out1[ns]` = packed coded bits emitted on the
+    /// transition into `ns` from its even / odd predecessor. The trellis is
+    /// stored in predecessor form — for these feed-forward shift-register
+    /// codes state `ns` is reached exactly from `2j` and `2j+1` with
+    /// `j = ns mod 2^(K-2)`, on input bit `ns >> (K-2)` — which turns the
+    /// ACS sweep into a pure gather the SIMD backend can vectorise.
+    /// (`i32` so the AVX2 backend can feed them straight to a gather.)
+    pred_out0: Vec<i32>,
+    pred_out1: Vec<i32>,
     /// Path metrics, double-buffered.
     metrics: Vec<f64>,
     metrics_next: Vec<f64>,
@@ -31,35 +41,55 @@ pub struct ViterbiDecoder {
     /// (`1 << n_outputs` entries), rebuilt once per trellis step so the
     /// add-compare-select loop over states is a branch-free table lookup.
     branch_metrics: Vec<f64>,
+    /// Compute-kernel backend for the branch-metric and ACS loops.
+    kernels: TrellisKernelHandle,
 }
 
 impl ViterbiDecoder {
-    /// Builds a decoder for `code`.
+    /// Builds a decoder for `code`, using the process-wide kernel backend
+    /// selection.
     pub fn new(code: ConvCode) -> Self {
+        Self::with_kernels(code, kernels::active())
+    }
+
+    /// Builds a decoder pinned to a specific kernel backend handle — the
+    /// per-instance override used by cross-backend tests and benches.
+    /// Decoded bits are bitwise identical to [`ViterbiDecoder::new`] on
+    /// any backend.
+    pub fn with_kernels(code: ConvCode, kernels: TrellisKernelHandle) -> Self {
         let n_states = code.n_states();
-        let mut outputs = Vec::with_capacity(n_states * 2);
-        let mut next = Vec::with_capacity(n_states * 2);
-        for s in 0..n_states as u32 {
-            for bit in 0..2u8 {
-                outputs.push(code.outputs(s, bit));
-                next.push(code.next_state(s, bit));
-            }
+        let half = n_states / 2;
+        let mem = code.memory();
+        let mut pred_out0 = Vec::with_capacity(n_states);
+        let mut pred_out1 = Vec::with_capacity(n_states);
+        for ns in 0..n_states {
+            let j = (ns & (half - 1)) as u32;
+            let b = (ns >> (mem - 1)) as u8;
+            debug_assert_eq!(code.next_state(2 * j, b) as usize, ns);
+            pred_out0.push(code.outputs(2 * j, b) as i32);
+            pred_out1.push(code.outputs(2 * j + 1, b) as i32);
         }
         let n_out = code.n_outputs();
         ViterbiDecoder {
             code,
-            outputs,
-            next,
+            pred_out0,
+            pred_out1,
             metrics: vec![0.0; n_states],
             metrics_next: vec![0.0; n_states],
             decisions: Vec::new(),
             branch_metrics: vec![0.0; 1 << n_out],
+            kernels,
         }
     }
 
     /// The code this decoder was built for.
     pub fn code(&self) -> &ConvCode {
         &self.code
+    }
+
+    /// The compute backend handle this decoder dispatches through.
+    pub fn kernel_backend(&self) -> TrellisKernelHandle {
+        self.kernels
     }
 
     /// Pre-grows the survivor matrix to cover `steps` trellis steps
@@ -116,8 +146,7 @@ impl ViterbiDecoder {
             self.decisions.resize(steps * n_states, 0);
         }
 
-        const NEG: f64 = f64::NEG_INFINITY;
-        self.metrics.fill(NEG);
+        self.metrics.fill(f64::NEG_INFINITY);
         self.metrics[0] = 0.0; // encoder starts in state 0
         for t in 0..steps {
             let step_llrs = &llrs[t * n_out..(t + 1) * n_out];
@@ -125,34 +154,22 @@ impl ViterbiDecoder {
             // the ACS loop over states then pays one table lookup per
             // transition instead of an LLR loop with a data-dependent
             // branch per coded bit.
-            for (p, bm) in self.branch_metrics.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (i, &l) in step_llrs.iter().enumerate() {
-                    let coded = (p >> (n_out - 1 - i)) & 1;
-                    acc += if coded == 0 { l } else { -l };
-                }
-                *bm = acc;
-            }
-            let bms = &self.branch_metrics;
-            self.metrics_next.fill(NEG);
+            self.kernels
+                .viterbi_branch_metrics(step_llrs, &mut self.branch_metrics);
             let dec = &mut self.decisions[t * n_states..(t + 1) * n_states];
-            // During the tail only bit 0 is transmitted.
-            let n_bits = if t >= k { 1 } else { 2 };
-            for s in 0..n_states {
-                let pm = self.metrics[s];
-                if pm == NEG {
-                    continue;
-                }
-                for bit in 0..n_bits {
-                    let idx = s * 2 + bit;
-                    let bm = pm + bms[self.outputs[idx] as usize];
-                    let ns = self.next[idx] as usize;
-                    if bm > self.metrics_next[ns] {
-                        self.metrics_next[ns] = bm;
-                        dec[ns] = (s & 1) as u8;
-                    }
-                }
-            }
+            // During the tail only bit 0 is transmitted, so only successor
+            // states with a zero MSB — the lower half — are reachable; the
+            // kernel parks the rest at −∞.
+            let limit = if t >= k { n_states / 2 } else { n_states };
+            self.kernels.viterbi_acs(
+                &self.metrics,
+                &self.branch_metrics,
+                &self.pred_out0,
+                &self.pred_out1,
+                limit,
+                &mut self.metrics_next,
+                dec,
+            );
             std::mem::swap(&mut self.metrics, &mut self.metrics_next);
         }
 

@@ -11,6 +11,7 @@
 use crate::complex::Cpx;
 use crate::fft::Fft;
 use crate::filter::FirKernel;
+use crate::kernels::{self, CpxKernelHandle};
 use crate::window::Window;
 
 /// Maximally-decimated analysis channelizer with `M` channels.
@@ -30,12 +31,21 @@ pub struct PolyphaseChannelizer {
     fill: usize,
     /// Scratch vector handed to the FFT.
     scratch: Vec<Cpx>,
+    /// Branch-MAC backend (the FFT pass carries its own matching handle).
+    kernels: CpxKernelHandle,
 }
 
 impl PolyphaseChannelizer {
     /// Builds a channelizer for `m` channels (power of two) with a prototype
-    /// low-pass of `taps_per_branch` taps per polyphase branch.
+    /// low-pass of `taps_per_branch` taps per polyphase branch, using the
+    /// process-wide kernel backend selection.
     pub fn new(m: usize, taps_per_branch: usize) -> Self {
+        Self::with_kernels(m, taps_per_branch, kernels::active())
+    }
+
+    /// Builds a channelizer pinned to a specific kernel backend handle —
+    /// the per-instance override used by cross-backend tests and benches.
+    pub fn with_kernels(m: usize, taps_per_branch: usize, kernels: CpxKernelHandle) -> Self {
         assert!(
             m.is_power_of_two() && m >= 2,
             "channel count must be a power of two"
@@ -53,9 +63,10 @@ impl PolyphaseChannelizer {
             poly,
             delay: vec![vec![Cpx::ZERO; taps_per_branch]; m],
             taps_per_branch,
-            fft: Fft::new(m),
+            fft: Fft::with_kernels(m, kernels),
             fill: m,
             scratch: vec![Cpx::ZERO; m],
+            kernels,
         }
     }
 
@@ -102,12 +113,9 @@ impl PolyphaseChannelizer {
     /// `M` channel samples in `self.scratch`.
     fn compute_block(&mut self) {
         for (b, line) in self.delay.iter().enumerate() {
-            let taps = &self.poly[b];
-            let mut acc = Cpx::ZERO;
-            for (h, s) in taps.iter().zip(line.iter()) {
-                acc += s.scale(*h);
-            }
-            self.scratch[b] = acc;
+            // Per-branch MAC through the backend dot kernel (line is stored
+            // newest-first, taps are in matching polyphase order).
+            self.scratch[b] = self.kernels.dot_real(line, &self.poly[b], Cpx::ZERO);
         }
         // The inverse FFT's 1/M normalisation combines with the ×M prototype
         // scaling to give unity channel gain.

@@ -12,6 +12,11 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// All signal paths in the workspace use `f64`: the simulated payload chains
 /// are modest in length, and double precision removes numerical-noise-floor
 /// questions from BER/jitter experiments.
+///
+/// `#[repr(C)]` is load-bearing: the SIMD kernels (`crate::kernels`)
+/// reinterpret `&[Cpx]` as interleaved `&[f64]` (re, im, re, im, …), which
+/// requires the declared field order and no padding.
+#[repr(C)]
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Cpx {
     /// In-phase (real) component.

@@ -6,6 +6,7 @@
 //! permutation once; `forward`/`inverse` then run allocation-free in place.
 
 use crate::complex::Cpx;
+use crate::kernels::{self, CpxKernelHandle};
 
 /// A reusable FFT plan for a fixed power-of-two size.
 #[derive(Clone, Debug)]
@@ -15,11 +16,21 @@ pub struct Fft {
     twiddles: Vec<Cpx>,
     /// Bit-reversal permutation.
     rev: Vec<u32>,
+    /// Butterfly-pass backend (bitwise identical across backends).
+    kernels: CpxKernelHandle,
 }
 
 impl Fft {
-    /// Creates a plan for transform size `n` (power of two, ≥ 2).
+    /// Creates a plan for transform size `n` (power of two, ≥ 2), using the
+    /// process-wide kernel backend selection.
     pub fn new(n: usize) -> Self {
+        Self::with_kernels(n, kernels::active())
+    }
+
+    /// Creates a plan pinned to a specific kernel backend handle — the
+    /// per-instance override used by cross-backend tests and benches.
+    /// Results are bitwise identical to [`Fft::new`] on any backend.
+    pub fn with_kernels(n: usize, kernels: CpxKernelHandle) -> Self {
         assert!(
             n.is_power_of_two() && n >= 2,
             "FFT size must be a power of two ≥ 2, got {n}"
@@ -31,7 +42,12 @@ impl Fft {
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
-        Fft { n, twiddles, rev }
+        Fft {
+            n,
+            twiddles,
+            rev,
+            kernels,
+        }
     }
 
     /// Transform size.
@@ -58,24 +74,7 @@ impl Fft {
     }
 
     fn butterflies(&self, data: &mut [Cpx], conj: bool) {
-        let mut len = 2;
-        while len <= self.n {
-            let half = len / 2;
-            let stride = self.n / len;
-            for start in (0..self.n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * stride];
-                    if conj {
-                        w = w.conj();
-                    }
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
-                }
-            }
-            len <<= 1;
-        }
+        self.kernels.butterflies(data, &self.twiddles, conj);
     }
 
     /// In-place forward DFT: `X[k] = Σ x[n]·e^{-j2πkn/N}`.

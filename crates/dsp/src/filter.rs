@@ -6,20 +6,45 @@
 //! caller-provided output buffer.
 
 use crate::complex::Cpx;
+use crate::kernels::{self, CpxKernelHandle};
 use crate::math::sinc;
 use crate::window::Window;
 
 /// An immutable set of real FIR coefficients plus design helpers.
+///
+/// The MAC loops dispatch through a pluggable kernel backend
+/// ([`crate::kernels`]); [`FirKernel::with_kernels`] pins a specific one.
 #[derive(Clone, Debug)]
 pub struct FirKernel {
     taps: Vec<f64>,
+    /// `taps` reversed — the layout the block-convolution window dot wants.
+    taps_rev: Vec<f64>,
+    kernels: CpxKernelHandle,
 }
 
 impl FirKernel {
     /// Wraps raw coefficients.
     pub fn from_taps(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
-        FirKernel { taps }
+        let taps_rev = taps.iter().rev().copied().collect();
+        FirKernel {
+            taps,
+            taps_rev,
+            kernels: kernels::active(),
+        }
+    }
+
+    /// Returns this kernel pinned to a specific compute backend handle —
+    /// the per-instance override used by cross-backend tests and benches.
+    pub fn with_kernels(mut self, kernels: CpxKernelHandle) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
+    /// The compute backend handle this kernel dispatches through.
+    #[inline]
+    pub fn kernel_backend(&self) -> CpxKernelHandle {
+        self.kernels
     }
 
     /// Windowed-sinc low-pass design.
@@ -42,7 +67,7 @@ impl FirKernel {
         for t in &mut taps {
             *t /= sum;
         }
-        FirKernel { taps }
+        FirKernel::from_taps(taps)
     }
 
     /// The filter coefficients.
@@ -89,13 +114,15 @@ impl FirKernel {
     pub fn filter_block(&self, x: &[Cpx], out: &mut Vec<Cpx>) {
         out.clear();
         out.resize(x.len(), Cpx::ZERO);
+        let t = self.taps.len();
         for (n, y) in out.iter_mut().enumerate() {
-            let kmax = n.min(self.taps.len() - 1);
-            let mut acc = Cpx::ZERO;
-            for k in 0..=kmax {
-                acc += x[n - k].scale(self.taps[k]);
-            }
-            *y = acc;
+            // Σ_k h[k]·x[n−k] expressed as an ascending window against the
+            // reversed taps, so the backend dot kernel sees two forward
+            // slices: x[n−kmax..=n] · taps_rev[t−1−kmax..].
+            let kmax = n.min(t - 1);
+            *y = self
+                .kernels
+                .dot_real(&x[n - kmax..=n], &self.taps_rev[t - 1 - kmax..], Cpx::ZERO);
         }
     }
 }
@@ -138,16 +165,13 @@ impl FirFilter {
         self.pos = if self.pos == 0 { n - 1 } else { self.pos - 1 };
         self.history[self.pos] = x;
         let taps = self.kernel.taps();
-        let mut acc = Cpx::ZERO;
-        // Two contiguous runs instead of a modulo per tap.
+        let kernels = self.kernel.kernel_backend();
+        // Two contiguous runs instead of a modulo per tap; the accumulator
+        // carries across the wrap so the scalar backend reproduces the
+        // classic single-loop summation order exactly.
         let first = n - self.pos;
-        for (k, &h) in taps[..first].iter().enumerate() {
-            acc += self.history[self.pos + k].scale(h);
-        }
-        for (k, &h) in taps[first..].iter().enumerate() {
-            acc += self.history[k].scale(h);
-        }
-        acc
+        let acc = kernels.dot_real(&self.history[self.pos..], &taps[..first], Cpx::ZERO);
+        kernels.dot_real(&self.history[..self.pos], &taps[first..], acc)
     }
 
     /// Filters a block through the streaming state, appending to `out`.

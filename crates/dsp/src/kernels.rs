@@ -1,0 +1,421 @@
+//! Pluggable compute kernels for the complex-baseband hot loops.
+//!
+//! Three inner loops dominate the DSP side of the Fig. 2 chain: the real-tap
+//! complex MAC behind every FIR (matched filters, polyphase branches), the
+//! fused correlate-and-energy step of the unique-word search, and the radix-2
+//! FFT butterfly pass of the channelizer DEMUX. Each is expressed once as a
+//! [`CpxKernels`] trait method with two implementations:
+//!
+//! * [`ScalarCpxKernels`] — portable sequential code, the equivalence
+//!   reference. Its summation order is part of its contract (left to right,
+//!   one accumulator), so scalar results are reproducible everywhere.
+//! * [`SimdCpxKernels`] — AVX2 (`core::arch::x86_64`) lanes, two complex
+//!   samples per 256-bit vector, selected only on hosts where
+//!   [`gsp_kernels::simd_available`] holds.
+//!
+//! Equivalence contract (DESIGN.md §11): [`CpxKernels::butterflies`] is
+//! **bitwise identical** across backends — the SIMD complex multiply
+//! performs the same two multiplies and one add/sub per component, in the
+//! same order, with no FMA contraction. The dot/energy reductions
+//! ([`CpxKernels::dot_real`], [`CpxKernels::corr_energy`]) reassociate the
+//! sum into lane partials and are therefore only **tolerance-bounded**
+//! (relative error ≤ a few ulp × `len`); callers that require bitwise
+//! reproducibility across *hosts* force the scalar backend.
+//!
+//! Dispatch is by `&'static dyn CpxKernels` handles: [`active`] resolves the
+//! process-wide selection (env override, then feature detection) once,
+//! [`for_backend`] hands out a specific backend for per-instance override —
+//! that is how one process runs both backends side by side in the
+//! cross-backend tests.
+
+use crate::complex::Cpx;
+pub use gsp_kernels::{selection, simd_available, Backend, KernelRegistry};
+
+/// A `'static` dispatch handle to one backend's kernel set.
+pub type CpxKernelHandle = &'static dyn CpxKernels;
+
+/// The complex-sample kernel surface. All methods are allocation-free and
+/// panic on length mismatches (programming errors, not data errors).
+pub trait CpxKernels: Send + Sync + std::fmt::Debug {
+    /// Which backend this implementation belongs to.
+    fn backend(&self) -> Backend;
+
+    /// `acc + Σᵢ x[i]·h[i]` — complex samples against real taps.
+    ///
+    /// Scalar evaluates left to right into a single accumulator; SIMD keeps
+    /// two complex lane partials and combines them as
+    /// `acc + lane₀ + lane₁ (+ tail terms in order)`, so results agree to
+    /// rounding, not bitwise. `x.len() == h.len()` required.
+    fn dot_real(&self, x: &[Cpx], h: &[f64], acc: Cpx) -> Cpx;
+
+    /// Fused correlator step: `(Σᵢ y[i]·conj(r[i]), Σᵢ |y[i]|²)`.
+    ///
+    /// The scalar backend reproduces the classic fused loop bit for bit;
+    /// SIMD reassociates both sums into lane partials (tolerance-bounded).
+    /// `y.len() == r.len()` required.
+    fn corr_energy(&self, y: &[Cpx], r: &[Cpx]) -> (Cpx, f64);
+
+    /// The complete radix-2 DIT butterfly pass over bit-reversed `data`
+    /// (all `log2 n` stages), using the plan's twiddle table
+    /// `twiddles[k] = e^{-j2πk/n}` (`n/2` entries, stride `n/len` per
+    /// stage); `conj` selects the inverse transform's conjugated twiddles.
+    ///
+    /// **Bitwise identical across backends**: per component the SIMD
+    /// multiply/add sequence matches the scalar `a ± b·w` exactly.
+    /// `data.len()` must be a power of two ≥ 2 and
+    /// `twiddles.len() == data.len() / 2`.
+    fn butterflies(&self, data: &mut [Cpx], twiddles: &[Cpx], conj: bool);
+}
+
+/// Portable scalar backend — the equivalence reference.
+#[derive(Debug)]
+pub struct ScalarCpxKernels;
+
+static SCALAR: ScalarCpxKernels = ScalarCpxKernels;
+
+impl CpxKernels for ScalarCpxKernels {
+    fn backend(&self) -> Backend {
+        Backend::Scalar
+    }
+
+    fn dot_real(&self, x: &[Cpx], h: &[f64], acc: Cpx) -> Cpx {
+        assert_eq!(x.len(), h.len(), "dot_real length mismatch");
+        let mut acc = acc;
+        for (s, &t) in x.iter().zip(h) {
+            acc += s.scale(t);
+        }
+        acc
+    }
+
+    fn corr_energy(&self, y: &[Cpx], r: &[Cpx]) -> (Cpx, f64) {
+        assert_eq!(y.len(), r.len(), "corr_energy length mismatch");
+        let mut acc = Cpx::ZERO;
+        let mut energy = 0.0;
+        for (s, c) in y.iter().zip(r) {
+            acc += s.mul_conj(*c);
+            energy += s.norm_sqr();
+        }
+        (acc, energy)
+    }
+
+    fn butterflies(&self, data: &mut [Cpx], twiddles: &[Cpx], conj: bool) {
+        let n = data.len();
+        debug_assert_eq!(twiddles.len(), n / 2, "twiddle table length mismatch");
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = twiddles[k * stride];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// AVX2 backend. Not publicly constructible: obtain it through
+/// [`for_backend`]`(Backend::Simd)`, which asserts host support — the
+/// safety precondition of every `#[target_feature]` function below.
+#[derive(Debug)]
+pub struct SimdCpxKernels {
+    _priv: (),
+}
+
+static SIMD: SimdCpxKernels = SimdCpxKernels { _priv: () };
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 lane implementations. Layout invariant: `Cpx` is `#[repr(C)]`
+    //! (re, im), so a `&[Cpx]` reinterprets as an even-length `&[f64]` with
+    //! interleaved re/im — one 256-bit vector holds two complex samples.
+    //!
+    //! No FMA is used anywhere: each component is produced by the same
+    //! multiply/add/sub sequence as the scalar code so that per-lane results
+    //! round identically (the butterfly pass is bitwise-equal across
+    //! backends; the reductions differ only in summation order).
+
+    use super::Cpx;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_real(x: &[Cpx], h: &[f64], acc: Cpx) -> Cpx {
+        let n = x.len();
+        let xs = x.as_ptr() as *const f64;
+        let mut accv = _mm256_setzero_pd();
+        let pairs = n / 2;
+        for i in 0..pairs {
+            let xv = _mm256_loadu_pd(xs.add(4 * i));
+            let hv = _mm256_setr_pd(h[2 * i], h[2 * i], h[2 * i + 1], h[2 * i + 1]);
+            accv = _mm256_add_pd(accv, _mm256_mul_pd(xv, hv));
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), accv);
+        // Combination order is part of the backend's contract:
+        // acc + lane0 + lane1, then the odd tail term.
+        let mut out = acc;
+        out += Cpx::new(lanes[0], lanes[1]);
+        out += Cpx::new(lanes[2], lanes[3]);
+        for i in 2 * pairs..n {
+            out += x[i].scale(h[i]);
+        }
+        out
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn corr_energy(y: &[Cpx], r: &[Cpx]) -> (Cpx, f64) {
+        let n = y.len();
+        let ys = y.as_ptr() as *const f64;
+        let rs = r.as_ptr() as *const f64;
+        let neg = _mm256_set1_pd(-0.0);
+        let mut corrv = _mm256_setzero_pd();
+        let mut env = _mm256_setzero_pd();
+        let pairs = n / 2;
+        for i in 0..pairs {
+            let yv = _mm256_loadu_pd(ys.add(4 * i));
+            let rv = _mm256_loadu_pd(rs.add(4 * i));
+            // y·conj(r): re = yr·rr + yi·ri, im = yi·rr − yr·ri.
+            let rr = _mm256_movedup_pd(rv); // [rr0, rr0, rr1, rr1]
+            let ri = _mm256_permute_pd(rv, 0b1111); // [ri0, ri0, ri1, ri1]
+            let yswap = _mm256_permute_pd(yv, 0b0101); // [yi0, yr0, yi1, yr1]
+            let t1 = _mm256_mul_pd(yv, rr); // [yr·rr, yi·rr]
+            let t2 = _mm256_mul_pd(yswap, ri); // [yi·ri, yr·ri]
+                                               // addsub subtracts on even lanes, adds on odd — negate t2 to get
+                                               // even: t1+t2 (re), odd: t1−t2 (im).
+            let prod = _mm256_addsub_pd(t1, _mm256_xor_pd(t2, neg));
+            corrv = _mm256_add_pd(corrv, prod);
+            env = _mm256_add_pd(env, _mm256_mul_pd(yv, yv));
+        }
+        let mut cl = [0.0f64; 4];
+        let mut el = [0.0f64; 4];
+        _mm256_storeu_pd(cl.as_mut_ptr(), corrv);
+        _mm256_storeu_pd(el.as_mut_ptr(), env);
+        let mut corr = Cpx::new(cl[0], cl[1]) + Cpx::new(cl[2], cl[3]);
+        let mut energy = (el[0] + el[1]) + (el[2] + el[3]);
+        for i in 2 * pairs..n {
+            corr += y[i].mul_conj(r[i]);
+            energy += y[i].norm_sqr();
+        }
+        (corr, energy)
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn butterflies(data: &mut [Cpx], twiddles: &[Cpx], conj: bool) {
+        let n = data.len();
+        let ptr = data.as_mut_ptr() as *mut f64;
+        let neg_im = _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            if half < 2 {
+                // First stage: w = twiddles[0] = 1+0j, pure add/sub.
+                for start in (0..n).step_by(len) {
+                    let a = data[start];
+                    let b = data[start + 1];
+                    data[start] = a + b;
+                    data[start + 1] = a - b;
+                }
+            } else {
+                for start in (0..n).step_by(len) {
+                    for k in (0..half).step_by(2) {
+                        let w0 = twiddles[k * stride];
+                        let w1 = twiddles[(k + 1) * stride];
+                        let mut wv = _mm256_setr_pd(w0.re, w0.im, w1.re, w1.im);
+                        if conj {
+                            wv = _mm256_xor_pd(wv, neg_im);
+                        }
+                        let ai = start + k;
+                        let bi = start + k + half;
+                        let av = _mm256_loadu_pd(ptr.add(2 * ai));
+                        let bv = _mm256_loadu_pd(ptr.add(2 * bi));
+                        // b·w with the scalar formula per component:
+                        // re = br·wr − bi·wi, im = bi·wr + br·wi.
+                        let wr = _mm256_movedup_pd(wv);
+                        let wi = _mm256_permute_pd(wv, 0b1111);
+                        let bswap = _mm256_permute_pd(bv, 0b0101);
+                        let prod =
+                            _mm256_addsub_pd(_mm256_mul_pd(bv, wr), _mm256_mul_pd(bswap, wi));
+                        _mm256_storeu_pd(ptr.add(2 * ai), _mm256_add_pd(av, prod));
+                        _mm256_storeu_pd(ptr.add(2 * bi), _mm256_sub_pd(av, prod));
+                    }
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+impl CpxKernels for SimdCpxKernels {
+    fn backend(&self) -> Backend {
+        Backend::Simd
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn dot_real(&self, x: &[Cpx], h: &[f64], acc: Cpx) -> Cpx {
+        assert_eq!(x.len(), h.len(), "dot_real length mismatch");
+        // SAFETY: this handle is only reachable through `for_backend`/
+        // `active`, both of which gate on `simd_available()`.
+        unsafe { avx2::dot_real(x, h, acc) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn corr_energy(&self, y: &[Cpx], r: &[Cpx]) -> (Cpx, f64) {
+        assert_eq!(y.len(), r.len(), "corr_energy length mismatch");
+        // SAFETY: as above — the handle implies AVX2 support.
+        unsafe { avx2::corr_energy(y, r) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn butterflies(&self, data: &mut [Cpx], twiddles: &[Cpx], conj: bool) {
+        debug_assert_eq!(twiddles.len(), data.len() / 2);
+        // SAFETY: as above — the handle implies AVX2 support.
+        unsafe { avx2::butterflies(data, twiddles, conj) }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn dot_real(&self, x: &[Cpx], h: &[f64], acc: Cpx) -> Cpx {
+        ScalarCpxKernels.dot_real(x, h, acc)
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn corr_energy(&self, y: &[Cpx], r: &[Cpx]) -> (Cpx, f64) {
+        ScalarCpxKernels.corr_energy(y, r)
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    fn butterflies(&self, data: &mut [Cpx], twiddles: &[Cpx], conj: bool) {
+        ScalarCpxKernels.butterflies(data, twiddles, conj)
+    }
+}
+
+/// The handle for a specific backend. Panics when `Backend::Simd` is
+/// requested on a host without AVX2 — forcing an unavailable backend is a
+/// configuration error and fails loudly.
+pub fn for_backend(backend: Backend) -> CpxKernelHandle {
+    match backend {
+        Backend::Scalar => &SCALAR,
+        Backend::Simd => {
+            assert!(
+                simd_available(),
+                "SIMD kernel backend requested but this host has no AVX2"
+            );
+            &SIMD
+        }
+    }
+}
+
+/// The process-wide auto-dispatched handle (see [`gsp_kernels::selection`]).
+pub fn active() -> CpxKernelHandle {
+    for_backend(selection().backend)
+}
+
+/// Registers this crate's kernels on `reg` with the process-wide selection.
+pub fn register(reg: &mut KernelRegistry) {
+    let sel = selection();
+    for name in ["dsp.dot_real", "dsp.corr_energy", "dsp.fft_butterflies"] {
+        reg.register(name, sel.backend, sel.reason);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| Cpx::new((i as f64 * 0.37).sin(), (i as f64 * 0.23).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn scalar_dot_real_matches_naive() {
+        let x = samples(13);
+        let h: Vec<f64> = (0..13).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut want = Cpx::new(0.5, -0.25);
+        for (s, &t) in x.iter().zip(&h) {
+            want += s.scale(t);
+        }
+        let got = ScalarCpxKernels.dot_real(&x, &h, Cpx::new(0.5, -0.25));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn simd_dot_real_agrees_with_scalar_all_tail_shapes() {
+        if !simd_available() {
+            return;
+        }
+        let simd = for_backend(Backend::Simd);
+        for n in [0usize, 1, 2, 3, 7, 8, 33] {
+            let x = samples(n);
+            let h: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin()).collect();
+            let a = ScalarCpxKernels.dot_real(&x, &h, Cpx::ZERO);
+            let b = simd.dot_real(&x, &h, Cpx::ZERO);
+            assert!(
+                (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                "n={n}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_corr_energy_agrees_with_scalar() {
+        if !simd_available() {
+            return;
+        }
+        let simd = for_backend(Backend::Simd);
+        for n in [0usize, 1, 5, 24, 31] {
+            let y = samples(n);
+            let r: Vec<Cpx> = samples(n).iter().map(|s| s.conj()).collect();
+            let (ca, ea) = ScalarCpxKernels.corr_energy(&y, &r);
+            let (cb, eb) = simd.corr_energy(&y, &r);
+            assert!((ca - cb).abs() <= 1e-12 * (1.0 + ca.abs()), "n={n}");
+            assert!((ea - eb).abs() <= 1e-12 * (1.0 + ea.abs()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn simd_butterflies_bitwise_matches_scalar() {
+        if !simd_available() {
+            return;
+        }
+        let simd = for_backend(Backend::Simd);
+        for n in [2usize, 4, 8, 16, 64] {
+            let tw: Vec<Cpx> = (0..n / 2)
+                .map(|k| Cpx::from_angle(-std::f64::consts::TAU * k as f64 / n as f64))
+                .collect();
+            for conj in [false, true] {
+                let mut a = samples(n);
+                let mut b = a.clone();
+                ScalarCpxKernels.butterflies(&mut a, &tw, conj);
+                simd.butterflies(&mut b, &tw, conj);
+                for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                    assert_eq!(
+                        (x.re.to_bits(), x.im.to_bits()),
+                        (y.re.to_bits(), y.im.to_bits()),
+                        "n={n} conj={conj} idx={i}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_handle_matches_selection() {
+        assert_eq!(active().backend(), selection().backend);
+    }
+}

@@ -14,8 +14,10 @@
 //! (guides: Rust Performance Book — reuse collections, avoid allocation in
 //! hot loops).
 //!
-//! The crate is dependency-free (only `std`); stochastic behaviour lives in
-//! `gsp-channel` and above.
+//! The crate depends only on `std` and the dependency-free `gsp-kernels`
+//! backend selector; stochastic behaviour lives in `gsp-channel` and above.
+//! Hot inner loops (FIR MAC, UW correlation, FFT butterflies) dispatch
+//! through the pluggable scalar/SIMD backends of [`kernels`].
 //!
 //! ```
 //! use gsp_dsp::prelude::*;
@@ -34,7 +36,7 @@
 //! assert_eq!(dot, 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod agc;
 pub mod beamform;
@@ -44,6 +46,7 @@ pub mod complex;
 pub mod fft;
 pub mod filter;
 pub mod halfband;
+pub mod kernels;
 pub mod math;
 pub mod measure;
 pub mod nco;
@@ -63,6 +66,7 @@ pub mod prelude {
     pub use crate::fft::Fft;
     pub use crate::filter::{FirFilter, FirKernel};
     pub use crate::halfband::HalfBandDecimator;
+    pub use crate::kernels::{Backend, CpxKernelHandle, CpxKernels};
     pub use crate::math::{db_to_lin, lin_to_db, q_function, sinc};
     pub use crate::measure::{evm_rms, mean_power, snr_estimate_m2m4};
     pub use crate::nco::Nco;

@@ -1,0 +1,214 @@
+//! # gsp-kernels — compute-kernel backend selection for the gsp workspace
+//!
+//! The hot inner loops of the payload chain (complex dot/MAC, radix-2 FFT
+//! butterflies, Viterbi add-compare-select, max-log-MAP recursions) exist in
+//! two implementations: a portable **scalar** backend and a **SIMD** backend
+//! built on `core::arch` x86_64 AVX2 intrinsics. This crate owns the
+//! *selection* of a backend — host feature detection, the
+//! `GSP_KERNEL_BACKEND` environment override, and the [`KernelRegistry`]
+//! reporting surface — while the kernel implementations themselves live next
+//! to their data types (`gsp_dsp::kernels` for complex-sample kernels,
+//! `gsp_coding::kernels` for trellis kernels).
+//!
+//! Selection is resolved once per process ([`selection`]) and is purely a
+//! *performance* decision: the equivalence contract between backends
+//! (bitwise for the trellis kernels, tolerance-bounded for reassociated
+//! dot-product reductions) is documented in DESIGN.md §11 and pinned by
+//! proptests, so modem logic never needs to know which backend is active.
+//!
+//! ```
+//! let sel = gsp_kernels::selection();
+//! // On any host this resolves to a usable backend with a stated reason.
+//! assert!(!sel.reason.is_empty());
+//! if sel.backend == gsp_kernels::Backend::Simd {
+//!     assert!(gsp_kernels::simd_available());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::OnceLock;
+
+/// A compute-kernel backend identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable sequential implementation; the reference for equivalence.
+    Scalar,
+    /// AVX2 (x86_64) implementation, selected only when the host supports it.
+    Simd,
+}
+
+impl Backend {
+    /// Stable lowercase label, used in bench artifacts and env parsing.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+/// Name of the environment variable that forces a backend:
+/// `scalar`, `simd` or `auto` (case-insensitive). Unset means `auto`.
+pub const BACKEND_ENV: &str = "GSP_KERNEL_BACKEND";
+
+/// Whether the SIMD backend can run on this host (x86_64 with AVX2).
+///
+/// The SIMD kernels additionally avoid FMA so that per-lane arithmetic
+/// matches the scalar backend's rounding exactly; AVX2 alone is the gate.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The process-wide backend decision and why it was taken.
+#[derive(Clone, Copy, Debug)]
+pub struct Selection {
+    /// The backend every auto-dispatched kernel handle resolves to.
+    pub backend: Backend,
+    /// Human-readable provenance (forced by env, feature-detected, …).
+    pub reason: &'static str,
+}
+
+fn auto_selection() -> Selection {
+    if simd_available() {
+        Selection {
+            backend: Backend::Simd,
+            reason: "auto: AVX2 detected",
+        }
+    } else {
+        Selection {
+            backend: Backend::Scalar,
+            reason: "auto: AVX2 unavailable, portable fallback",
+        }
+    }
+}
+
+fn detect_selection() -> Selection {
+    match std::env::var(BACKEND_ENV) {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "scalar" => Selection {
+                backend: Backend::Scalar,
+                reason: "forced by GSP_KERNEL_BACKEND=scalar",
+            },
+            "simd" => {
+                assert!(
+                    simd_available(),
+                    "GSP_KERNEL_BACKEND=simd but this host has no AVX2 \
+                     (unset the variable or use `scalar`/`auto`)"
+                );
+                Selection {
+                    backend: Backend::Simd,
+                    reason: "forced by GSP_KERNEL_BACKEND=simd",
+                }
+            }
+            "auto" | "" => auto_selection(),
+            other => panic!("GSP_KERNEL_BACKEND must be `scalar`, `simd` or `auto`, got {other:?}"),
+        },
+        Err(_) => auto_selection(),
+    }
+}
+
+/// The process-wide backend selection, resolved once on first use
+/// (env override first, then feature detection) and cached.
+///
+/// Per-instance overrides (the `with_kernels` constructors and
+/// `ChainConfig::kernel_backend`) bypass this and are how one process runs
+/// both backends side by side, e.g. in the cross-backend equivalence tests.
+pub fn selection() -> Selection {
+    static SELECTION: OnceLock<Selection> = OnceLock::new();
+    *SELECTION.get_or_init(detect_selection)
+}
+
+/// One registered kernel: its dotted name (`dsp.dot_real`,
+/// `coding.viterbi_acs`, …) and the backend it dispatches to.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelEntry {
+    /// Dotted kernel name, stable across releases (bench artifacts key on it).
+    pub name: &'static str,
+    /// Backend this kernel resolves to.
+    pub backend: Backend,
+    /// Why (inherited process selection, per-kernel fallback, …).
+    pub reason: &'static str,
+}
+
+/// An inventory of the kernels active in this process and the backend each
+/// dispatches to — the reporting surface behind the bench matrix and the
+/// `--kernels` style listings.
+///
+/// Kernel *providers* (`gsp_dsp::kernels`, `gsp_coding::kernels`) each
+/// expose a `register` function that fills in their rows; the registry
+/// itself is provider-agnostic.
+#[derive(Clone, Debug, Default)]
+pub struct KernelRegistry {
+    entries: Vec<KernelEntry>,
+}
+
+impl KernelRegistry {
+    /// An empty registry seeded with the process-wide [`selection`].
+    pub fn new() -> Self {
+        KernelRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one kernel row.
+    pub fn register(&mut self, name: &'static str, backend: Backend, reason: &'static str) {
+        self.entries.push(KernelEntry {
+            name,
+            backend,
+            reason,
+        });
+    }
+
+    /// All registered rows in registration order.
+    pub fn entries(&self) -> &[KernelEntry] {
+        &self.entries
+    }
+
+    /// The backend a named kernel dispatches to, if registered.
+    pub fn backend_for(&self, name: &str) -> Option<Backend> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Backend::Scalar.label(), "scalar");
+        assert_eq!(Backend::Simd.label(), "simd");
+    }
+
+    #[test]
+    fn selection_is_consistent_with_detection() {
+        // Whatever the env says, a Simd selection implies host support.
+        let sel = selection();
+        if sel.backend == Backend::Simd {
+            assert!(simd_available());
+        }
+        assert!(!sel.reason.is_empty());
+    }
+
+    #[test]
+    fn registry_round_trips_entries() {
+        let mut reg = KernelRegistry::new();
+        reg.register("dsp.dot_real", Backend::Scalar, "test");
+        reg.register("coding.viterbi_acs", Backend::Simd, "test");
+        assert_eq!(reg.entries().len(), 2);
+        assert_eq!(reg.backend_for("dsp.dot_real"), Some(Backend::Scalar));
+        assert_eq!(reg.backend_for("coding.viterbi_acs"), Some(Backend::Simd));
+        assert_eq!(reg.backend_for("nope"), None);
+    }
+}

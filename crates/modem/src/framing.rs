@@ -7,6 +7,7 @@
 
 use crate::psk::Modulation;
 use gsp_dsp::codes::Lfsr;
+use gsp_dsp::kernels::{self, CpxKernelHandle};
 use gsp_dsp::Cpx;
 
 /// Burst layout in symbols.
@@ -113,19 +114,26 @@ pub struct UwDetection {
 /// `threshold` anywhere, taking the global peak. The correlation argument
 /// doubles as a data-aided, ambiguity-free phase estimate.
 pub fn detect_unique_word(symbols: &[Cpx], uw: &[Cpx], threshold: f64) -> Option<UwDetection> {
+    detect_unique_word_with(symbols, uw, threshold, kernels::active())
+}
+
+/// [`detect_unique_word`] pinned to a specific compute-kernel backend
+/// handle — the per-instance override used by cross-backend tests and
+/// benches. The sliding correlate-and-energy loop dispatches through
+/// [`gsp_dsp::kernels::CpxKernels::corr_energy`].
+pub fn detect_unique_word_with(
+    symbols: &[Cpx],
+    uw: &[Cpx],
+    threshold: f64,
+    kernels: CpxKernelHandle,
+) -> Option<UwDetection> {
     if symbols.len() < uw.len() {
         return None;
     }
     let uw_energy: f64 = uw.iter().map(|s| s.norm_sqr()).sum();
     let mut best: Option<UwDetection> = None;
     for pos in 0..=(symbols.len() - uw.len()) {
-        let mut acc = Cpx::ZERO;
-        let mut energy = 0.0;
-        for (k, r) in uw.iter().enumerate() {
-            let y = symbols[pos + k];
-            acc += y.mul_conj(*r);
-            energy += y.norm_sqr();
-        }
+        let (acc, energy) = kernels.corr_energy(&symbols[pos..pos + uw.len()], uw);
         let denom = (uw_energy * energy).sqrt();
         if denom <= 0.0 {
             continue;

@@ -3,9 +3,10 @@
 //! replaced by timing recovery; matched filter and carrier recovery reused).
 
 use crate::carrier::{derotate, frequency_estimate_da, viterbi_viterbi_qpsk};
-use crate::framing::{detect_unique_word, BurstFormat, UwDetection};
+use crate::framing::{detect_unique_word_with, BurstFormat, UwDetection};
 use crate::timing::{GardnerLoop, OerderMeyrEstimator};
 use gsp_dsp::filter::{FirFilter, FirKernel};
+use gsp_dsp::kernels::{self, CpxKernelHandle};
 use gsp_dsp::measure::snr_estimate_m2m4;
 use gsp_dsp::pulse::{shape_symbols, RrcPulse};
 use gsp_dsp::Cpx;
@@ -163,12 +164,23 @@ pub struct TdmaBurstDemodulator {
     /// Pass-2 (frequency-ramp + V&V) corrected payload symbols.
     ramp_buf: Vec<Cpx>,
     tel: TdmaDemodTelemetry,
+    /// Compute-kernel backend for the UW correlator (the matched filter
+    /// carries its own matching handle).
+    kernels: CpxKernelHandle,
 }
 
 impl TdmaBurstDemodulator {
-    /// Builds the demodulator for the given configuration.
+    /// Builds the demodulator for the given configuration, using the
+    /// process-wide kernel backend selection.
     pub fn new(config: TdmaConfig) -> Self {
-        let matched = FirFilter::new(config.kernel());
+        Self::with_kernels(config, kernels::active())
+    }
+
+    /// Builds the demodulator pinned to a specific compute-kernel backend
+    /// handle (matched filter MAC + UW correlator) — the per-instance
+    /// override used by cross-backend tests and benches.
+    pub fn with_kernels(config: TdmaConfig, kernels: CpxKernelHandle) -> Self {
+        let matched = FirFilter::new(config.kernel().with_kernels(kernels));
         TdmaBurstDemodulator {
             config,
             matched,
@@ -177,6 +189,7 @@ impl TdmaBurstDemodulator {
             static_buf: Vec::new(),
             ramp_buf: Vec::new(),
             tel: TdmaDemodTelemetry::default(),
+            kernels,
         }
     }
 
@@ -432,9 +445,12 @@ impl TdmaBurstDemodulator {
         }
 
         // 3. Unique-word sync (position + unambiguous phase).
-        let Some(uw) =
-            detect_unique_word(&self.symbol_buf, &cfg.format.unique_word, cfg.uw_threshold)
-        else {
+        let Some(uw) = detect_unique_word_with(
+            &self.symbol_buf,
+            &cfg.format.unique_word,
+            cfg.uw_threshold,
+            self.kernels,
+        ) else {
             self.tel.uw_miss.inc();
             return false;
         };

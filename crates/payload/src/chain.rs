@@ -33,6 +33,14 @@ pub struct ChainConfig {
     /// Timing-recovery scheme of the per-carrier demodulators (the Fig. 3
     /// personality knob).
     pub timing: TimingRecoveryKind,
+    /// Compute-kernel backend for the hot inner loops (channelizer FFT,
+    /// matched filter, UW correlator, Viterbi ACS). `None` follows the
+    /// process-wide selection (`GSP_KERNEL_BACKEND` or auto-detection);
+    /// `Some(backend)` pins the engine's receive chain (demux FFT,
+    /// per-lane demodulators and decoders) to that backend, which is how
+    /// the cross-backend equivalence tests and the bench matrix force
+    /// scalar vs SIMD on the same host.
+    pub kernel_backend: Option<gsp_dsp::kernels::Backend>,
 }
 
 impl Default for ChainConfig {
@@ -45,6 +53,7 @@ impl Default for ChainConfig {
             beams: 4,
             switch_queue_limit: 1024,
             timing: TimingRecoveryKind::OerderMeyr,
+            kernel_backend: None,
         }
     }
 }

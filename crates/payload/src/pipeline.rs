@@ -48,8 +48,9 @@
 use crate::chain::{CarrierOutcome, ChainConfig, ChainReport};
 use crate::switch::{BasebandPacket, PacketSwitch};
 use gsp_channel::awgn::AwgnChannel;
-use gsp_coding::{ConvCode, ConvEncoder, Crc, CrcKind, ViterbiDecoder};
+use gsp_coding::{kernels as trellis_kernels, ConvCode, ConvEncoder, Crc, CrcKind, ViterbiDecoder};
 use gsp_dsp::channelizer::PolyphaseChannelizer;
+use gsp_dsp::kernels as cpx_kernels;
 use gsp_dsp::nco::Nco;
 use gsp_dsp::resample::RationalResampler;
 use gsp_dsp::Cpx;
@@ -656,6 +657,13 @@ impl PipelineEngine {
         let m = cfg.channels;
         let n = cfg.active_carriers;
         let code = ConvCode::umts_half();
+        // Resolve the receive chain's compute-kernel handles once; every
+        // lane (and the shared channelizer) is pinned to the same backend
+        // so a frame's report never depends on which lane ran where.
+        let (cpx_k, trellis_k) = match cfg.kernel_backend {
+            Some(b) => (cpx_kernels::for_backend(b), trellis_kernels::for_backend(b)),
+            None => (cpx_kernels::active(), trellis_kernels::active()),
+        };
         let coded_bits = (cfg.info_bits + 16 + 8) * 2;
         let fmt = BurstFormat::standard(24, 24, coded_bits / 2);
         let tdma_cfg = TdmaConfig::new(fmt, cfg.timing);
@@ -681,8 +689,8 @@ impl PipelineEngine {
                     },
                     RxLane {
                         carrier: k,
-                        demod: TdmaBurstDemodulator::new(tdma_cfg.clone()),
-                        viterbi: ViterbiDecoder::new(code.clone()),
+                        demod: TdmaBurstDemodulator::with_kernels(tdma_cfg.clone(), cpx_k),
+                        viterbi: ViterbiDecoder::with_kernels(code.clone(), trellis_k),
                         crc: Crc::new(CrcKind::Crc16),
                         beams: cfg.beams,
                         demod_out: TdmaDemodResult::default(),
@@ -738,7 +746,7 @@ impl PipelineEngine {
             n_lanes: n,
             backend,
             burst_len,
-            channelizer: PolyphaseChannelizer::new(m, 12),
+            channelizer: PolyphaseChannelizer::with_kernels(m, 12, cpx_k),
             stats: PipelineStats::default(),
             composite: Vec::with_capacity(composite_len),
             demux_frame: vec![Cpx::ZERO; m],
