@@ -1,0 +1,368 @@
+//! Constellation-scale soak: sweeps the `gsp-constellation` coordinator
+//! across satellite counts × shard-thread counts × offered loads, prints
+//! the per-point digest, and writes `BENCH_constellation.json`.
+//!
+//! Every point runs the **same** `(satellites, load, frames, seed)`
+//! scenario at every shard-thread count and asserts the reports are
+//! byte-identical — the determinism contract is enforced by the bench
+//! itself, not just by the test suite. The artefact records:
+//!
+//! * a top-level `"scaling"` block for the flagship point (the largest
+//!   satellite count at nominal load): measured frames/s per thread
+//!   count, the measured multi-shard/1-shard ratio, and the **modeled**
+//!   Amdahl ratio derived from the serial run's shard-busy vs
+//!   coordinator-serial nanosecond split (`"host_parallelism"` records
+//!   what this run actually had; `perf_gate` only trusts the measured
+//!   ratio when the bench host had ≥ 8 cores);
+//! * a `"sweep"` array with one entry per (satellites, load): offered /
+//!   delivered / dropped totals, ISL link accounting, per-class drop
+//!   rates, and the terminal-equivalent offered-load scale
+//!   (`terminals_total`);
+//! * a `"quarantine"` block replaying the whole-satellite FDIR scenario:
+//!   a mid-run freeze, watchdog quarantine, beam migration onto the
+//!   survivors — with the voice class asserted lossless.
+//!
+//! With `--no-wall` every wall-clock-derived field (the `"scaling"`
+//! block and per-point frames/s) is omitted, leaving only deterministic
+//! content: CI's `constellation-smoke` job runs the bench twice and
+//! `cmp`s the artefacts byte for byte.
+//!
+//! Usage: `bench_constellation [--satellites LIST] [--threads LIST]
+//! [--loads LIST] [--frames N] [--seed N] [--out PATH] [--no-wall]`
+//! (defaults: satellites `2,4`, threads `1,2,4`, loads `1.0`, 256
+//! frames, `GSP_SEED`, `BENCH_constellation.json`).
+
+use gsp_constellation::{ConstellationConfig, ConstellationEngine, ConstellationReport};
+use std::time::Instant;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_list(name: &str, default: &str) -> Vec<String> {
+    arg_value(name)
+        .unwrap_or_else(|| default.to_string())
+        .split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Formats an `f64` as a JSON number token (finite inputs only;
+/// shortest-roundtrip `Display`, so the token is deterministic).
+fn jf(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// One (satellites, load) point, run at one shard-thread count.
+struct RunOutcome {
+    report: ConstellationReport,
+    wall_ns: u64,
+    shard_busy_ns: u64,
+    coordinator_ns: u64,
+}
+
+fn run_once(satellites: usize, threads: usize, load: f64, frames: u64, seed: u64) -> RunOutcome {
+    let mut cfg = ConstellationConfig::standard(satellites, load);
+    cfg.shard_threads = threads;
+    let mut engine = ConstellationEngine::new(cfg, seed);
+    let t0 = Instant::now();
+    engine.run(frames);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    RunOutcome {
+        report: engine.report(),
+        wall_ns,
+        shard_busy_ns: engine.shard_busy_ns(),
+        coordinator_ns: engine.coordinator_ns(),
+    }
+}
+
+/// Amdahl-bound speedup of `threads` shards over serial for the given
+/// serial/parallelizable split (same model as `bench_payload`).
+fn amdahl(serial_ns: f64, parallel_ns: f64, threads: usize) -> f64 {
+    let t1 = serial_ns + parallel_ns;
+    let tw = serial_ns + parallel_ns / (threads.max(1) as f64);
+    if tw <= 0.0 {
+        1.0
+    } else {
+        t1 / tw
+    }
+}
+
+/// The deterministic sweep-entry JSON for one (satellites, load) point.
+fn point_json(
+    satellites: usize,
+    load: f64,
+    frames: u64,
+    seed: u64,
+    r: &ConstellationReport,
+    fps: Option<&[(usize, f64)]>,
+) -> String {
+    let totals = r.class_totals();
+    let offered = r.offered();
+    let dropped: u64 = (0..totals.len()).map(|c| r.class_dropped(c)).sum();
+    let isl_out: u64 = totals.iter().map(|c| c.isl_out).sum();
+    let isl_in: u64 = totals.iter().map(|c| c.isl_in).sum();
+    let classes: Vec<String> = ["voice", "video", "data"]
+        .iter()
+        .zip(&totals)
+        .enumerate()
+        .map(|(i, (name, c))| {
+            let class_dropped = r.class_dropped(i);
+            let rate = if c.offered == 0 {
+                0.0
+            } else {
+                class_dropped as f64 / c.offered as f64
+            };
+            format!(
+                "{{\"name\":\"{name}\",\"offered\":{},\"delivered\":{},\
+                 \"dropped\":{class_dropped},\"drop_rate\":{}}}",
+                c.offered,
+                c.delivered,
+                jf(rate)
+            )
+        })
+        .collect();
+    let fps_field = match fps {
+        Some(points) => {
+            let rows: Vec<String> = points
+                .iter()
+                .map(|(t, f)| format!("{{\"threads\":{t},\"frames_per_sec\":{}}}", jf(*f)))
+                .collect();
+            format!(",\"throughput\":[{}]", rows.join(","))
+        }
+        None => String::new(),
+    };
+    format!(
+        "{{\"satellites\":{satellites},\"load\":{},\"frames\":{frames},\"seed\":{seed},\
+         \"terminals_total\":{},\"offered\":{offered},\"delivered\":{},\
+         \"dropped\":{dropped},\"isl_out\":{isl_out},\"isl_in\":{isl_in},\
+         \"isl_dropped\":[{}],\"isl_in_flight\":{},\"reports_identical\":true,\
+         \"classes\":[{}]{fps_field}}}",
+        jf(load),
+        r.terminals_total,
+        r.delivered(),
+        r.isl_dropped
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        r.isl_in_flight,
+        classes.join(",")
+    )
+}
+
+/// Replays the whole-satellite quarantine scenario and renders its
+/// deterministic JSON block (asserting voice losslessness on the way).
+fn quarantine_json(satellites: usize, frames: u64, seed: u64) -> String {
+    let cfg = ConstellationConfig::standard(satellites, 1.0);
+    let beams_per_sat = cfg.traffic.beams;
+    let mut engine = ConstellationEngine::new(cfg, seed);
+    engine.run(frames / 2);
+    engine.fail_satellite(1);
+    engine.run(frames - frames / 2);
+    let r = engine.report();
+    assert_eq!(
+        r.quarantines.len(),
+        1,
+        "the fault must confirm exactly once"
+    );
+    let q = r.quarantines[0];
+    assert_eq!(q.sat, 1);
+    let voice_dropped = r.class_dropped(0);
+    assert_eq!(
+        voice_dropped, 0,
+        "voice must reroute through a whole-satellite quarantine with zero drops"
+    );
+    let survivors_serve: usize = r
+        .satellites
+        .iter()
+        .filter(|s| s.sat != 1)
+        .map(|s| s.home_beams.len())
+        .sum();
+    assert_eq!(survivors_serve, satellites * beams_per_sat);
+    println!(
+        "quarantine: sat {} frozen at frame {}, quarantined at frame {}, \
+         {} beams migrated, voice drops {} (delivered {})",
+        q.sat,
+        frames / 2,
+        q.tick,
+        beams_per_sat,
+        voice_dropped,
+        r.class_totals()[0].delivered
+    );
+    format!(
+        "{{\"satellites\":{satellites},\"frames\":{frames},\"seed\":{seed},\
+         \"failed_sat\":{},\"fault_tick\":{},\"quarantine_tick\":{},\
+         \"beams_migrated\":{beams_per_sat},\"beams_on_survivors\":{survivors_serve},\
+         \"voice_dropped\":{voice_dropped},\"voice_delivered\":{},\
+         \"frames_skipped\":{}}}",
+        q.sat,
+        frames / 2,
+        q.tick,
+        r.class_totals()[0].delivered,
+        r.satellites[1].frames_skipped
+    )
+}
+
+fn main() {
+    let frames: u64 = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_constellation.json".to_string());
+    let no_wall = arg_flag("--no-wall");
+    let sat_counts: Vec<usize> = arg_list("--satellites", "2,4")
+        .iter()
+        .filter_map(|t| t.parse().ok())
+        .filter(|&n| n >= 2)
+        .collect();
+    let thread_counts: Vec<usize> = arg_list("--threads", "1,2,4")
+        .iter()
+        .filter_map(|t| t.parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    let loads: Vec<f64> = arg_list("--loads", "1.0")
+        .iter()
+        .filter_map(|t| t.parse().ok())
+        .filter(|&l| l > 0.0)
+        .collect();
+    assert!(
+        !sat_counts.is_empty() && !thread_counts.is_empty() && !loads.is_empty(),
+        "--satellites, --threads and --loads each need at least one value"
+    );
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(gsp_bench::seed_from_env);
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "constellation soak: {frames} frames per point, seed {seed}, \
+         satellites {sat_counts:?} x threads {thread_counts:?} x loads {loads:?}"
+    );
+
+    let mut sweep_rows: Vec<String> = Vec::new();
+    let mut flagship: Option<(usize, Vec<(usize, RunOutcome)>)> = None;
+    for &satellites in &sat_counts {
+        for &load in &loads {
+            // Every thread count replays the identical scenario; the
+            // reports must agree bitwise.
+            let runs: Vec<(usize, RunOutcome)> = thread_counts
+                .iter()
+                .map(|&t| (t, run_once(satellites, t, load, frames, seed)))
+                .collect();
+            let reference = &runs[0].1.report;
+            for (t, run) in &runs[1..] {
+                assert_eq!(
+                    &run.report, reference,
+                    "report diverged at {t} shard threads (satellites {satellites}, load {load})"
+                );
+            }
+            let fps: Vec<(usize, f64)> = runs
+                .iter()
+                .map(|(t, run)| (*t, frames as f64 / (run.wall_ns.max(1) as f64 / 1e9)))
+                .collect();
+            println!(
+                "  sats={satellites} load={load}: offered {} delivered {} ({} terminals), fps {}",
+                reference.offered(),
+                reference.delivered(),
+                reference.terminals_total,
+                fps.iter()
+                    .map(|(t, f)| format!("{t}thr {f:.0}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            sweep_rows.push(point_json(
+                satellites,
+                load,
+                frames,
+                seed,
+                reference,
+                (!no_wall).then_some(&fps[..]),
+            ));
+            let is_flagship =
+                satellites == *sat_counts.iter().max().unwrap() && (load - 1.0).abs() < 1e-9;
+            if is_flagship || (flagship.is_none() && satellites == *sat_counts.last().unwrap()) {
+                flagship = Some((satellites, runs));
+            }
+        }
+    }
+
+    let quarantine = quarantine_json(*sat_counts.iter().max().unwrap(), frames, seed);
+
+    let scaling_field = if no_wall {
+        String::new()
+    } else {
+        let (satellites, runs) = flagship.as_ref().expect("at least one sweep point");
+        let serial = runs
+            .iter()
+            .find(|(t, _)| *t == 1)
+            .map(|(_, r)| r)
+            .unwrap_or(&runs[0].1);
+        let top = runs.last().expect("runs nonempty");
+        let base_fps = frames as f64 / (serial.wall_ns.max(1) as f64 / 1e9);
+        let top_fps = frames as f64 / (top.1.wall_ns.max(1) as f64 / 1e9);
+        let measured_ratio = top_fps / base_fps.max(1e-12);
+        // The Amdahl model from the serial run's own split: shard steps
+        // are the parallelizable span, the coordinator merge is serial.
+        let threads_top = top.0.min(*satellites);
+        let modeled_ratio = amdahl(
+            serial.coordinator_ns as f64,
+            serial.shard_busy_ns as f64,
+            threads_top,
+        );
+        println!(
+            "\nscaling (sats={satellites}): measured {measured_ratio:.2}x at {} threads, \
+             modeled {modeled_ratio:.2}x (shard busy {} ns, coordinator {} ns, host has \
+             {host_parallelism} core(s))",
+            top.0, serial.shard_busy_ns, serial.coordinator_ns
+        );
+        format!(
+            "\"scaling\":{{\"satellites\":{satellites},\"frames\":{frames},\
+             \"threads\":[{}],\"frames_per_sec\":[{}],\
+             \"measured_ratio\":{},\"modeled_ratio\":{},\
+             \"shard_busy_ns\":{},\"coordinator_ns\":{}}},\n",
+            runs.iter()
+                .map(|(t, _)| t.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            runs.iter()
+                .map(|(_, r)| jf(frames as f64 / (r.wall_ns.max(1) as f64 / 1e9)))
+                .collect::<Vec<_>>()
+                .join(","),
+            jf(measured_ratio),
+            jf(modeled_ratio),
+            serial.shard_busy_ns,
+            serial.coordinator_ns
+        )
+    };
+
+    let host_field = if no_wall {
+        String::new()
+    } else {
+        format!("\"host_parallelism\":{host_parallelism},")
+    };
+    let json = format!(
+        "{{{host_field}\"seed\":{seed},\n{scaling_field}\"quarantine\":{quarantine},\n\
+         \"sweep\":[\n{}\n]}}\n",
+        sweep_rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

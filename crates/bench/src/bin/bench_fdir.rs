@@ -174,8 +174,11 @@ fn main() {
     print!("{}", base.snapshot.to_table());
 
     let sweep_json: Vec<String> = points.iter().map(|p| point_json(p, seed)).collect();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
+        "{{\"host_parallelism\":{host_parallelism},\"seed\":{seed},\n\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")
     );

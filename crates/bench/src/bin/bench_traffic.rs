@@ -175,8 +175,11 @@ fn main() {
             )
         })
         .collect();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
+        "{{\"host_parallelism\":{host_parallelism},\"seed\":{seed},\n\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")
     );

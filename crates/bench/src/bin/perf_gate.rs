@@ -1,7 +1,7 @@
-//! CI perf-regression gate for the payload pipeline, the traffic plane
-//! and the FDIR recovery ladder.
+//! CI perf-regression gate for the payload pipeline, the traffic plane,
+//! the FDIR recovery ladder and the constellation sharding layer.
 //!
-//! Five checks, all against committed baselines:
+//! Six checks, all against committed baselines:
 //!
 //! 1. **Pipeline wall clock** — reads `BENCH_payload.json`, re-runs a
 //!    short 1-worker smoke of the Fig. 2 engine, and fails when the
@@ -45,13 +45,26 @@
 //!    erodes the vector path fails even while absolute wall-clock checks
 //!    still pass on a faster runner. On a non-SIMD bench host the ratio
 //!    is `null` and the check reduces to schema presence.
+//! 6. **Constellation shard scaling** — reads
+//!    `BENCH_constellation.json` and holds its committed
+//!    `scaling.modeled_ratio` (the Amdahl bound from the serial run's
+//!    shard-busy vs coordinator-serial split) to `--scaling-min`, with
+//!    the *measured* multi-shard/1-shard frames-per-second ratio held to
+//!    the same bar only when the artefact's `host_parallelism` shows the
+//!    bench host actually had ≥ 8 cores (the check-4 discipline, one
+//!    layer up). The artefact must also demonstrate the acceptance
+//!    scale — ≥ 4 satellites and ≥ 2 M terminal-equivalent offered load
+//!    — and its quarantine replay must show `voice_dropped` of exactly
+//!    0. A live serial-vs-threaded smoke re-asserts bitwise report
+//!    identity in the current tree.
 //!
 //! Usage: `perf_gate [--baseline PATH] [--traffic-baseline PATH]
-//! [--fdir-baseline PATH] [--frames N] [--traffic-frames N]
-//! [--fdir-frames N] [--factor F] [--scaling-min R] [--kernel-min R]
-//! [--esn0 DB]` (defaults: `BENCH_payload.json`, `BENCH_traffic.json`,
-//! `BENCH_fdir.json`, 8 pipeline frames, 256 traffic frames, 768 fdir
-//! frames, 1.5, 2.5, 1.5, 12 dB).
+//! [--fdir-baseline PATH] [--constellation-baseline PATH] [--frames N]
+//! [--traffic-frames N] [--fdir-frames N] [--factor F] [--scaling-min R]
+//! [--kernel-min R] [--esn0 DB]` (defaults: `BENCH_payload.json`,
+//! `BENCH_traffic.json`, `BENCH_fdir.json`, `BENCH_constellation.json`,
+//! 8 pipeline frames, 256 traffic frames, 768 fdir frames, 1.5, 2.5,
+//! 1.5, 12 dB).
 
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
@@ -367,7 +380,128 @@ fn main() {
         kernels_ok = false;
     }
 
-    if !(pipeline_ok && traffic_ok && fdir_ok && scaling_ok && kernels_ok) {
+    // Check 6: constellation shard scaling, scale floor and quarantine
+    // losslessness — all from the committed artefact, plus a live
+    // determinism smoke.
+    let constellation_baseline_path = arg_value("--constellation-baseline")
+        .unwrap_or_else(|| "BENCH_constellation.json".to_string());
+    let mut constellation_ok = true;
+    let cdoc = match std::fs::read_to_string(&constellation_baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read baseline {constellation_baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match baseline_number(&cdoc, "modeled_ratio") {
+        Some(modeled) => {
+            println!(
+                "perf_gate: constellation modeled_ratio {modeled:.2}x vs minimum \
+                 {scaling_min:.1}x (committed artefact)"
+            );
+            if modeled < scaling_min {
+                eprintln!(
+                    "perf_gate: FAIL — committed modeled shard-scaling ratio below \
+                     {scaling_min:.1}x; the coordinator's serial span has grown"
+                );
+                constellation_ok = false;
+            }
+        }
+        None => {
+            eprintln!(
+                "perf_gate: no scaling.modeled_ratio in {constellation_baseline_path} — \
+                 rerun bench_constellation without --no-wall"
+            );
+            constellation_ok = false;
+        }
+    }
+    let constellation_cores = baseline_number(&cdoc, "host_parallelism").unwrap_or(1.0);
+    match baseline_number(&cdoc, "measured_ratio") {
+        Some(measured) if constellation_cores >= 8.0 => {
+            println!(
+                "perf_gate: constellation measured_ratio {measured:.2}x vs minimum \
+                 {scaling_min:.1}x (bench host had {constellation_cores:.0} cores)"
+            );
+            if measured < scaling_min {
+                eprintln!(
+                    "perf_gate: FAIL — committed measured shard-scaling ratio below \
+                     {scaling_min:.1}x on a {constellation_cores:.0}-core bench host"
+                );
+                constellation_ok = false;
+            }
+        }
+        Some(measured) => {
+            println!(
+                "perf_gate: constellation measured_ratio {measured:.2}x recorded on a \
+                 {constellation_cores:.0}-core host — wall-clock check skipped (needs >= 8 cores)"
+            );
+        }
+        None => {
+            eprintln!("perf_gate: no scaling.measured_ratio in {constellation_baseline_path}");
+            constellation_ok = false;
+        }
+    }
+    // Acceptance scale: the largest committed sweep point must reach
+    // >= 4 satellites and >= 2M terminal-equivalent offered load.
+    let max_terminals = {
+        let mut max = 0.0f64;
+        let mut rest = cdoc.as_str();
+        while let Some(at) = rest.find("\"terminals_total\":") {
+            let tail = &rest[at..];
+            if let Some(v) = baseline_number(tail, "terminals_total") {
+                max = max.max(v);
+            }
+            rest = &tail["\"terminals_total\":".len()..];
+        }
+        max
+    };
+    let committed_sats = baseline_number(&cdoc, "satellites").unwrap_or(0.0);
+    println!(
+        "perf_gate: constellation scale {committed_sats:.0} satellites, \
+         {max_terminals:.0} terminal-equivalents (floors: 4, 2000000)"
+    );
+    if committed_sats < 4.0 || max_terminals < 2_000_000.0 {
+        eprintln!("perf_gate: FAIL — committed constellation artefact below the acceptance scale");
+        constellation_ok = false;
+    }
+    match baseline_number(&cdoc, "voice_dropped") {
+        Some(0.0) => {
+            println!("perf_gate: constellation quarantine voice_dropped 0 (lossless reroute)");
+        }
+        Some(v) => {
+            eprintln!(
+                "perf_gate: FAIL — quarantine replay dropped {v:.0} voice packets; \
+                 whole-satellite reroute must be lossless for the strict class"
+            );
+            constellation_ok = false;
+        }
+        None => {
+            eprintln!("perf_gate: no quarantine.voice_dropped in {constellation_baseline_path}");
+            constellation_ok = false;
+        }
+    }
+    // Live smoke: serial and threaded runs of the current tree must
+    // still produce bitwise-identical reports.
+    {
+        let smoke = |threads: usize| {
+            let mut cfg = gsp_constellation::ConstellationConfig::standard(3, 1.0);
+            cfg.shard_threads = threads;
+            let mut engine = gsp_constellation::ConstellationEngine::new(cfg, seed);
+            engine.run(32);
+            engine.report()
+        };
+        if smoke(1) == smoke(2) {
+            println!("perf_gate: constellation live determinism smoke OK (1 vs 2 shard threads)");
+        } else {
+            eprintln!(
+                "perf_gate: FAIL — serial and threaded constellation runs diverged; \
+                 the shard merge order is no longer deterministic"
+            );
+            constellation_ok = false;
+        }
+    }
+
+    if !(pipeline_ok && traffic_ok && fdir_ok && scaling_ok && kernels_ok && constellation_ok) {
         std::process::exit(1);
     }
     println!("perf_gate: OK");

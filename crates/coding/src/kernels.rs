@@ -663,17 +663,49 @@ pub fn active() -> TrellisKernelHandle {
     for_backend(selection().backend)
 }
 
-/// Registers this crate's kernels on `reg` with the process-wide selection.
+/// The auto-dispatched handle for the **max-log-MAP** kernels
+/// (`map_forward` / `map_backward` / `map_extrinsic`, i.e. the
+/// [`crate::TurboDecoder`] hot loops).
+///
+/// The 8-state MAP recursions are too short for AVX2 to pay off: the
+/// committed bench matrix pins `coding.turbo` at an honest 0.83x, so under
+/// a *non-forced* `auto` selection this resolves to the scalar backend
+/// even on AVX2 hosts. A forced `GSP_KERNEL_BACKEND=scalar|simd` still
+/// binds every kernel — including these — so the per-backend CI matrix and
+/// the bitwise equivalence tests exercise both implementations unchanged.
+pub fn map_active() -> TrellisKernelHandle {
+    let sel = selection();
+    if sel.forced {
+        for_backend(sel.backend)
+    } else {
+        &SCALAR
+    }
+}
+
+/// Why [`map_active`] resolved the way it did (mirrors the registry row).
+fn map_reason(sel: gsp_kernels::Selection) -> &'static str {
+    if sel.forced {
+        sel.reason
+    } else {
+        "auto: scalar preferred for 8-state max-log-MAP (SIMD measured 0.83x)"
+    }
+}
+
+/// Registers this crate's kernels on `reg`: the Viterbi kernels follow the
+/// process-wide selection; the MAP kernels follow [`map_active`]'s
+/// per-kernel dispatch (scalar under non-forced `auto`).
 pub fn register(reg: &mut KernelRegistry) {
     let sel = selection();
+    for name in ["coding.viterbi_bm", "coding.viterbi_acs"] {
+        reg.register(name, sel.backend, sel.reason);
+    }
+    let map_backend = map_active().backend();
     for name in [
-        "coding.viterbi_bm",
-        "coding.viterbi_acs",
         "coding.map_forward",
         "coding.map_backward",
         "coding.map_extrinsic",
     ] {
-        reg.register(name, sel.backend, sel.reason);
+        reg.register(name, map_backend, map_reason(sel));
     }
 }
 
@@ -798,5 +830,34 @@ mod tests {
                 assert_eq!(dec_a, dec_b, "decisions n={n_states} limit={limit}");
             }
         }
+    }
+
+    #[test]
+    fn map_auto_dispatch_prefers_scalar_unless_forced() {
+        let sel = selection();
+        let map = map_active().backend();
+        if sel.forced {
+            assert_eq!(
+                map, sel.backend,
+                "a forced backend must bind the MAP kernels"
+            );
+        } else {
+            assert_eq!(
+                map,
+                Backend::Scalar,
+                "auto must pick scalar for max-log-MAP"
+            );
+        }
+        // The registry rows agree with the dispatched handles.
+        let mut reg = KernelRegistry::new();
+        register(&mut reg);
+        assert_eq!(reg.backend_for("coding.map_forward"), Some(map));
+        assert_eq!(reg.backend_for("coding.map_backward"), Some(map));
+        assert_eq!(reg.backend_for("coding.map_extrinsic"), Some(map));
+        assert_eq!(
+            reg.backend_for("coding.viterbi_acs"),
+            Some(sel.backend),
+            "Viterbi keeps the process-wide selection"
+        );
     }
 }

@@ -1,0 +1,189 @@
+//! The beam-to-gateway routing table and its reconvergence rules.
+//!
+//! The constellation's address space is the set of **global beams**
+//! `0 .. satellites × beams_per_sat`; satellite `s` natively owns beams
+//! `s·B .. (s+1)·B`. The table maps every global beam to its *current*
+//! owning satellite (handover and quarantine move ownership) and to the
+//! ground **gateway** its downlink lands on (a static property of the
+//! antenna grid).
+//!
+//! Reconvergence is deterministic plain bookkeeping: quarantining a
+//! satellite marks it dead and reassigns its beams round-robin across
+//! the surviving satellites in ascending index order, so every replica
+//! of the table converges to the same assignment.
+
+/// The constellation routing state: beam ownership, gateway mapping and
+/// satellite liveness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutingTable {
+    beams_per_sat: usize,
+    gateways: usize,
+    /// Global beam → owning satellite.
+    owner: Vec<usize>,
+    /// Satellite liveness (false = quarantined out of the constellation).
+    alive: Vec<bool>,
+}
+
+impl RoutingTable {
+    /// The identity table: every satellite alive, owning its native
+    /// beams.
+    pub fn new(satellites: usize, beams_per_sat: usize, gateways: usize) -> Self {
+        assert!(satellites > 0 && beams_per_sat > 0 && gateways > 0);
+        RoutingTable {
+            beams_per_sat,
+            gateways,
+            owner: (0..satellites * beams_per_sat)
+                .map(|g| g / beams_per_sat)
+                .collect(),
+            alive: vec![true; satellites],
+        }
+    }
+
+    /// Total global beams.
+    pub fn n_beams(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The satellite currently serving global beam `g`.
+    pub fn owner(&self, g: u64) -> usize {
+        self.owner[g as usize]
+    }
+
+    /// The gateway global beam `g`'s downlink lands on (static).
+    pub fn gateway(&self, g: u64) -> usize {
+        g as usize % self.gateways
+    }
+
+    /// Gateways in the ground segment.
+    pub fn gateways(&self) -> usize {
+        self.gateways
+    }
+
+    /// Is satellite `sat` still in service?
+    pub fn alive(&self, sat: usize) -> bool {
+        self.alive[sat]
+    }
+
+    /// Satellites still in service.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The global beams satellite `sat` currently owns, ascending.
+    pub fn owned_beams(&self, sat: usize) -> Vec<u64> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == sat)
+            .map(|(g, _)| g as u64)
+            .collect()
+    }
+
+    /// Where traffic addressed to satellite `sat` should actually go:
+    /// `sat` itself while alive, otherwise the next surviving satellite
+    /// in cyclic index order.
+    ///
+    /// # Panics
+    /// Panics when no satellite is alive.
+    pub fn route_sat(&self, sat: usize) -> usize {
+        let n = self.alive.len();
+        for k in 0..n {
+            let s = (sat + k) % n;
+            if self.alive[s] {
+                return s;
+            }
+        }
+        panic!("routing table has no surviving satellite");
+    }
+
+    /// Re-points one beam at a new owner (the handover bookkeeping).
+    ///
+    /// # Panics
+    /// Panics when `to` is not alive.
+    pub fn set_owner(&mut self, g: u64, to: usize) {
+        assert!(self.alive[to], "cannot hand a beam to a dead satellite");
+        self.owner[g as usize] = to;
+    }
+
+    /// Marks `sat` dead and reconverges: its beams are reassigned
+    /// round-robin across the survivors in ascending index order.
+    /// Returns the reassignments `(global beam, new owner)` in beam
+    /// order.
+    ///
+    /// # Panics
+    /// Panics when `sat` is the last survivor.
+    pub fn quarantine(&mut self, sat: usize) -> Vec<(u64, usize)> {
+        assert!(self.alive[sat], "satellite already quarantined");
+        self.alive[sat] = false;
+        assert!(
+            self.alive_count() > 0,
+            "cannot quarantine the last surviving satellite"
+        );
+        let survivors: Vec<usize> = (0..self.alive.len()).filter(|&s| self.alive[s]).collect();
+        let beams = self.owned_beams(sat);
+        let mut out = Vec::with_capacity(beams.len());
+        for (i, &g) in beams.iter().enumerate() {
+            let to = survivors[i % survivors.len()];
+            self.owner[g as usize] = to;
+            out.push((g, to));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_table_owns_native_beams() {
+        let t = RoutingTable::new(4, 6, 3);
+        assert_eq!(t.n_beams(), 24);
+        assert_eq!(t.owner(0), 0);
+        assert_eq!(t.owner(7), 1);
+        assert_eq!(t.owner(23), 3);
+        assert_eq!(t.gateway(7), 1);
+        assert_eq!(t.owned_beams(2), vec![12, 13, 14, 15, 16, 17]);
+        assert_eq!(t.route_sat(2), 2);
+    }
+
+    #[test]
+    fn quarantine_reconverges_round_robin_over_survivors() {
+        let mut t = RoutingTable::new(4, 6, 3);
+        let moved = t.quarantine(1);
+        assert!(!t.alive(1));
+        assert_eq!(t.alive_count(), 3);
+        // Beams 6..12 land on survivors 0, 2, 3 round-robin.
+        assert_eq!(
+            moved,
+            vec![(6, 0), (7, 2), (8, 3), (9, 0), (10, 2), (11, 3)]
+        );
+        assert!(t.owned_beams(1).is_empty());
+        // Traffic addressed to the dead satellite reroutes to the next
+        // survivor cyclically.
+        assert_eq!(t.route_sat(1), 2);
+        let mut t2 = t.clone();
+        let moved2 = t2.quarantine(2);
+        assert_eq!(t2.route_sat(1), 3);
+        assert_eq!(t2.route_sat(2), 3);
+        // Sat 2's native beams plus its inherited ones all move.
+        assert_eq!(moved2.len(), 6 + 2);
+    }
+
+    #[test]
+    fn handover_set_owner_moves_one_beam() {
+        let mut t = RoutingTable::new(2, 3, 2);
+        t.set_owner(1, 1);
+        assert_eq!(t.owner(1), 1);
+        assert_eq!(t.owned_beams(0), vec![0, 2]);
+        assert_eq!(t.owned_beams(1), vec![1, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead satellite")]
+    fn beams_cannot_be_handed_to_the_dead() {
+        let mut t = RoutingTable::new(2, 3, 2);
+        t.quarantine(1);
+        t.set_owner(0, 1);
+    }
+}

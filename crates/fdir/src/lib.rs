@@ -39,5 +39,5 @@ pub use harness::{FdirHarness, HarnessConfig, SoakReport};
 pub use inject::{Fault, FaultInjector, FaultKind, InjectorConfig};
 pub use recovery::{ReconfigUplink, UplinkOutcome};
 pub use supervisor::{
-    DetectorReadout, Health, RecoveryAction, RecoveryMode, Supervisor, SupervisorConfig,
+    DetectorReadout, Health, RecoveryAction, RecoveryMode, Supervisor, SupervisorConfig, Transition,
 };

@@ -74,6 +74,13 @@ pub struct Selection {
     pub backend: Backend,
     /// Human-readable provenance (forced by env, feature-detected, …).
     pub reason: &'static str,
+    /// `true` when the backend was forced via `GSP_KERNEL_BACKEND=scalar`
+    /// or `=simd`. A forced backend binds *every* kernel (the equivalence
+    /// test matrix depends on this); under `auto` a provider may override
+    /// the selection per kernel where the measured speedup says otherwise
+    /// (e.g. the max-log-MAP kernels, where SIMD ships at an honest
+    /// 0.83x — see `gsp_coding::kernels::map_active`).
+    pub forced: bool,
 }
 
 fn auto_selection() -> Selection {
@@ -81,11 +88,13 @@ fn auto_selection() -> Selection {
         Selection {
             backend: Backend::Simd,
             reason: "auto: AVX2 detected",
+            forced: false,
         }
     } else {
         Selection {
             backend: Backend::Scalar,
             reason: "auto: AVX2 unavailable, portable fallback",
+            forced: false,
         }
     }
 }
@@ -96,6 +105,7 @@ fn detect_selection() -> Selection {
             "scalar" => Selection {
                 backend: Backend::Scalar,
                 reason: "forced by GSP_KERNEL_BACKEND=scalar",
+                forced: true,
             },
             "simd" => {
                 assert!(
@@ -106,6 +116,7 @@ fn detect_selection() -> Selection {
                 Selection {
                     backend: Backend::Simd,
                     reason: "forced by GSP_KERNEL_BACKEND=simd",
+                    forced: true,
                 }
             }
             "auto" | "" => auto_selection(),
@@ -199,6 +210,12 @@ mod tests {
             assert!(simd_available());
         }
         assert!(!sel.reason.is_empty());
+        // `forced` tracks the env override exactly.
+        let env = std::env::var(BACKEND_ENV).map(|v| v.to_ascii_lowercase());
+        match env.ok().as_deref() {
+            Some("scalar") | Some("simd") => assert!(sel.forced),
+            _ => assert!(!sel.forced),
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::switch::PacketSwitch;
 use gsp_modem::tdma::TimingRecoveryKind;
 
 /// Chain configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ChainConfig {
     /// Channelizer size (power of two).
     pub channels: usize,

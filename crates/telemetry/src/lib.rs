@@ -146,9 +146,17 @@ enum Metric {
 /// disabled plane. Cloning shares the same metric set (the registry is
 /// an `Arc` internally), so an engine and an exporter can hold the same
 /// registry without lifetimes.
+///
+/// [`Registry::scoped`] derives a view that shares the same metric map
+/// but prepends a prefix to every name it registers — how N constellation
+/// shards report through one registry without colliding on names like
+/// `traffic.beam0.delivered`. The root registry has an empty prefix, so
+/// single-payload metric names are unchanged.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
     inner: Option<Arc<Mutex<BTreeMap<String, Metric>>>>,
+    /// Prepended verbatim to every registered name (empty at the root).
+    prefix: String,
 }
 
 impl Registry {
@@ -156,17 +164,43 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             inner: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+            prefix: String::new(),
         }
     }
 
     /// A disabled registry: every handle it hands out is a no-op.
     pub fn noop() -> Self {
-        Registry { inner: None }
+        Registry {
+            inner: None,
+            prefix: String::new(),
+        }
     }
 
     /// Is this registry recording?
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A view onto the same metric map that registers every name under
+    /// `prefix` (prepended verbatim — include the trailing separator,
+    /// e.g. `"sat3."`). Scopes nest: `reg.scoped("sat3.").scoped("isl.")`
+    /// registers under `sat3.isl.`. Scoping a no-op registry stays no-op,
+    /// and snapshots taken from any scope cover the whole shared map.
+    pub fn scoped(&self, prefix: &str) -> Registry {
+        Registry {
+            inner: self.inner.clone(),
+            prefix: format!("{}{}", self.prefix, prefix),
+        }
+    }
+
+    /// The accumulated name prefix of this scope (empty at the root).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The full registered name for `name` in this scope.
+    fn full_name(&self, name: &str) -> String {
+        format!("{}{}", self.prefix, name)
     }
 
     /// Returns the counter registered under `name`, creating it on first
@@ -178,9 +212,10 @@ impl Registry {
         let Some(inner) = &self.inner else {
             return Counter::noop();
         };
+        let name = self.full_name(name);
         let mut map = inner.lock().unwrap();
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| {
                 Metric::Counter(Counter {
                     cell: Some(Arc::new(AtomicU64::new(0))),
@@ -201,9 +236,10 @@ impl Registry {
         let Some(inner) = &self.inner else {
             return Gauge::noop();
         };
+        let name = self.full_name(name);
         let mut map = inner.lock().unwrap();
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| {
                 Metric::Gauge(Gauge {
                     cell: Some(Arc::new(AtomicU64::new(0f64.to_bits()))),
@@ -237,9 +273,10 @@ impl Registry {
         let Some(inner) = &self.inner else {
             return Histogram::noop();
         };
+        let name = self.full_name(name);
         let mut map = inner.lock().unwrap();
         match map
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
             .clone()
         {
@@ -327,6 +364,41 @@ mod tests {
         let snap = reg.snapshot();
         let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn scoped_registries_share_the_map_under_a_prefix() {
+        let reg = Registry::new();
+        reg.counter("traffic.frames").add(7);
+        let sat0 = reg.scoped("sat0.");
+        let sat1 = reg.scoped("sat1.");
+        sat0.counter("traffic.frames").add(1);
+        sat1.counter("traffic.frames").add(2);
+        // No collision: three distinct metrics in one shared map.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("traffic.frames"), 7);
+        assert_eq!(snap.counter("sat0.traffic.frames"), 1);
+        assert_eq!(snap.counter("sat1.traffic.frames"), 2);
+        // The scope sees the same cell as a root registration of the
+        // full name, and snapshots from a scope cover the whole map.
+        assert_eq!(reg.counter("sat0.traffic.frames").get(), 1);
+        assert_eq!(sat0.snapshot().entries.len(), 3);
+        assert_eq!(sat0.prefix(), "sat0.");
+        assert_eq!(reg.prefix(), "");
+    }
+
+    #[test]
+    fn scopes_nest_and_noop_scopes_stay_noop() {
+        let reg = Registry::new();
+        let inner = reg.scoped("sat2.").scoped("isl.");
+        inner.counter("out").inc();
+        assert_eq!(reg.snapshot().counter("sat2.isl.out"), 1);
+
+        let dead = Registry::noop().scoped("sat0.");
+        assert!(!dead.enabled());
+        let c = dead.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
     }
 
     #[test]

@@ -46,6 +46,27 @@ pub struct GrantOutcome {
     pub requested: usize,
 }
 
+/// One aggregate's backlog lifted out of the loop for a handover —
+/// opaque: the queued cohorts and the aggregate's class travel together
+/// (see [`DamaLoop::extract_aggregates`]).
+#[derive(Clone, Debug)]
+pub struct AggregateBacklog {
+    class: usize,
+    cohorts: VecDeque<Cohort>,
+}
+
+impl AggregateBacklog {
+    /// Packets awaiting a grant in this backlog.
+    pub fn packets(&self) -> usize {
+        self.cohorts.iter().map(|c| c.pkts.len()).sum()
+    }
+
+    /// The carried aggregate's QoS class.
+    pub fn class(&self) -> usize {
+        self.class
+    }
+}
+
 /// The closed-loop DAMA layer: backlog, aging, request generation and
 /// grant release around a [`DamaScheduler`].
 #[derive(Clone, Debug)]
@@ -59,6 +80,11 @@ pub struct DamaLoop {
     priority: Vec<u8>,
     /// Per-aggregate backlog, oldest cohort first.
     backlog: Vec<VecDeque<Cohort>>,
+    /// Per-aggregate QoS class. Positions 0..n start as `i % n_classes`;
+    /// handover extraction/injection keeps this aligned with the
+    /// population's aggregate order, so the mapping is explicit rather
+    /// than positional.
+    class: Vec<usize>,
     /// Injected grant-table fault: while set, every plan the scheduler
     /// emits is corrupted before validation (see `gsp-fdir`).
     grant_fault: bool,
@@ -76,9 +102,42 @@ impl DamaLoop {
             max_age: cfg.classes.iter().map(|c| c.max_age).collect(),
             priority: cfg.classes.iter().map(|c| c.priority).collect(),
             backlog: (0..cfg.n_aggregates()).map(|_| VecDeque::new()).collect(),
+            class: (0..cfg.n_aggregates())
+                .map(|i| i % cfg.n_classes())
+                .collect(),
             grant_fault: false,
             grant_faults_detected: 0,
         }
+    }
+
+    /// Aggregates (backlog queues) currently tracked.
+    pub fn aggregate_count(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Removes the backlogs at `positions` (ascending, as returned by
+    /// `Population::extract_home_beam`), preserving their relative order
+    /// — the DAMA half of a beam handover. Queued packets travel with
+    /// the aggregates; nothing is dropped or re-aged.
+    pub fn extract_aggregates(&mut self, positions: &[usize]) -> Vec<AggregateBacklog> {
+        let mut out = Vec::with_capacity(positions.len());
+        for &p in positions.iter().rev() {
+            out.push(AggregateBacklog {
+                class: self.class.remove(p),
+                cohorts: self.backlog.remove(p),
+            });
+        }
+        out.reverse();
+        out
+    }
+
+    /// Appends one migrated backlog at the end of the loop (the position
+    /// its population aggregate was appended at). Carried cohorts keep
+    /// their birth ticks, so grant latency keeps accruing across the
+    /// handover.
+    pub fn inject_aggregate(&mut self, b: AggregateBacklog) {
+        self.class.push(b.class);
+        self.backlog.push(b.cohorts);
     }
 
     /// Imposes a persistent grant-table fault: from the next frame on,
@@ -101,10 +160,10 @@ impl DamaLoop {
         self.grant_faults_detected
     }
 
-    /// The class an aggregate index belongs to.
+    /// The class an aggregate position belongs to.
     #[inline]
     fn class_of(&self, aggregate: usize) -> usize {
-        aggregate % self.n_classes
+        self.class[aggregate]
     }
 
     /// Queues freshly generated packets as one cohort per aggregate.
@@ -351,6 +410,34 @@ mod tests {
         assert_eq!(out.released.len(), 6);
         assert!(out.released.iter().all(|(_, lat)| *lat == 3));
         assert_eq!(d.grant_faults_detected(), 3);
+    }
+
+    #[test]
+    fn extracted_backlogs_reinject_with_class_and_age_intact() {
+        let c = cfg();
+        let mut a = DamaLoop::new(&c);
+        let mut b = DamaLoop::new(&c);
+        // Aggregate 5 is (beam 1, class 2); queue packets at tick 0 and
+        // never grant them (tiny engine: no run_frame on `a`).
+        offer_n(&mut a, 0, 5, 9, c.n_classes());
+        let moved = a.extract_aggregates(&[3, 4, 5]);
+        assert_eq!(moved.len(), 3);
+        assert_eq!(moved[2].class(), 2);
+        assert_eq!(moved[2].packets(), 9);
+        assert_eq!(a.backlog_len(), 0);
+        assert_eq!(a.aggregate_count(), c.n_aggregates() - 3);
+        for m in moved {
+            b.inject_aggregate(m);
+        }
+        assert_eq!(b.aggregate_count(), c.n_aggregates() + 3);
+        assert_eq!(b.class_backlog(2), 9);
+        // Granted on the destination with the accrued latency.
+        let out = b.run_frame(4);
+        assert_eq!(out.released.len(), 9);
+        assert!(out
+            .released
+            .iter()
+            .all(|(p, lat)| p.class == 2 && *lat == 4));
     }
 
     #[test]

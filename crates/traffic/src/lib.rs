@@ -38,7 +38,10 @@ pub mod dama;
 pub mod engine;
 pub mod population;
 
-pub use engine::{BeamOutage, ClassCounters, TrafficEngine, TrafficStats, TrafficSummary};
+pub use engine::{
+    BeamMigration, BeamOutage, ClassCounters, IslConfig, TrafficEngine, TrafficStats,
+    TrafficSummary,
+};
 
 use gsp_modem::framing::MfTdmaFrame;
 use gsp_payload::switch::{ClassConfig, QosConfig};

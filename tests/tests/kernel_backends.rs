@@ -219,9 +219,23 @@ fn registry_and_forced_handles_are_consistent() {
     ] {
         assert!(names.contains(&expected), "registry lacks {expected}");
     }
-    let selected = cpx_kernels::selection().backend;
+    // Viterbi and complex-sample kernels follow the process selection;
+    // the MAP kernels auto-dispatch per kernel (scalar unless forced —
+    // SIMD's 8-state max-log-MAP ships at an honest 0.83x).
+    let sel = cpx_kernels::selection();
+    let map_expected = trellis_kernels::map_active().backend();
+    if sel.forced {
+        assert_eq!(map_expected, sel.backend, "forced env must bind MAP too");
+    } else {
+        assert_eq!(map_expected, Backend::Scalar, "auto must prefer scalar MAP");
+    }
     for e in reg.entries() {
-        assert_eq!(e.backend, selected, "{} disagrees with selection", e.name);
+        let expected = if e.name.starts_with("coding.map_") {
+            map_expected
+        } else {
+            sel.backend
+        };
+        assert_eq!(e.backend, expected, "{} disagrees with dispatch", e.name);
     }
     assert_eq!(
         cpx_kernels::for_backend(Backend::Scalar).backend(),
