@@ -32,39 +32,9 @@
 //! (defaults: satellites `2,4`, threads `1,2,4`, loads `1.0`, 256
 //! frames, `GSP_SEED`, `BENCH_constellation.json`).
 
+use gsp_bench::report::{arg_flag, arg_list, arg_value, jf, write_artifact};
 use gsp_constellation::{ConstellationConfig, ConstellationEngine, ConstellationReport};
 use std::time::Instant;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
-fn arg_list(name: &str, default: &str) -> Vec<String> {
-    arg_value(name)
-        .unwrap_or_else(|| default.to_string())
-        .split(',')
-        .map(|t| t.trim().to_string())
-        .filter(|t| !t.is_empty())
-        .collect()
-}
-
-/// Formats an `f64` as a JSON number token (finite inputs only;
-/// shortest-roundtrip `Display`, so the token is deterministic).
-fn jf(v: f64) -> String {
-    let s = format!("{v}");
-    if s.contains(['.', 'e', 'E']) {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
 
 /// One (satellites, load) point, run at one shard-thread count.
 struct RunOutcome {
@@ -245,9 +215,7 @@ fn main() {
     let seed: u64 = arg_value("--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(gsp_bench::seed_from_env);
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism = gsp_bench::report::host_parallelism();
 
     println!(
         "constellation soak: {frames} frames per point, seed {seed}, \
@@ -360,9 +328,5 @@ fn main() {
          \"sweep\":[\n{}\n]}}\n",
         sweep_rows.join(",\n")
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    println!("\nwrote {out_path} ({} bytes)", json.len());
+    write_artifact(&out_path, &json);
 }

@@ -19,35 +19,9 @@
 //! Usage: `bench_fdir [--frames N] [--seed N] [--out PATH]`
 //! (defaults: 768 frames, `GSP_SEED`, `BENCH_fdir.json`).
 
+use gsp_bench::report::{arg_value, jf, metrics_array, write_artifact};
 use gsp_fdir::{FdirHarness, HarnessConfig, RecoveryMode, SoakReport};
 use gsp_telemetry::{Registry, Snapshot};
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Formats an `f64` as a JSON number token (finite inputs only;
-/// shortest-roundtrip `Display`, so the token is deterministic).
-fn jf(v: f64) -> String {
-    let s = format!("{v}");
-    if s.contains(['.', 'e', 'E']) {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// Renders `snapshot.to_json()`'s `"metrics"` array without the
-/// enclosing document, for embedding in sweep entries.
-fn metrics_array(snapshot: &Snapshot) -> String {
-    let doc = snapshot.to_json();
-    let start = doc.find('[').expect("metrics array");
-    let end = doc.rfind(']').expect("metrics array");
-    doc[start..=end].to_string()
-}
 
 struct SweepPoint {
     mode: RecoveryMode,
@@ -174,17 +148,11 @@ fn main() {
     print!("{}", base.snapshot.to_table());
 
     let sweep_json: Vec<String> = points.iter().map(|p| point_json(p, seed)).collect();
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism = gsp_bench::report::host_parallelism();
     let json = format!(
         "{{\"host_parallelism\":{host_parallelism},\"seed\":{seed},\n\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    println!("\nwrote {out_path} ({} bytes)", json.len());
+    write_artifact(&out_path, &json);
 }

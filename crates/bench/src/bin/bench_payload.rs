@@ -38,6 +38,7 @@
 //! (`"host_parallelism"` records what this run had, and `perf_gate`
 //! conditions its measured-ratio check on it).
 
+use gsp_bench::report::{arg_value, jf, metrics_array, write_artifact};
 use gsp_coding::{kernels as trellis_kernels, ConvCode, TurboCode, TurboDecoder, ViterbiDecoder};
 use gsp_dsp::fft::Fft;
 use gsp_dsp::kernels::{self as cpx_kernels, Backend, CpxKernelHandle};
@@ -49,13 +50,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use std::time::Instant;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
 
 /// One worker-sweep measurement.
 struct SweepPoint {
@@ -74,25 +68,6 @@ impl SweepPoint {
     fn label(&self) -> String {
         format!("workers={}", self.requested)
     }
-}
-
-/// Formats an `f64` as a JSON number token (finite inputs only here).
-fn jf(v: f64) -> String {
-    let s = format!("{v}");
-    if s.contains(['.', 'e', 'E']) {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// Renders `snapshot.to_json()`'s `"metrics"` array without the
-/// enclosing document, for embedding in sweep entries.
-fn metrics_array(snapshot: &Snapshot) -> String {
-    let doc = snapshot.to_json();
-    let start = doc.find('[').expect("metrics array");
-    let end = doc.rfind(']').expect("metrics array");
-    doc[start..=end].to_string()
 }
 
 /// Per-frame serial and parallelizable stage nanoseconds of a sweep
@@ -359,9 +334,7 @@ fn main() {
     println!("\nhousekeeping ({}):", base.label());
     print!("{}", base.snapshot.to_table());
 
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism = gsp_bench::report::host_parallelism();
     let top = points.last().expect("nonempty sweep");
     let measured_ratio = top.frames_per_sec / base.frames_per_sec.max(1e-12);
     let (serial_pf, parallel_pf) = stage_split(base).unwrap_or((0.0, 0.0));
@@ -506,9 +479,5 @@ fn main() {
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    println!("\nwrote {out_path} ({} bytes)", json.len());
+    write_artifact(&out_path, &json);
 }

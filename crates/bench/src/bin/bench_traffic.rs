@@ -17,15 +17,9 @@
 //! [--out PATH]` (defaults: `0.5,1.0,2.0`, 256 frames, `GSP_SEED`,
 //! `BENCH_traffic.json`).
 
+use gsp_bench::report::{arg_value, jf, metrics_array, write_artifact};
 use gsp_telemetry::{Registry, Snapshot};
 use gsp_traffic::{TrafficConfig, TrafficEngine};
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
 
 /// One load point of the sweep.
 struct LoadPoint {
@@ -38,26 +32,6 @@ impl LoadPoint {
     fn label(&self) -> String {
         format!("load={}", jf(self.load))
     }
-}
-
-/// Formats an `f64` as a JSON number token (finite inputs only here;
-/// shortest-roundtrip `Display`, so the token is deterministic).
-fn jf(v: f64) -> String {
-    let s = format!("{v}");
-    if s.contains(['.', 'e', 'E']) {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// Renders `snapshot.to_json()`'s `"metrics"` array without the
-/// enclosing document, for embedding in sweep entries.
-fn metrics_array(snapshot: &Snapshot) -> String {
-    let doc = snapshot.to_json();
-    let start = doc.find('[').expect("metrics array");
-    let end = doc.rfind(']').expect("metrics array");
-    doc[start..=end].to_string()
 }
 
 fn run_point(load: f64, frames: u64, seed: u64) -> LoadPoint {
@@ -175,17 +149,11 @@ fn main() {
             )
         })
         .collect();
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism = gsp_bench::report::host_parallelism();
     let json = format!(
         "{{\"host_parallelism\":{host_parallelism},\"seed\":{seed},\n\"metrics\":{},\n\"sweep\":[\n{}\n]}}\n",
         metrics_array(&base.snapshot),
         sweep_json.join(",\n")
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    println!("\nwrote {out_path} ({} bytes)", json.len());
+    write_artifact(&out_path, &json);
 }

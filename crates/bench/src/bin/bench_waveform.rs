@@ -1,0 +1,194 @@
+//! Live hot-swap benchmark: runs a batch of in-orbit waveform exchanges
+//! under load (the `waveform_swap_soak` scenario — FDIR harness offering
+//! 1.0× traffic and injecting SEUs while the carrier swaps CDMA↔MF-TDMA),
+//! and writes `BENCH_waveform.json` with service interruption as a
+//! *distribution*: per-swap interruption_ms, its p50/p99, peak frames in
+//! flight during the window, and the voice packets dropped anywhere in
+//! any event (the committed artefact pins this at 0).
+//!
+//! One extra event scripts a waveform-processor fault mid-window, so the
+//! rollback path's interruption cost is committed alongside the commit
+//! path's.
+//!
+//! Every number is simulated time or a packet count — deterministic in
+//! `(config, seed)` — so the artefact is byte-identical across runs by
+//! construction, except the `"host_parallelism"` header, which
+//! `--no-wall` strips for the CI byte-identity check. `perf_gate`
+//! check 7 ratchets the committed interruption p50.
+//!
+//! Usage: `bench_waveform [--events N] [--frames N] [--no-wall]
+//! [--out PATH]` (defaults: 8 events, 64 frames each, `GSP_SEED`,
+//! `BENCH_waveform.json`).
+
+use gsp_bench::report::{arg_flag, arg_value, host_field, jf, write_artifact};
+use gsp_core::scenario::{waveform_swap_soak, WaveformSwapSoakConfig, WaveformSwapSoakOutcome};
+use gsp_waveform::WaveformDescriptor;
+
+/// One swap event of the batch.
+struct Event {
+    label: String,
+    outcome: WaveformSwapSoakOutcome,
+}
+
+/// Nearest-rank percentile of a pre-sorted slice (q in 0..=1).
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_event(i: u64, frames: u64, seed: u64, fault_at_step: Option<u64>) -> Event {
+    // Alternate the swap direction and stagger the quiesce tick so the
+    // batch samples both personalities' bring-up costs at different
+    // points of the traffic pattern.
+    let cdma_first = i.is_multiple_of(2);
+    let (from, to) = if cdma_first {
+        (
+            WaveformDescriptor::sumts_cdma(),
+            WaveformDescriptor::mf_tdma(),
+        )
+    } else {
+        (
+            WaveformDescriptor::mf_tdma(),
+            WaveformDescriptor::sumts_cdma(),
+        )
+    };
+    let cfg = WaveformSwapSoakConfig {
+        frames,
+        swap_at: frames / 4 + (i * 5) % (frames / 4),
+        from,
+        to,
+        load: 1.0,
+        seu_rate_multiplier: 3.0,
+        fault_at_step,
+    };
+    let outcome = waveform_swap_soak(&cfg, seed ^ (0x5EED_u64 << 12) ^ i);
+    Event {
+        label: format!(
+            "{}->{}{}",
+            cfg.from.name,
+            cfg.to.name,
+            if fault_at_step.is_some() {
+                " (fault)"
+            } else {
+                ""
+            }
+        ),
+        outcome,
+    }
+}
+
+fn event_json(e: &Event) -> String {
+    let s = &e.outcome.swap;
+    format!(
+        "{{\"label\":\"{}\",\"committed\":{},\"rolled_back\":{},\
+         \"interruption_ms\":{},\"window_ticks\":{},\"frames_in_flight\":{},\
+         \"replayed_frames\":{},\"trials\":{},\"trial_failures\":{},\
+         \"handover_packets\":{},\"handover_dropped\":{},\
+         \"uplink_sessions\":{},\"uplink_elapsed_ns\":{},\
+         \"voice_offered\":{},\"voice_delivered\":{},\"voice_dropped\":{}}}",
+        e.label,
+        s.committed,
+        s.rolled_back,
+        jf(s.interruption_ms()),
+        s.window_ticks,
+        s.frames_in_flight,
+        s.replayed_frames,
+        s.trials,
+        s.trial_failures,
+        s.handover_packets,
+        s.handover_dropped,
+        s.uplink.sessions,
+        s.uplink.elapsed_ns,
+        e.outcome.voice_offered,
+        e.outcome.voice_delivered,
+        e.outcome.voice_dropped,
+    )
+}
+
+fn main() {
+    let events: u64 = arg_value("--events")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let frames: u64 = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let no_wall = arg_flag("--no-wall");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_waveform.json".to_string());
+    let seed = gsp_bench::seed_from_env();
+    assert!(events >= 1, "--events needs at least one swap");
+    assert!(frames >= 16, "--frames too small for a swap window");
+
+    println!("waveform hot-swap bench: {events} swap events, {frames} frames each, seed {seed}");
+    let batch: Vec<Event> = (0..events)
+        .map(|i| {
+            let e = run_event(i, frames, seed, None);
+            let s = &e.outcome.swap;
+            println!(
+                "  {:<24} interruption {:>7.2} ms  window {:>2} ticks  in-flight {:>2}  voice drops {}",
+                e.label,
+                s.interruption_ms(),
+                s.window_ticks,
+                s.frames_in_flight,
+                e.outcome.voice_dropped,
+            );
+            assert!(s.committed, "a clean swap event failed to commit");
+            e
+        })
+        .collect();
+
+    // The scripted-fault event: rollback cost, measured the same way.
+    let rollback = run_event(0, frames, seed, Some(1));
+    let rs = &rollback.outcome.swap;
+    println!(
+        "  {:<24} interruption {:>7.2} ms  window {:>2} ticks  in-flight {:>2}  voice drops {}",
+        rollback.label,
+        rs.interruption_ms(),
+        rs.window_ticks,
+        rs.frames_in_flight,
+        rollback.outcome.voice_dropped,
+    );
+    assert!(rs.rolled_back, "the scripted fault event must roll back");
+
+    let mut interruptions: Vec<f64> = batch
+        .iter()
+        .map(|e| e.outcome.swap.interruption_ms())
+        .collect();
+    interruptions.sort_by(|a, b| a.partial_cmp(b).expect("finite interruption"));
+    let in_flight_max = batch
+        .iter()
+        .map(|e| e.outcome.swap.frames_in_flight)
+        .max()
+        .unwrap_or(0);
+    let voice_dropped: u64 = batch
+        .iter()
+        .chain(std::iter::once(&rollback))
+        .map(|e| e.outcome.voice_dropped)
+        .sum();
+    println!(
+        "\ninterruption p50 {:.2} ms  p99 {:.2} ms  peak in-flight {}  total voice drops {}",
+        pct(&interruptions, 0.5),
+        pct(&interruptions, 0.99),
+        in_flight_max,
+        voice_dropped,
+    );
+
+    let swaps_json: Vec<String> = batch.iter().map(event_json).collect();
+    let json = format!(
+        "{{{}\"seed\":{seed},\"events\":{events},\"frames_per_event\":{frames},\n\
+         \"interruption_ms\":{{\"p50\":{},\"p99\":{},\"max\":{}}},\n\
+         \"frames_in_flight\":{{\"max\":{in_flight_max}}},\n\
+         \"voice_dropped\":{voice_dropped},\n\
+         \"rollback\":{},\n\
+         \"swaps\":[\n{}\n]}}\n",
+        host_field(no_wall),
+        jf(pct(&interruptions, 0.5)),
+        jf(pct(&interruptions, 0.99)),
+        jf(pct(&interruptions, 1.0)),
+        event_json(&rollback),
+        swaps_json.join(",\n")
+    );
+    write_artifact(&out_path, &json);
+}

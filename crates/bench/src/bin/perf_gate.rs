@@ -1,7 +1,8 @@
 //! CI perf-regression gate for the payload pipeline, the traffic plane,
-//! the FDIR recovery ladder and the constellation sharding layer.
+//! the FDIR recovery ladder, the constellation sharding layer and the
+//! waveform hot-swap plane.
 //!
-//! Six checks, all against committed baselines:
+//! Seven checks, all against committed baselines:
 //!
 //! 1. **Pipeline wall clock** — reads `BENCH_payload.json`, re-runs a
 //!    short 1-worker smoke of the Fig. 2 engine, and fails when the
@@ -57,26 +58,31 @@
 //!    — and its quarantine replay must show `voice_dropped` of exactly
 //!    0. A live serial-vs-threaded smoke re-asserts bitwise report
 //!    identity in the current tree.
+//! 7. **Waveform hot-swap interruption** — reads `BENCH_waveform.json`
+//!    and holds a live `waveform_swap_soak` smoke (CDMA→MF-TDMA under
+//!    1.0× load with SEU injection) to the committed
+//!    `interruption_ms.p50` × `--factor`. The interruption is simulated
+//!    time — window ticks × frame period plus modelled configure /
+//!    teardown costs — so it is deterministic for the seed and a failure
+//!    means the swap protocol itself got slower (more trial frames, a
+//!    wider window), not the runner. The committed artefact must also
+//!    show `voice_dropped` of exactly 0 across every event and a
+//!    rollback event that actually rolled back.
 //!
 //! Usage: `perf_gate [--baseline PATH] [--traffic-baseline PATH]
-//! [--fdir-baseline PATH] [--constellation-baseline PATH] [--frames N]
-//! [--traffic-frames N] [--fdir-frames N] [--factor F] [--scaling-min R]
-//! [--kernel-min R] [--esn0 DB]` (defaults: `BENCH_payload.json`,
-//! `BENCH_traffic.json`, `BENCH_fdir.json`, `BENCH_constellation.json`,
+//! [--fdir-baseline PATH] [--constellation-baseline PATH]
+//! [--waveform-baseline PATH] [--frames N] [--traffic-frames N]
+//! [--fdir-frames N] [--factor F] [--scaling-min R] [--kernel-min R]
+//! [--esn0 DB]` (defaults: `BENCH_payload.json`, `BENCH_traffic.json`,
+//! `BENCH_fdir.json`, `BENCH_constellation.json`, `BENCH_waveform.json`,
 //! 8 pipeline frames, 256 traffic frames, 768 fdir frames, 1.5, 2.5,
 //! 1.5, 12 dB).
 
+use gsp_bench::report::arg_value;
 use gsp_payload::chain::ChainConfig;
 use gsp_payload::pipeline::PipelineEngine;
 use gsp_telemetry::Registry;
 use gsp_traffic::{TrafficConfig, TrafficEngine};
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
 
 /// Pulls `"p50":<int>` out of the baseline entry named `metric`.
 ///
@@ -501,7 +507,95 @@ fn main() {
         }
     }
 
-    if !(pipeline_ok && traffic_ok && fdir_ok && scaling_ok && kernels_ok && constellation_ok) {
+    // Check 7: waveform hot-swap interruption and losslessness. The
+    // committed distribution's p50 is the ratchet; a live soak smoke in
+    // the current tree must commit a swap within --factor of it with
+    // zero voice drops (both numbers are simulated-deterministic).
+    let waveform_baseline_path =
+        arg_value("--waveform-baseline").unwrap_or_else(|| "BENCH_waveform.json".to_string());
+    let mut waveform_ok = true;
+    let wdoc = match std::fs::read_to_string(&waveform_baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read baseline {waveform_baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let committed_interruption = wdoc
+        .find("\"interruption_ms\":")
+        .and_then(|at| baseline_number(&wdoc[at..], "p50"));
+    match committed_interruption {
+        Some(p50) => {
+            let smoke_cfg = gsp_core::scenario::WaveformSwapSoakConfig::standard();
+            let smoke = gsp_core::scenario::waveform_swap_soak(&smoke_cfg, seed);
+            let live = smoke.swap.interruption_ms();
+            println!(
+                "perf_gate: waveform interruption {live:.2} ms vs committed p50 {p50:.2} ms \
+                 (limit {factor:.1}x, live swap {} under load, seed {seed})",
+                if smoke.swap.committed {
+                    "committed"
+                } else {
+                    "DID NOT COMMIT"
+                }
+            );
+            if !smoke.swap.committed || smoke.voice_dropped != 0 {
+                eprintln!(
+                    "perf_gate: FAIL — live hot-swap smoke must commit with zero voice drops \
+                     (dropped {})",
+                    smoke.voice_dropped
+                );
+                waveform_ok = false;
+            }
+            if live > p50.max(1.0) * factor {
+                eprintln!(
+                    "perf_gate: FAIL — live swap interruption exceeds {factor:.1}x the \
+                     committed p50; the swap window has widened"
+                );
+                waveform_ok = false;
+            }
+        }
+        None => {
+            eprintln!(
+                "perf_gate: no interruption_ms.p50 in {waveform_baseline_path} — \
+                 rerun bench_waveform"
+            );
+            waveform_ok = false;
+        }
+    }
+    match baseline_number(&wdoc, "voice_dropped") {
+        Some(0.0) => {
+            println!("perf_gate: waveform committed voice_dropped 0 (lossless swaps)");
+        }
+        Some(v) => {
+            eprintln!(
+                "perf_gate: FAIL — committed waveform artefact dropped {v:.0} voice packets \
+                 across its swap events"
+            );
+            waveform_ok = false;
+        }
+        None => {
+            eprintln!("perf_gate: no voice_dropped in {waveform_baseline_path}");
+            waveform_ok = false;
+        }
+    }
+    if wdoc.contains("\"rolled_back\":true") {
+        println!("perf_gate: waveform committed rollback event present");
+    } else {
+        eprintln!(
+            "perf_gate: FAIL — {waveform_baseline_path} has no rolled-back event; \
+             the fault-mid-swap path is unexercised"
+        );
+        waveform_ok = false;
+    }
+
+    if !(pipeline_ok
+        && traffic_ok
+        && fdir_ok
+        && scaling_ok
+        && kernels_ok
+        && constellation_ok
+        && waveform_ok)
+    {
         std::process::exit(1);
     }
     println!("perf_gate: OK");

@@ -12,6 +12,8 @@
 //!   scrubbing/read-back, the Fig. 2 payload chain, and protocol
 //!   simulated-time per megabyte.
 
+pub mod report;
+
 use gsp_core::exp::Scale;
 
 /// Parses the common `--full` flag.

@@ -1,0 +1,86 @@
+//! Shared artefact-emission plumbing for the `BENCH_*.json` bins.
+//!
+//! Every bench binary writes the same *kind* of artefact — a hand-rolled
+//! JSON document with deterministic float tokens, the embedded telemetry
+//! `"metrics"` array, a `"host_parallelism"` + `"seed"` header, and (for
+//! the CI byte-identity jobs) a `--no-wall` mode that strips the
+//! wall-clock-derived fields. The formats themselves stay bespoke per
+//! bin; this module owns only the boilerplate they all repeated:
+//! argument parsing, number formatting, snapshot embedding, the header
+//! fields, and the write-or-die file emit.
+
+use gsp_telemetry::Snapshot;
+
+/// The value following `name` on the command line, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether bare flag `name` is present on the command line.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The comma-separated list following `name`, or `default` when absent.
+/// Empty items are dropped, whitespace trimmed.
+pub fn arg_list(name: &str, default: &str) -> Vec<String> {
+    arg_value(name)
+        .unwrap_or_else(|| default.to_string())
+        .split(',')
+        .map(|t| t.trim().to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Formats an `f64` as a JSON number token (finite inputs only;
+/// shortest-roundtrip `Display`, so the token is deterministic).
+pub fn jf(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders `snapshot.to_json()`'s `"metrics"` array without the
+/// enclosing document, for embedding in sweep entries.
+pub fn metrics_array(snapshot: &Snapshot) -> String {
+    let doc = snapshot.to_json();
+    let start = doc.find('[').expect("metrics array");
+    let end = doc.rfind(']').expect("metrics array");
+    doc[start..=end].to_string()
+}
+
+/// The host's available parallelism (1 when unknown) — recorded in every
+/// artefact so `perf_gate` can condition its measured-scaling checks on
+/// what the bench host actually had.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The `"host_parallelism":N,` header field, or the empty string under
+/// `--no-wall` (the field is host-dependent, so the byte-identity CI
+/// jobs strip it along with the wall-clock numbers).
+pub fn host_field(no_wall: bool) -> String {
+    if no_wall {
+        String::new()
+    } else {
+        format!("\"host_parallelism\":{},", host_parallelism())
+    }
+}
+
+/// Writes the artefact and reports it, exiting nonzero on failure (a
+/// bench that cannot commit its artefact must fail the job, not shrug).
+pub fn write_artifact(out_path: &str, json: &str) {
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path} ({} bytes)", json.len());
+}

@@ -430,6 +430,156 @@ pub fn constellation_soak(
     }
 }
 
+/// Configuration of the live hot-swap soak (see [`waveform_swap_soak`]).
+#[derive(Clone, Debug)]
+pub struct WaveformSwapSoakConfig {
+    /// Frame ticks to run.
+    pub frames: u64,
+    /// The personality holding the carrier at boot.
+    pub from: gsp_waveform::WaveformDescriptor,
+    /// The personality the swap command asks for.
+    pub to: gsp_waveform::WaveformDescriptor,
+    /// Frame boundary at which the carrier quiesces.
+    pub swap_at: u64,
+    /// Offered traffic load as a multiple of uplink capacity.
+    pub load: f64,
+    /// SEU rate multiplier for the FDIR injector running underneath.
+    pub seu_rate_multiplier: f64,
+    /// Scripted waveform-processor fault, as a window step index: the
+    /// FDIR fault signal goes high `fault_at_step` ticks into the swap
+    /// window, forcing a rollback. `None` lets the swap commit.
+    pub fault_at_step: Option<u64>,
+}
+
+impl WaveformSwapSoakConfig {
+    /// The acceptance regime: a CDMA→MF-TDMA hot-swap at mid-run, under
+    /// 1.0× offered load, with SEUs at 3× the Table 1 baseline.
+    pub fn standard() -> Self {
+        WaveformSwapSoakConfig {
+            frames: 96,
+            from: gsp_waveform::WaveformDescriptor::sumts_cdma(),
+            to: gsp_waveform::WaveformDescriptor::mf_tdma(),
+            swap_at: 40,
+            load: 1.0,
+            seu_rate_multiplier: 3.0,
+            fault_at_step: None,
+        }
+    }
+}
+
+/// Outcome of the live hot-swap soak with its status downlinked.
+#[derive(Clone, Debug)]
+pub struct WaveformSwapSoakOutcome {
+    /// Everything the swap did (uplink cost, window length, trials,
+    /// replay accounting, the measured service interruption).
+    pub swap: gsp_waveform::SwapReport,
+    /// Controller phase at end of run.
+    pub phase: gsp_waveform::SwapPhase,
+    /// Name of the personality holding the carrier at end of run.
+    pub active: String,
+    /// Per-tick waveform frame reports, in tick order — every tick
+    /// appears exactly once, swap or no swap (buffered ticks are
+    /// replayed, never dropped).
+    pub frame_reports: Vec<gsp_waveform::WaveformFrameReport>,
+    /// Voice-class (class 0) packets offered by the traffic plane.
+    pub voice_offered: u64,
+    /// Voice-class packets delivered end to end.
+    pub voice_delivered: u64,
+    /// Voice-class packets dropped anywhere (aged, switch, shed) — the
+    /// acceptance criterion holds this at zero across the swap.
+    pub voice_dropped: u64,
+    /// What the NCC decoded from the housekeeping frame (`traffic.*`
+    /// and `fdir.*` metrics of the soak running underneath).
+    pub snapshot: gsp_telemetry::Snapshot,
+    /// Encoded housekeeping frame size, bytes.
+    pub frame_bytes: usize,
+}
+
+/// The live in-orbit waveform exchange: while the FDIR harness offers
+/// `load`× traffic and injects SEUs on live equipment, a swap command
+/// arrives over the N3 stack (descriptor delivered and validated via
+/// TFTP), the carrier quiesces at `swap_at`, the old personality is
+/// deactivated, the new one runs its confidence window, and the frames
+/// that arrived meanwhile are replayed — committed or, if the scripted
+/// waveform-processor fault lands mid-window, rolled back onto the old
+/// personality with a bitwise-contiguous frame history. Distinct from
+/// [`waveform_switch`], which exercises the narrative §2.3
+/// reconfiguration story offline; this one keeps the transponder live
+/// throughout. Bitwise deterministic per `(config, seed)`.
+///
+/// The ambient SEUs land on beam equipment and are handled by the FDIR
+/// recovery ladder without aborting the swap; only the scripted fault —
+/// standing in for a fault addressed at the waveform processor itself —
+/// trips the rollback path.
+pub fn waveform_swap_soak(cfg: &WaveformSwapSoakConfig, seed: u64) -> WaveformSwapSoakOutcome {
+    use gsp_payload::platform::{Platform, Telemetry};
+
+    let registry = gsp_telemetry::Registry::new();
+
+    // The load + fault plane underneath: the FDIR soak harness at the
+    // requested load and SEU rate, stepped tick by tick alongside the
+    // waveform plane.
+    let mut hcfg = gsp_fdir::HarnessConfig::soak(cfg.seu_rate_multiplier);
+    hcfg.load = cfg.load;
+    hcfg.frames = cfg.frames;
+    hcfg.inject_until = cfg.frames.saturating_sub(cfg.frames / 8);
+    let mut harness = gsp_fdir::FdirHarness::with_telemetry(hcfg, seed, &registry);
+
+    // The waveform plane: registry-loaded personality under the
+    // hot-swap controller, swap command delivered over TFTP up front
+    // (the carrier is live while the wire form crosses the uplink).
+    let mut controller =
+        gsp_waveform::HotSwapController::new(gsp_waveform::WaveformRegistry::builtin(), &cfg.from)
+            .expect("boot personality loads");
+    controller
+        .command_swap(
+            gsp_waveform::SwapCommand::new(&cfg.to, cfg.swap_at),
+            seed ^ 0x5A_AB,
+        )
+        .expect("swap command delivers and validates");
+
+    let mut frame_reports = Vec::with_capacity(cfg.frames as usize);
+    for tick in 0..cfg.frames {
+        harness.step();
+        let fault = cfg
+            .fault_at_step
+            .map(|s| tick == cfg.swap_at + s)
+            .unwrap_or(false);
+        frame_reports.extend(controller.step(seed, tick, fault).reports);
+    }
+
+    let stats = harness.engine().stats().clone();
+    let voice = &stats.classes[0];
+
+    let mut platform = Platform::new();
+    let frame = crate::housekeeping::encode_frame(&registry.snapshot());
+    let frame_bytes = frame.len();
+    platform.report(Telemetry::Housekeeping { frame });
+    let mut ncc = Ncc::new(LinkConfig::geo_default());
+    for tm in platform.downlink() {
+        ncc.ingest_telemetry(&tm);
+    }
+    let snapshot = ncc
+        .housekeeping()
+        .cloned()
+        .expect("clean frame must decode");
+
+    WaveformSwapSoakOutcome {
+        swap: controller.swap_report().clone(),
+        phase: controller.phase(),
+        active: controller.active_name().to_string(),
+        frame_reports,
+        voice_offered: voice.offered,
+        voice_delivered: voice.delivered,
+        voice_dropped: voice.dropped_aged
+            + voice.dropped_switch
+            + voice.dropped_shed
+            + controller.swap_report().handover_dropped,
+        snapshot,
+        frame_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,6 +770,64 @@ mod tests {
         assert_eq!(a.report.quarantines[0].sat, 1);
         // Voice survives the whole-satellite loss with zero drops.
         assert_eq!(a.report.class_dropped(0), 0);
+    }
+
+    #[test]
+    fn waveform_swap_soak_commits_live_with_zero_voice_drops() {
+        let mut cfg = WaveformSwapSoakConfig::standard();
+        cfg.frames = 48;
+        cfg.swap_at = 20;
+        let out = waveform_swap_soak(&cfg, 5);
+        assert_eq!(out.phase, gsp_waveform::SwapPhase::Committed);
+        assert_eq!(out.active, "mf-tdma");
+        assert!(out.swap.committed && !out.swap.rolled_back);
+        assert_eq!(out.voice_dropped, 0, "voice must survive the swap");
+        assert!(out.voice_delivered > 0);
+        assert!(out.swap.interruption_ms() > 0.0);
+        // Every tick retired exactly once, in order — buffered frames
+        // were replayed, not dropped.
+        let ticks: Vec<u64> = out.frame_reports.iter().map(|f| f.tick).collect();
+        assert_eq!(ticks, (0..cfg.frames).collect::<Vec<u64>>());
+        assert!(out.frame_bytes > crate::housekeeping::HK_OVERHEAD);
+    }
+
+    #[test]
+    fn waveform_swap_soak_fault_rolls_back_and_reconverges() {
+        let mut cfg = WaveformSwapSoakConfig::standard();
+        cfg.frames = 48;
+        cfg.swap_at = 20;
+        cfg.fault_at_step = Some(1);
+        let out = waveform_swap_soak(&cfg, 5);
+        assert_eq!(out.phase, gsp_waveform::SwapPhase::RolledBack);
+        assert_eq!(out.active, "sumts-cdma", "old personality restored");
+        assert_eq!(out.voice_dropped, 0, "voice must survive the rollback");
+
+        // After the rollback the history re-converges on the
+        // never-swapped run: the waveform plane's reports are identical
+        // frame for frame (frames are pure in (seed, tick)).
+        let mut no_swap_cfg = cfg.clone();
+        no_swap_cfg.fault_at_step = None;
+        let mut controller = gsp_waveform::HotSwapController::new(
+            gsp_waveform::WaveformRegistry::builtin(),
+            &cfg.from,
+        )
+        .unwrap();
+        let baseline: Vec<gsp_waveform::WaveformFrameReport> = (0..cfg.frames)
+            .flat_map(|tick| controller.step(5, tick, false).reports)
+            .collect();
+        assert_eq!(out.frame_reports, baseline);
+    }
+
+    #[test]
+    fn waveform_swap_soak_is_reproducible() {
+        let mut cfg = WaveformSwapSoakConfig::standard();
+        cfg.frames = 48;
+        cfg.swap_at = 16;
+        let a = waveform_swap_soak(&cfg, 9);
+        let b = waveform_swap_soak(&cfg, 9);
+        assert_eq!(a.frame_reports, b.frame_reports);
+        assert_eq!(a.swap, b.swap);
+        assert_eq!(a.snapshot, b.snapshot);
     }
 
     #[test]

@@ -869,6 +869,33 @@ impl PipelineEngine {
         self.lane_health.get(carrier).copied().unwrap_or_default()
     }
 
+    /// Queues `packets` into the frame switch ahead of the next frame's
+    /// own lane traffic — the hot-swap replay path. Preloaded packets
+    /// ride the next frame's switch accounting (forwarded / overflow /
+    /// no-route) and leave in that frame's report, exactly as if the
+    /// lanes had regenerated them, so a waveform brought up mid-soak can
+    /// absorb its predecessor's undrained queues without inventing a
+    /// side channel around the switch.
+    pub fn preload_ingress(&mut self, packets: impl IntoIterator<Item = BasebandPacket>) {
+        for pkt in packets {
+            self.switch.ingress(pkt);
+        }
+    }
+
+    /// Quiesces the engine at a frame boundary: the single-frame entry
+    /// points are synchronous (software pipelining only overlaps frames
+    /// inside [`PipelineEngine::run_frames`]), so this only has to hand
+    /// back whatever a replay preloaded but never ran — the hot-swap
+    /// controller's guarantee that deactivating a personality strands no
+    /// ingress.
+    pub fn quiesce(&mut self) -> Vec<BasebandPacket> {
+        let mut held = Vec::new();
+        for beam in 0..self.switch.beams() {
+            held.append(&mut self.switch.drain_beam(beam));
+        }
+        held
+    }
+
     /// An empty report shell shaped for this engine (recycled by
     /// [`PipelineEngine::run_frame_into`] callers to keep the hot loop
     /// allocation-free).

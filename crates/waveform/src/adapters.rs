@@ -1,0 +1,407 @@
+//! The first two registered waveforms: lifecycle adapters around the
+//! existing S-UMTS CDMA chain (`gsp-modem`) and the MF-TDMA pipeline
+//! engine (`gsp-payload`).
+//!
+//! Each adapter is deliberately thin: *instantiate* stores the
+//! descriptor, *configure* builds the real processing state (modem
+//! banks, the pipeline engine), *deactivate* parks it untouched so a
+//! rollback can resume bit-for-bit, and *teardown* drops it. Frame
+//! processing goes straight through the pre-existing chains — the
+//! waveform plane adds lifecycle and observability, not a third modem.
+
+use crate::component::{guard, LifecycleState, Waveform, WaveformError, WaveformFrameReport};
+use crate::descriptor::{WaveformDescriptor, WaveformKind};
+use gsp_channel::awgn::AwgnChannel;
+use gsp_modem::cdma::{CdmaConfig, CdmaReceiver, CdmaTransmitter};
+use gsp_payload::chain::ChainConfig;
+use gsp_payload::pipeline::PipelineEngine;
+use gsp_payload::switch::BasebandPacket;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Modelled lifecycle costs, in simulated nanoseconds. Configuration is
+/// dominated by per-carrier state allocation; teardown by quiescing and
+/// releasing it. The constants are per the §4.4 partial-reconfiguration
+/// discussion: bring-up is an order of magnitude dearer than teardown.
+const CONFIGURE_BASE_NS: u64 = 2_000_000;
+const CONFIGURE_PER_CARRIER_NS: u64 = 500_000;
+const TEARDOWN_BASE_NS: u64 = 250_000;
+const TEARDOWN_PER_CARRIER_NS: u64 = 50_000;
+
+fn configure_cost(d: &WaveformDescriptor) -> u64 {
+    CONFIGURE_BASE_NS + CONFIGURE_PER_CARRIER_NS * d.carriers as u64
+}
+
+fn teardown_cost(d: &WaveformDescriptor) -> u64 {
+    TEARDOWN_BASE_NS + TEARDOWN_PER_CARRIER_NS * d.carriers as u64
+}
+
+/// Per-carrier sub-seed: carrier `k` of frame seed `s` draws from its
+/// own `StdRng` so carrier count changes never re-phase the others.
+fn carrier_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (0xC0DE_0000_0000_0000 | (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The S-UMTS CDMA personality: one spread/despread user chain per
+/// configured carrier, each run end-to-end (random payload → transmit →
+/// AWGN at the descriptor's Es/N0 → acquire → despread) every frame.
+pub struct CdmaWaveform {
+    descriptor: WaveformDescriptor,
+    state: LifecycleState,
+    chains: Vec<(CdmaTransmitter, CdmaReceiver)>,
+    pending: VecDeque<BasebandPacket>,
+}
+
+impl CdmaWaveform {
+    /// Instantiates from a validated descriptor (registry factory).
+    pub fn instantiate(descriptor: &WaveformDescriptor) -> Result<Self, WaveformError> {
+        if descriptor.kind != WaveformKind::Cdma {
+            return Err(WaveformError::Unbuildable("kind is not Cdma"));
+        }
+        if descriptor.info_bits > 256 {
+            return Err(WaveformError::Unbuildable(
+                "CDMA burst payload exceeds 256 bits",
+            ));
+        }
+        Ok(CdmaWaveform {
+            descriptor: descriptor.clone(),
+            state: LifecycleState::Instantiated,
+            chains: Vec::new(),
+            pending: VecDeque::new(),
+        })
+    }
+}
+
+impl Waveform for CdmaWaveform {
+    fn descriptor(&self) -> &WaveformDescriptor {
+        &self.descriptor
+    }
+
+    fn state(&self) -> LifecycleState {
+        self.state
+    }
+
+    fn configure(&mut self) -> Result<u64, WaveformError> {
+        guard(self.state, &[LifecycleState::Instantiated], "configure")?;
+        let cfg = CdmaConfig::sumts(16, 3, self.descriptor.info_bits as usize);
+        self.chains = (0..self.descriptor.carriers as usize)
+            .map(|_| {
+                (
+                    CdmaTransmitter::new(cfg.clone()),
+                    CdmaReceiver::new(cfg.clone()),
+                )
+            })
+            .collect();
+        self.state = LifecycleState::Configured;
+        Ok(configure_cost(&self.descriptor))
+    }
+
+    fn run(&mut self) -> Result<(), WaveformError> {
+        guard(
+            self.state,
+            &[LifecycleState::Configured, LifecycleState::Deactivated],
+            "run",
+        )?;
+        self.state = LifecycleState::Running;
+        Ok(())
+    }
+
+    fn step(&mut self, seed: u64, tick: u64) -> Result<WaveformFrameReport, WaveformError> {
+        guard(self.state, &[LifecycleState::Running], "step")?;
+        let mut report = WaveformFrameReport {
+            tick,
+            carriers: self.chains.len() as u32,
+            ..WaveformFrameReport::default()
+        };
+        let esn0 = self.descriptor.esn0_db();
+        for (k, (tx, rx)) in self.chains.iter_mut().enumerate() {
+            let mut rng = StdRng::seed_from_u64(carrier_seed(seed, k));
+            let bits: Vec<u8> = (0..tx.config().payload_bits())
+                .map(|_| rng.gen_range(0..2u8))
+                .collect();
+            let mut wave = tx.transmit(&bits);
+            if let Some(db) = esn0 {
+                let mut ch = AwgnChannel::from_esn0_db(db);
+                ch.apply(&mut wave, &mut rng);
+            }
+            report.info_bits += bits.len() as u64;
+            match rx.demodulate(&wave, 64) {
+                Some(res) => {
+                    report.acquired += 1;
+                    report.packets_forwarded += 1;
+                    report.bit_errors +=
+                        res.bits.iter().zip(&bits).filter(|(a, b)| a != b).count() as u64;
+                }
+                None => {
+                    report.crc_failures += 1;
+                }
+            }
+        }
+        // Ingress absorbed from a displaced predecessor is re-framed
+        // onto the CDMA downlink, one burst per packet.
+        report.packets_forwarded += self.pending.len() as u64;
+        self.pending.clear();
+        Ok(report)
+    }
+
+    fn absorb_ingress(&mut self, packets: &[BasebandPacket]) -> u64 {
+        self.pending.extend(packets.iter().cloned());
+        packets.len() as u64
+    }
+
+    fn drain_ingress(&mut self) -> Vec<BasebandPacket> {
+        self.pending.drain(..).collect()
+    }
+
+    fn deactivate(&mut self) -> Result<(), WaveformError> {
+        guard(self.state, &[LifecycleState::Running], "deactivate")?;
+        self.state = LifecycleState::Deactivated;
+        Ok(())
+    }
+
+    fn teardown(&mut self) -> Result<u64, WaveformError> {
+        guard(
+            self.state,
+            &[
+                LifecycleState::Instantiated,
+                LifecycleState::Configured,
+                LifecycleState::Deactivated,
+            ],
+            "teardown",
+        )?;
+        self.chains = Vec::new();
+        self.pending = VecDeque::new();
+        self.state = LifecycleState::TornDown;
+        Ok(teardown_cost(&self.descriptor))
+    }
+}
+
+/// The MF-TDMA personality: the full Fig. 2 regenerative chain behind
+/// the [`PipelineEngine`], switch included.
+pub struct MfTdmaWaveform {
+    descriptor: WaveformDescriptor,
+    state: LifecycleState,
+    engine: Option<PipelineEngine>,
+    workers: usize,
+}
+
+impl MfTdmaWaveform {
+    /// Instantiates from a validated descriptor (registry factory).
+    /// `workers == 0` lets the engine pick its own worker count.
+    pub fn instantiate(descriptor: &WaveformDescriptor) -> Result<Self, WaveformError> {
+        if descriptor.kind != WaveformKind::MfTdma {
+            return Err(WaveformError::Unbuildable("kind is not MfTdma"));
+        }
+        if descriptor.carriers > 8 {
+            return Err(WaveformError::Unbuildable(
+                "MF-TDMA bank is 8 channels wide",
+            ));
+        }
+        Ok(MfTdmaWaveform {
+            descriptor: descriptor.clone(),
+            state: LifecycleState::Instantiated,
+            engine: None,
+            workers: 1,
+        })
+    }
+
+    /// Sets the engine worker count used at configure time (the report
+    /// stream is bitwise identical at any setting; this is a throughput
+    /// knob only).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    fn chain_config(&self) -> ChainConfig {
+        ChainConfig {
+            active_carriers: self.descriptor.carriers as usize,
+            info_bits: self.descriptor.info_bits as usize,
+            esn0_db: self.descriptor.esn0_db(),
+            ..ChainConfig::default()
+        }
+    }
+}
+
+impl Waveform for MfTdmaWaveform {
+    fn descriptor(&self) -> &WaveformDescriptor {
+        &self.descriptor
+    }
+
+    fn state(&self) -> LifecycleState {
+        self.state
+    }
+
+    fn configure(&mut self) -> Result<u64, WaveformError> {
+        guard(self.state, &[LifecycleState::Instantiated], "configure")?;
+        self.engine = Some(PipelineEngine::with_workers(
+            self.chain_config(),
+            self.workers,
+        ));
+        self.state = LifecycleState::Configured;
+        Ok(configure_cost(&self.descriptor))
+    }
+
+    fn run(&mut self) -> Result<(), WaveformError> {
+        guard(
+            self.state,
+            &[LifecycleState::Configured, LifecycleState::Deactivated],
+            "run",
+        )?;
+        self.state = LifecycleState::Running;
+        Ok(())
+    }
+
+    fn step(&mut self, seed: u64, tick: u64) -> Result<WaveformFrameReport, WaveformError> {
+        guard(self.state, &[LifecycleState::Running], "step")?;
+        let engine = self.engine.as_mut().expect("configured engine");
+        let chain = engine.run_frame_at(seed, tick);
+        let mut report = WaveformFrameReport {
+            tick,
+            carriers: chain.carriers.len() as u32,
+            packets_forwarded: chain.packets_forwarded,
+            ..WaveformFrameReport::default()
+        };
+        for c in &chain.carriers {
+            if c.detected && c.crc_ok {
+                report.acquired += 1;
+            }
+            if c.detected && !c.crc_ok {
+                report.crc_failures += 1;
+            }
+            report.info_bits += c.bits as u64;
+            report.bit_errors += c.bit_errors as u64;
+        }
+        Ok(report)
+    }
+
+    fn absorb_ingress(&mut self, packets: &[BasebandPacket]) -> u64 {
+        match self.engine.as_mut() {
+            Some(engine) => {
+                let n = packets.len() as u64;
+                engine.preload_ingress(packets.iter().cloned());
+                n
+            }
+            None => 0,
+        }
+    }
+
+    fn drain_ingress(&mut self) -> Vec<BasebandPacket> {
+        self.engine
+            .as_mut()
+            .map(PipelineEngine::quiesce)
+            .unwrap_or_default()
+    }
+
+    fn deactivate(&mut self) -> Result<(), WaveformError> {
+        guard(self.state, &[LifecycleState::Running], "deactivate")?;
+        self.state = LifecycleState::Deactivated;
+        Ok(())
+    }
+
+    fn teardown(&mut self) -> Result<u64, WaveformError> {
+        guard(
+            self.state,
+            &[
+                LifecycleState::Instantiated,
+                LifecycleState::Configured,
+                LifecycleState::Deactivated,
+            ],
+            "teardown",
+        )?;
+        self.engine = None;
+        self.state = LifecycleState::TornDown;
+        Ok(teardown_cost(&self.descriptor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_edges_are_enforced() {
+        let mut wf = CdmaWaveform::instantiate(&WaveformDescriptor::sumts_cdma()).unwrap();
+        assert!(wf.step(1, 0).is_err(), "step before configure");
+        assert!(wf.run().is_err(), "run before configure");
+        wf.configure().unwrap();
+        assert!(wf.configure().is_err(), "double configure");
+        wf.run().unwrap();
+        assert!(wf.teardown().is_err(), "teardown while running");
+        wf.deactivate().unwrap();
+        wf.run().unwrap();
+        wf.deactivate().unwrap();
+        wf.teardown().unwrap();
+        assert!(wf.run().is_err(), "run after teardown");
+    }
+
+    #[test]
+    fn cdma_frames_are_deterministic_and_clean_on_a_clean_channel() {
+        let mut d = WaveformDescriptor::sumts_cdma();
+        d.esn0_cdb = i16::MIN;
+        let mk = || {
+            let mut wf = CdmaWaveform::instantiate(&d).unwrap();
+            wf.configure().unwrap();
+            wf.run().unwrap();
+            wf
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for tick in 0..4 {
+            let ra = a.step(99 + tick, tick).unwrap();
+            let rb = b.step(99 + tick, tick).unwrap();
+            assert_eq!(ra, rb);
+            assert!(ra.clean(), "clean channel must decode clean: {ra:?}");
+        }
+    }
+
+    #[test]
+    fn mf_tdma_step_matches_raw_engine() {
+        let wf_d = WaveformDescriptor::mf_tdma();
+        let mut wf = MfTdmaWaveform::instantiate(&wf_d).unwrap();
+        wf.configure().unwrap();
+        wf.run().unwrap();
+        let report = wf.step(7, 3).unwrap();
+
+        let mut engine = PipelineEngine::with_workers(
+            ChainConfig {
+                esn0_db: Some(12.0),
+                ..ChainConfig::default()
+            },
+            1,
+        );
+        let raw = engine.run_frame_at(7, 3);
+        assert_eq!(report.packets_forwarded, raw.packets_forwarded);
+        assert_eq!(
+            report.bit_errors,
+            raw.carriers
+                .iter()
+                .map(|c| c.bit_errors as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(report.carriers, raw.carriers.len() as u32);
+    }
+
+    #[test]
+    fn absorbed_ingress_is_forwarded_not_lost() {
+        let mut wf = CdmaWaveform::instantiate(&WaveformDescriptor::sumts_cdma()).unwrap();
+        wf.configure().unwrap();
+        wf.run().unwrap();
+        let pkts: Vec<BasebandPacket> = (0..5u16)
+            .map(|i| BasebandPacket {
+                source: i,
+                dest_beam: 0,
+                class: 0,
+                born_tick: 0,
+                data: vec![0u8; 8],
+            })
+            .collect();
+        assert_eq!(wf.absorb_ingress(&pkts), 5);
+        let base = wf.step(3, 0).unwrap();
+        let mut again = CdmaWaveform::instantiate(&WaveformDescriptor::sumts_cdma()).unwrap();
+        again.configure().unwrap();
+        again.run().unwrap();
+        let no_ingress = again.step(3, 0).unwrap();
+        assert_eq!(base.packets_forwarded, no_ingress.packets_forwarded + 5);
+    }
+}

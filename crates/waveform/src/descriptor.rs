@@ -1,0 +1,292 @@
+//! Waveform descriptors: the self-describing wire form a swap command
+//! carries over the N3 stack.
+//!
+//! A descriptor is what actually crosses the lossy uplink — a compact,
+//! versioned, checksummed record naming the component to load and the
+//! parameters to configure it with. The registry refuses to instantiate
+//! anything whose wire form does not validate, which is the STRS
+//! "configure from validated profile" rule: a corrupted or truncated
+//! upload is rejected *before* the running carrier is touched.
+
+/// Which processing chain a descriptor parameterises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaveformKind {
+    /// The S-UMTS CDMA personality (spread single-carrier).
+    Cdma,
+    /// The MF-TDMA personality (multi-carrier burst modem behind the
+    /// regenerative switch).
+    MfTdma,
+}
+
+impl WaveformKind {
+    fn code(self) -> u8 {
+        match self {
+            WaveformKind::Cdma => 1,
+            WaveformKind::MfTdma => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(WaveformKind::Cdma),
+            2 => Some(WaveformKind::MfTdma),
+            _ => None,
+        }
+    }
+}
+
+/// A validated, versioned waveform component descriptor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaveformDescriptor {
+    /// Registry lookup name (e.g. `"sumts-cdma"`).
+    pub name: String,
+    /// Component version as `(major, minor)`; the registry requires an
+    /// exact major match and a minor no newer than what it ships.
+    pub version: (u16, u16),
+    /// Which chain the parameters below configure.
+    pub kind: WaveformKind,
+    /// Active carriers (MF-TDMA) or despread users (CDMA).
+    pub carriers: u16,
+    /// Information bits per carrier per frame.
+    pub info_bits: u16,
+    /// Operating Es/N0 in centi-dB (fixed point keeps the wire form and
+    /// `Eq` exact); `i16::MIN` encodes a clean, noiseless channel.
+    pub esn0_cdb: i16,
+    /// Nominal frame duration in nanoseconds — the exchange rate between
+    /// swap-window ticks and service-interruption time.
+    pub frame_ns: u64,
+}
+
+impl WaveformDescriptor {
+    /// The built-in S-UMTS CDMA personality (SF 16, 64-bit bursts).
+    pub fn sumts_cdma() -> Self {
+        WaveformDescriptor {
+            name: "sumts-cdma".into(),
+            version: (1, 0),
+            kind: WaveformKind::Cdma,
+            carriers: 6,
+            info_bits: 64,
+            esn0_cdb: 0,
+            frame_ns: 48_000_000,
+        }
+    }
+
+    /// The built-in MF-TDMA personality (paper Fig. 2 geometry: 6 active
+    /// carriers in an 8-channel bank, 96 info bits per burst).
+    pub fn mf_tdma() -> Self {
+        WaveformDescriptor {
+            name: "mf-tdma".into(),
+            version: (2, 0),
+            kind: WaveformKind::MfTdma,
+            carriers: 6,
+            info_bits: 96,
+            esn0_cdb: 1200,
+            frame_ns: 48_000_000,
+        }
+    }
+
+    /// Operating Es/N0 in dB, `None` for the clean-channel sentinel.
+    pub fn esn0_db(&self) -> Option<f64> {
+        if self.esn0_cdb == i16::MIN {
+            None
+        } else {
+            Some(self.esn0_cdb as f64 / 100.0)
+        }
+    }
+
+    /// Serialises to the uplink wire form: magic, version, fields,
+    /// length-prefixed name, trailing checksum.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(32 + self.name.len());
+        w.extend_from_slice(MAGIC);
+        w.extend_from_slice(&self.version.0.to_be_bytes());
+        w.extend_from_slice(&self.version.1.to_be_bytes());
+        w.push(self.kind.code());
+        w.extend_from_slice(&self.carriers.to_be_bytes());
+        w.extend_from_slice(&self.info_bits.to_be_bytes());
+        w.extend_from_slice(&self.esn0_cdb.to_be_bytes());
+        w.extend_from_slice(&self.frame_ns.to_be_bytes());
+        let name = self.name.as_bytes();
+        w.push(name.len() as u8);
+        w.extend_from_slice(name);
+        let sum = fletcher32(&w);
+        w.extend_from_slice(&sum.to_be_bytes());
+        w
+    }
+
+    /// Parses and validates a wire form; every failure names the field
+    /// that broke so the ground segment's reject telemetry is useful.
+    pub fn from_wire(wire: &[u8]) -> Result<Self, DescriptorError> {
+        // 4 magic + 20 fixed fields + empty name + 4 checksum.
+        if wire.len() < 28 {
+            return Err(DescriptorError::Truncated);
+        }
+        let (body, sum_bytes) = wire.split_at(wire.len() - 4);
+        let sum = u32::from_be_bytes(sum_bytes.try_into().expect("4 checksum bytes"));
+        if fletcher32(body) != sum {
+            return Err(DescriptorError::Checksum);
+        }
+        if &body[..MAGIC.len()] != MAGIC {
+            return Err(DescriptorError::BadMagic);
+        }
+        let f = &body[MAGIC.len()..];
+        let be16 = |i: usize| u16::from_be_bytes([f[i], f[i + 1]]);
+        let version = (be16(0), be16(2));
+        let kind = WaveformKind::from_code(f[4]).ok_or(DescriptorError::UnknownKind(f[4]))?;
+        let carriers = be16(5);
+        let info_bits = be16(7);
+        let esn0_cdb = i16::from_be_bytes([f[9], f[10]]);
+        let frame_ns = u64::from_be_bytes(f[11..19].try_into().expect("8 frame_ns bytes"));
+        let name_len = f[19] as usize;
+        if f.len() != 20 + name_len {
+            return Err(DescriptorError::Truncated);
+        }
+        let name = std::str::from_utf8(&f[20..20 + name_len])
+            .map_err(|_| DescriptorError::BadName)?
+            .to_string();
+        let d = WaveformDescriptor {
+            name,
+            version,
+            kind,
+            carriers,
+            info_bits,
+            esn0_cdb,
+            frame_ns,
+        };
+        d.sanity_check()?;
+        Ok(d)
+    }
+
+    /// Parameter sanity independent of any registry: a descriptor that
+    /// passes still needs a factory willing to build it.
+    pub fn sanity_check(&self) -> Result<(), DescriptorError> {
+        if self.name.is_empty() {
+            return Err(DescriptorError::BadName);
+        }
+        if self.carriers == 0 || self.carriers > 64 {
+            return Err(DescriptorError::BadParameter("carriers"));
+        }
+        if self.info_bits == 0 || self.info_bits > 4096 {
+            return Err(DescriptorError::BadParameter("info_bits"));
+        }
+        if self.frame_ns == 0 {
+            return Err(DescriptorError::BadParameter("frame_ns"));
+        }
+        Ok(())
+    }
+}
+
+/// Why a wire form was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// Too short to hold the fixed fields, or name length disagrees.
+    Truncated,
+    /// Trailing Fletcher-32 did not match the body.
+    Checksum,
+    /// Leading magic bytes wrong — not a descriptor at all.
+    BadMagic,
+    /// Kind code not in the supported set.
+    UnknownKind(u8),
+    /// Name empty or not UTF-8.
+    BadName,
+    /// A field failed its range check.
+    BadParameter(&'static str),
+}
+
+impl std::fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DescriptorError::Truncated => write!(f, "descriptor truncated"),
+            DescriptorError::Checksum => write!(f, "descriptor checksum mismatch"),
+            DescriptorError::BadMagic => write!(f, "descriptor magic mismatch"),
+            DescriptorError::UnknownKind(c) => write!(f, "unknown waveform kind code {c}"),
+            DescriptorError::BadName => write!(f, "descriptor name empty or not UTF-8"),
+            DescriptorError::BadParameter(p) => write!(f, "descriptor parameter out of range: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+const MAGIC: &[u8; 4] = b"GSPW";
+
+/// Fletcher-32 over the body, the same family of cheap, byte-order-aware
+/// checksum the reconfiguration service uses for bitstream validation.
+fn fletcher32(data: &[u8]) -> u32 {
+    let mut a: u32 = 0;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(2) {
+        let word = if chunk.len() == 2 {
+            u16::from_be_bytes([chunk[0], chunk[1]]) as u32
+        } else {
+            (chunk[0] as u32) << 8
+        };
+        a = (a + word) % 65535;
+        b = (b + a) % 65535;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_both_builtins() {
+        for d in [
+            WaveformDescriptor::sumts_cdma(),
+            WaveformDescriptor::mf_tdma(),
+        ] {
+            let wire = d.to_wire();
+            assert_eq!(WaveformDescriptor::from_wire(&wire).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn every_single_bitflip_is_rejected() {
+        let wire = WaveformDescriptor::mf_tdma().to_wire();
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    WaveformDescriptor::from_wire(&bad).is_err(),
+                    "flip of byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicked() {
+        let wire = WaveformDescriptor::sumts_cdma().to_wire();
+        for len in 0..wire.len() {
+            assert!(WaveformDescriptor::from_wire(&wire[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn parameter_ranges_are_enforced() {
+        let mut d = WaveformDescriptor::mf_tdma();
+        d.carriers = 0;
+        assert_eq!(
+            d.sanity_check(),
+            Err(DescriptorError::BadParameter("carriers"))
+        );
+        let mut d = WaveformDescriptor::mf_tdma();
+        d.info_bits = 5000;
+        assert_eq!(
+            d.sanity_check(),
+            Err(DescriptorError::BadParameter("info_bits"))
+        );
+    }
+
+    #[test]
+    fn esn0_sentinel_means_clean_channel() {
+        let mut d = WaveformDescriptor::sumts_cdma();
+        d.esn0_cdb = i16::MIN;
+        assert_eq!(d.esn0_db(), None);
+        d.esn0_cdb = -350;
+        assert_eq!(d.esn0_db(), Some(-3.5));
+    }
+}

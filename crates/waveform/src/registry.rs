@@ -1,0 +1,186 @@
+//! The waveform component registry: name/version lookup from validated
+//! descriptors to instantiated components.
+//!
+//! The registry is the STRS configuration-manager role: it owns the set
+//! of factories the payload ships (or has had uploaded), and it is the
+//! *only* way a descriptor becomes a live component. Loading validates
+//! in three stages — wire checksum and field ranges
+//! ([`WaveformDescriptor::from_wire`]), name/version resolution against
+//! the registered set, then the factory's own buildability check — so a
+//! hostile or corrupt upload fails closed long before a carrier is
+//! quiesced.
+
+use crate::adapters::{CdmaWaveform, MfTdmaWaveform};
+use crate::component::{Waveform, WaveformError};
+use crate::descriptor::{DescriptorError, WaveformDescriptor};
+
+/// Builds a component from an already-validated descriptor.
+pub type WaveformFactory = fn(&WaveformDescriptor) -> Result<Box<dyn Waveform>, WaveformError>;
+
+struct Entry {
+    name: &'static str,
+    version: (u16, u16),
+    factory: WaveformFactory,
+}
+
+/// A name/version-indexed set of waveform factories.
+pub struct WaveformRegistry {
+    entries: Vec<Entry>,
+}
+
+/// Why a load was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The wire form failed validation before lookup was attempted.
+    Descriptor(DescriptorError),
+    /// No factory is registered under the requested name.
+    UnknownName(String),
+    /// The name exists but no registered version is compatible
+    /// (exact major, registered minor ≥ requested minor).
+    IncompatibleVersion {
+        /// What the descriptor asked for.
+        requested: (u16, u16),
+        /// What the registry ships under that name.
+        available: (u16, u16),
+    },
+    /// The factory refused the (otherwise valid) parameters.
+    Factory(WaveformError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Descriptor(e) => write!(f, "descriptor rejected: {e}"),
+            LoadError::UnknownName(n) => write!(f, "no waveform registered as {n:?}"),
+            LoadError::IncompatibleVersion {
+                requested,
+                available,
+            } => write!(
+                f,
+                "version {}.{} requested but {}.{} registered",
+                requested.0, requested.1, available.0, available.1
+            ),
+            LoadError::Factory(e) => write!(f, "factory refused descriptor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl WaveformRegistry {
+    /// An empty registry (for payloads that upload everything).
+    pub fn new() -> Self {
+        WaveformRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry every payload ships: the S-UMTS CDMA and MF-TDMA
+    /// personalities.
+    pub fn builtin() -> Self {
+        let mut r = WaveformRegistry::new();
+        r.register("sumts-cdma", (1, 0), |d| {
+            Ok(Box::new(CdmaWaveform::instantiate(d)?))
+        });
+        r.register("mf-tdma", (2, 0), |d| {
+            Ok(Box::new(MfTdmaWaveform::instantiate(d)?))
+        });
+        r
+    }
+
+    /// Registers (or re-registers, replacing) `factory` under
+    /// `name`/`version`.
+    pub fn register(&mut self, name: &'static str, version: (u16, u16), factory: WaveformFactory) {
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(Entry {
+            name,
+            version,
+            factory,
+        });
+    }
+
+    /// Registered `(name, version)` pairs, in registration order.
+    pub fn catalogue(&self) -> Vec<(&'static str, (u16, u16))> {
+        self.entries.iter().map(|e| (e.name, e.version)).collect()
+    }
+
+    /// Full load path: parse + validate `wire`, resolve the factory,
+    /// instantiate. The returned component is in the `Instantiated`
+    /// state.
+    pub fn load_wire(&self, wire: &[u8]) -> Result<Box<dyn Waveform>, LoadError> {
+        let d = WaveformDescriptor::from_wire(wire).map_err(LoadError::Descriptor)?;
+        self.load(&d)
+    }
+
+    /// Resolves and instantiates an already-parsed descriptor.
+    pub fn load(&self, d: &WaveformDescriptor) -> Result<Box<dyn Waveform>, LoadError> {
+        d.sanity_check().map_err(LoadError::Descriptor)?;
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == d.name)
+            .ok_or_else(|| LoadError::UnknownName(d.name.clone()))?;
+        let compatible = entry.version.0 == d.version.0 && entry.version.1 >= d.version.1;
+        if !compatible {
+            return Err(LoadError::IncompatibleVersion {
+                requested: d.version,
+                available: entry.version,
+            });
+        }
+        (entry.factory)(d).map_err(LoadError::Factory)
+    }
+}
+
+impl Default for WaveformRegistry {
+    fn default() -> Self {
+        WaveformRegistry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::LifecycleState;
+
+    #[test]
+    fn builtins_load_from_their_own_wire_forms() {
+        let r = WaveformRegistry::builtin();
+        for d in [
+            WaveformDescriptor::sumts_cdma(),
+            WaveformDescriptor::mf_tdma(),
+        ] {
+            let wf = r.load_wire(&d.to_wire()).expect("builtin loads");
+            assert_eq!(wf.state(), LifecycleState::Instantiated);
+            assert_eq!(wf.descriptor(), &d);
+        }
+    }
+
+    #[test]
+    fn unknown_name_and_bad_version_fail_closed() {
+        let r = WaveformRegistry::builtin();
+        let mut d = WaveformDescriptor::sumts_cdma();
+        d.name = "dvb-rcs".into();
+        assert_eq!(
+            r.load(&d).map(|_| ()).unwrap_err(),
+            LoadError::UnknownName("dvb-rcs".into())
+        );
+        let mut d = WaveformDescriptor::mf_tdma();
+        d.version = (3, 0);
+        assert!(matches!(
+            r.load(&d).map(|_| ()),
+            Err(LoadError::IncompatibleVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_wire_never_reaches_a_factory() {
+        let r = WaveformRegistry::builtin();
+        let mut wire = WaveformDescriptor::mf_tdma().to_wire();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        assert!(matches!(
+            r.load_wire(&wire).map(|_| ()),
+            Err(LoadError::Descriptor(_))
+        ));
+    }
+}

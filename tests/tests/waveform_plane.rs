@@ -1,0 +1,114 @@
+//! Waveform-plane integration properties: rollback under fault is
+//! bitwise invisible, and descriptor validation never admits a damaged
+//! wire form.
+//!
+//! The rollback contract (DESIGN.md §13) is the strong one: a waveform
+//! processor fault at *any* step of a live swap window must restore the
+//! previous personality and leave the carrier's frame-report stream
+//! bitwise identical to a run that never received the swap command —
+//! including the window ticks themselves, which the controller buffers
+//! and replays through the restored personality. The properties here
+//! drive `HotSwapController` directly over randomized fault positions,
+//! quiesce ticks and seeds; the scenario-level equivalent (with the FDIR
+//! harness offering load) lives in `gsp_core::scenario` tests.
+
+use gsp_waveform::{
+    HotSwapController, SwapCommand, SwapPhase, WaveformDescriptor, WaveformFrameReport,
+    WaveformRegistry,
+};
+use proptest::prelude::*;
+
+/// Ticks per run — enough for the armed tick, a full confidence window
+/// and post-rollback frames on both sides.
+const TICKS: u64 = 30;
+
+/// Flattened frame-report stream of a controller run with an optional
+/// fault scripted at one absolute tick.
+fn run_stream(
+    initial: &WaveformDescriptor,
+    command: Option<SwapCommand>,
+    seed: u64,
+    fault_at: Option<u64>,
+) -> (Vec<WaveformFrameReport>, SwapPhase, String) {
+    let mut ctl =
+        HotSwapController::new(WaveformRegistry::builtin(), initial).expect("boot personality");
+    if let Some(cmd) = command {
+        ctl.command_swap(cmd, seed ^ 0xD15C).expect("deliverable");
+    }
+    let mut stream = Vec::new();
+    for tick in 0..TICKS {
+        let out = ctl.step(seed, tick, fault_at == Some(tick));
+        stream.extend(out.reports);
+    }
+    (stream, ctl.phase(), ctl.active_name().to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A fault at any window step (including step 0, the quiesce tick
+    /// itself) rolls the carrier back to the previous personality and
+    /// reproduces the never-swapped report stream bit for bit.
+    #[test]
+    fn fault_at_any_window_step_is_bitwise_invisible(
+        fault_step in 0u64..6,
+        swap_at in 6u64..14,
+        seed_salt in 0u64..256,
+        direction in 0u8..2,
+    ) {
+        let (from, to) = if direction == 0 {
+            (WaveformDescriptor::sumts_cdma(), WaveformDescriptor::mf_tdma())
+        } else {
+            (WaveformDescriptor::mf_tdma(), WaveformDescriptor::sumts_cdma())
+        };
+        let seed = 20030422 ^ (seed_salt << 17);
+        // A confidence window wide enough that every scripted fault step
+        // lands before the swap can commit.
+        let cmd = SwapCommand {
+            confidence_frames: 8,
+            ..SwapCommand::new(&to, swap_at)
+        };
+        let (baseline, base_phase, base_active) = run_stream(&from, None, seed, None);
+        prop_assert_eq!(base_phase, SwapPhase::Idle);
+        let (faulted, phase, active) =
+            run_stream(&from, Some(cmd), seed, Some(swap_at + fault_step));
+        prop_assert_eq!(phase, SwapPhase::RolledBack);
+        prop_assert_eq!(active, base_active);
+        prop_assert_eq!(faulted, baseline);
+    }
+
+    /// Without a fault the same command always commits, hands the
+    /// carrier to the target personality, and replays every buffered
+    /// window tick exactly once — no tick lost, none duplicated.
+    #[test]
+    fn clean_swap_commits_and_loses_no_tick(
+        swap_at in 6u64..14,
+        seed_salt in 0u64..256,
+    ) {
+        let from = WaveformDescriptor::sumts_cdma();
+        let to = WaveformDescriptor::mf_tdma();
+        let seed = 20030422 ^ (seed_salt << 17);
+        let (stream, phase, active) =
+            run_stream(&from, Some(SwapCommand::new(&to, swap_at)), seed, None);
+        prop_assert_eq!(phase, SwapPhase::Committed);
+        prop_assert_eq!(active, "mf-tdma");
+        let mut ticks: Vec<u64> = stream.iter().map(|r| r.tick).collect();
+        ticks.sort_unstable();
+        prop_assert_eq!(ticks, (0..TICKS).collect::<Vec<u64>>());
+    }
+
+    /// Any single bit flipped anywhere in a descriptor wire form is
+    /// rejected by validation — the registry never instantiates from a
+    /// damaged upload.
+    #[test]
+    fn registry_rejects_any_single_bitflip(
+        byte_salt in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let wire = WaveformDescriptor::mf_tdma().to_wire();
+        let mut damaged = wire.clone();
+        let byte = byte_salt % damaged.len();
+        damaged[byte] ^= 1 << bit;
+        prop_assert!(WaveformRegistry::builtin().load_wire(&damaged).is_err());
+    }
+}
