@@ -1,0 +1,153 @@
+//! Ground-contact soak bench: sweeps the pass-windowed contact plane
+//! across fade regimes (calm / soak / storm), prints the digest, and
+//! writes `BENCH_ground.json`.
+//!
+//! Each sweep point runs [`gsp_core::scenario::ground_contact_soak`]:
+//! a forced hard fault drives a golden-bitstream re-upload — sized not
+//! to fit one pass — through a three-station, Doppler-derated,
+//! fade-injected contact plan, while the pass scheduler drains the
+//! routine ground work over the same windows. The artefact records per
+//! point the pass utilization, resume/expiry counts, loss-of-signal
+//! frame losses, the time-to-recover in frame ticks, and the voice
+//! figures; the top level repeats the soak point's gate numbers
+//! (`upload_resumes`, `cross_station_resume`, `voice_dropped`,
+//! `recovery_ticks`, `mean_pass_utilization`) for `perf_gate` check 8.
+//!
+//! Every number is simulated-deterministic — ticks and nanoseconds of
+//! the discrete-event clock, never wall time — so two runs with the
+//! same seed are **byte-identical**. CI's `ground-smoke` job asserts
+//! exactly that with a double run under `--no-wall` (which strips the
+//! host-dependent header field).
+//!
+//! Usage: `bench_ground [--frames N] [--seed N] [--out PATH] [--no-wall]`
+//! (defaults: 256 frames, `GSP_SEED`, `BENCH_ground.json`).
+
+use gsp_bench::report::{arg_flag, arg_value, host_field, jf, write_artifact};
+use gsp_core::scenario::{ground_contact_soak, GroundSoakConfig, GroundSoakOutcome};
+use gsp_ground::FadeConfig;
+
+struct SweepPoint {
+    label: &'static str,
+    fades: FadeConfig,
+    out: GroundSoakOutcome,
+}
+
+fn storm() -> FadeConfig {
+    FadeConfig {
+        cut_millis: 300,
+        fade_millis: 300,
+        fade_loss_millis: 450,
+    }
+}
+
+fn point_json(p: &SweepPoint, seed: u64) -> String {
+    let o = &p.out;
+    let r = &o.report;
+    let lost_contact: u64 = r
+        .uploads
+        .iter()
+        .map(|u| u.outcome.frames_lost_contact)
+        .sum();
+    let expired: u64 = r
+        .uploads
+        .iter()
+        .map(|u| u.outcome.expired_restarts as u64)
+        .sum();
+    format!(
+        "{{\"label\":\"{}\",\"seed\":{},\"frames\":{},\
+         \"plan_windows\":{},\"duty_cycle\":{},\
+         \"uploads\":{},\"upload_resumes\":{},\"cross_station_resume\":{},\
+         \"upload_frames_lost_contact\":{},\"expired_restarts\":{},\
+         \"uplink_sessions\":{},\"uplink_retransmissions\":{},\
+         \"recovery_ticks\":{},\"healthy_at_end\":{},\
+         \"ground_jobs_completed\":{},\"ground_resumes\":{},\
+         \"mean_pass_utilization\":{},\
+         \"voice_offered\":{},\"voice_dropped\":{},\"voice_rerouted\":{}}}",
+        p.label,
+        seed,
+        r.frames,
+        o.plan_windows,
+        jf(o.duty_cycle),
+        r.uploads.len(),
+        o.upload_resumes,
+        o.cross_station_resume,
+        lost_contact,
+        expired,
+        r.uplink_sessions,
+        r.uplink_retransmissions,
+        o.recovery_ticks.map_or("null".into(), |v| v.to_string()),
+        r.healthy_at_end,
+        o.ground_work.completed.len(),
+        o.ground_work.resumes_total,
+        jf(o.ground_work.mean_utilization()),
+        r.voice_offered,
+        r.voice_dropped,
+        r.voice_rerouted,
+    )
+}
+
+fn main() {
+    let frames: u64 = arg_value("--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_ground.json".to_string());
+    let no_wall = arg_flag("--no-wall");
+    let seed: u64 = arg_value("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(gsp_bench::seed_from_env);
+
+    let regimes: [(&'static str, FadeConfig); 3] = [
+        ("calm", FadeConfig::none()),
+        ("soak", FadeConfig::soak()),
+        ("storm", storm()),
+    ];
+
+    println!("ground contact soak: {frames} frames per point, seed {seed}");
+    let mut points = Vec::new();
+    for (label, fades) in regimes {
+        let cfg = GroundSoakConfig {
+            frames,
+            fades,
+            ..GroundSoakConfig::standard()
+        };
+        let out = ground_contact_soak(&cfg, seed);
+        println!(
+            "  {:<6} windows {:>3}  duty {:.2}  resumes {:>2}  cross-station {}  \
+             recovery {:>3} ticks  util {:.2}  voice dropped {}",
+            label,
+            out.plan_windows,
+            out.duty_cycle,
+            out.upload_resumes,
+            out.cross_station_resume,
+            out.recovery_ticks.map_or("-".into(), |v| v.to_string()),
+            out.ground_work.mean_utilization(),
+            out.voice_dropped,
+        );
+        points.push(SweepPoint { label, fades, out });
+    }
+    let _ = points[0].fades; // regimes are recorded via their labels
+
+    // The gate numbers come from the flagship soak-fade point.
+    let gate = points
+        .iter()
+        .find(|p| p.label == "soak")
+        .expect("soak point in the sweep");
+    let voice_dropped_total: u64 = points.iter().map(|p| p.out.voice_dropped).sum();
+
+    let sweep_json: Vec<String> = points.iter().map(|p| point_json(p, seed)).collect();
+    let json = format!(
+        "{{{}\"seed\":{seed},\
+         \"upload_resumes\":{},\"cross_station_resume\":{},\
+         \"recovery_ticks\":{},\"mean_pass_utilization\":{},\
+         \"voice_dropped\":{voice_dropped_total},\n\"sweep\":[\n{}\n]}}\n",
+        host_field(no_wall),
+        gate.out.upload_resumes,
+        gate.out.cross_station_resume,
+        gate.out
+            .recovery_ticks
+            .map_or("null".into(), |v| v.to_string()),
+        jf(gate.out.ground_work.mean_utilization()),
+        sweep_json.join(",\n")
+    );
+    write_artifact(&out_path, &json);
+}

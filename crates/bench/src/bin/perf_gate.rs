@@ -1,8 +1,8 @@
 //! CI perf-regression gate for the payload pipeline, the traffic plane,
-//! the FDIR recovery ladder, the constellation sharding layer and the
-//! waveform hot-swap plane.
+//! the FDIR recovery ladder, the constellation sharding layer, the
+//! waveform hot-swap plane and the ground-segment contact plane.
 //!
-//! Seven checks, all against committed baselines:
+//! Eight checks, all against committed baselines:
 //!
 //! 1. **Pipeline wall clock** — reads `BENCH_payload.json`, re-runs a
 //!    short 1-worker smoke of the Fig. 2 engine, and fails when the
@@ -68,15 +68,29 @@
 //!    wider window), not the runner. The committed artefact must also
 //!    show `voice_dropped` of exactly 0 across every event and a
 //!    rollback event that actually rolled back.
+//! 8. **Ground-contact recovery** — reads `BENCH_ground.json` and
+//!    requires the committed artefact to demonstrate the contact
+//!    plane's acceptance story: at least one golden-bitstream upload
+//!    resume across passes (`upload_resumes >= 1`), a resume that
+//!    crossed stations (`cross_station_resume:true`), zero voice drops
+//!    across the whole fade sweep, and a `mean_pass_utilization` at or
+//!    above `--ground-util-min` (default 0.1). A live
+//!    `ground_contact_soak` smoke must then recover the forced hard
+//!    fault within `--factor` of the committed `recovery_ticks` — the
+//!    time-to-recover *across passes*, in simulated frame ticks, so a
+//!    failure means the contact plane (scheduling, resume, expiry) got
+//!    slower, not the runner — again with zero voice drops and a
+//!    cross-station resume.
 //!
 //! Usage: `perf_gate [--baseline PATH] [--traffic-baseline PATH]
 //! [--fdir-baseline PATH] [--constellation-baseline PATH]
-//! [--waveform-baseline PATH] [--frames N] [--traffic-frames N]
-//! [--fdir-frames N] [--factor F] [--scaling-min R] [--kernel-min R]
-//! [--esn0 DB]` (defaults: `BENCH_payload.json`, `BENCH_traffic.json`,
-//! `BENCH_fdir.json`, `BENCH_constellation.json`, `BENCH_waveform.json`,
-//! 8 pipeline frames, 256 traffic frames, 768 fdir frames, 1.5, 2.5,
-//! 1.5, 12 dB).
+//! [--waveform-baseline PATH] [--ground-baseline PATH] [--frames N]
+//! [--traffic-frames N] [--fdir-frames N] [--factor F] [--scaling-min R]
+//! [--kernel-min R] [--ground-util-min U] [--esn0 DB]` (defaults:
+//! `BENCH_payload.json`, `BENCH_traffic.json`, `BENCH_fdir.json`,
+//! `BENCH_constellation.json`, `BENCH_waveform.json`,
+//! `BENCH_ground.json`, 8 pipeline frames, 256 traffic frames, 768 fdir
+//! frames, 1.5, 2.5, 1.5, 0.1, 12 dB).
 
 use gsp_bench::report::arg_value;
 use gsp_payload::chain::ChainConfig;
@@ -588,13 +602,131 @@ fn main() {
         waveform_ok = false;
     }
 
+    // Check 8: the ground-contact plane. The committed artefact must
+    // show the cross-pass acceptance story; a live soak smoke ratchets
+    // the across-passes time-to-recover.
+    let ground_baseline_path =
+        arg_value("--ground-baseline").unwrap_or_else(|| "BENCH_ground.json".to_string());
+    let ground_util_min: f64 = arg_value("--ground-util-min")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let mut ground_ok = true;
+    let gdoc = match std::fs::read_to_string(&ground_baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read baseline {ground_baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match baseline_number(&gdoc, "upload_resumes") {
+        Some(resumes) if resumes >= 1.0 => {
+            println!("perf_gate: ground upload_resumes {resumes:.0} (cross-pass resume exercised)");
+        }
+        Some(resumes) => {
+            eprintln!(
+                "perf_gate: FAIL — committed ground artefact shows {resumes:.0} upload resumes; \
+                 the golden image must be sized past one pass"
+            );
+            ground_ok = false;
+        }
+        None => {
+            eprintln!("perf_gate: no upload_resumes in {ground_baseline_path}");
+            ground_ok = false;
+        }
+    }
+    if gdoc.contains("\"cross_station_resume\":true") {
+        println!("perf_gate: ground cross_station_resume true (handover to another station)");
+    } else {
+        eprintln!(
+            "perf_gate: FAIL — {ground_baseline_path} shows no cross-station resume; \
+             the multi-station handover path is unexercised"
+        );
+        ground_ok = false;
+    }
+    match baseline_number(&gdoc, "voice_dropped") {
+        Some(0.0) => {
+            println!(
+                "perf_gate: ground committed voice_dropped 0 (lossless across the fade sweep)"
+            );
+        }
+        Some(v) => {
+            eprintln!(
+                "perf_gate: FAIL — committed ground artefact dropped {v:.0} voice packets while \
+                 equipment waited out passes; quarantine must hold losslessly"
+            );
+            ground_ok = false;
+        }
+        None => {
+            eprintln!("perf_gate: no voice_dropped in {ground_baseline_path}");
+            ground_ok = false;
+        }
+    }
+    match baseline_number(&gdoc, "mean_pass_utilization") {
+        Some(util) => {
+            println!(
+                "perf_gate: ground mean_pass_utilization {util:.2} vs minimum {ground_util_min:.2}"
+            );
+            if util < ground_util_min {
+                eprintln!(
+                    "perf_gate: FAIL — committed pass utilization below {ground_util_min:.2}; \
+                     the scheduler is wasting contact time"
+                );
+                ground_ok = false;
+            }
+        }
+        None => {
+            eprintln!("perf_gate: no mean_pass_utilization in {ground_baseline_path}");
+            ground_ok = false;
+        }
+    }
+    match baseline_number(&gdoc, "recovery_ticks") {
+        Some(committed_ticks) => {
+            let smoke_cfg = gsp_core::scenario::GroundSoakConfig::standard();
+            let smoke = gsp_core::scenario::ground_contact_soak(&smoke_cfg, seed);
+            match smoke.recovery_ticks {
+                Some(live) => {
+                    println!(
+                        "perf_gate: ground recovery {live} ticks vs committed {committed_ticks:.0} \
+                         (limit {factor:.1}x, across passes, seed {seed})"
+                    );
+                    if (live as f64) > committed_ticks.max(1.0) * factor {
+                        eprintln!(
+                            "perf_gate: FAIL — live across-pass recovery exceeds {factor:.1}x \
+                             the committed ticks; the contact plane got slower"
+                        );
+                        ground_ok = false;
+                    }
+                }
+                None => {
+                    eprintln!("perf_gate: FAIL — live ground smoke never recovered the hard fault");
+                    ground_ok = false;
+                }
+            }
+            if smoke.voice_dropped != 0 || !smoke.cross_station_resume {
+                eprintln!(
+                    "perf_gate: FAIL — live ground smoke must reroute losslessly and resume \
+                     across stations (dropped {}, cross-station {})",
+                    smoke.voice_dropped, smoke.cross_station_resume
+                );
+                ground_ok = false;
+            }
+        }
+        None => {
+            eprintln!(
+                "perf_gate: no recovery_ticks in {ground_baseline_path} — rerun bench_ground"
+            );
+            ground_ok = false;
+        }
+    }
+
     if !(pipeline_ok
         && traffic_ok
         && fdir_ok
         && scaling_ok
         && kernels_ok
         && constellation_ok
-        && waveform_ok)
+        && waveform_ok
+        && ground_ok)
     {
         std::process::exit(1);
     }

@@ -580,9 +580,196 @@ pub fn waveform_swap_soak(cfg: &WaveformSwapSoakConfig, seed: u64) -> WaveformSw
     }
 }
 
+/// Configuration of the ground-contact soak (see [`ground_contact_soak`]).
+#[derive(Clone, Debug)]
+pub struct GroundSoakConfig {
+    /// Frame ticks to run.
+    pub frames: u64,
+    /// Offered traffic load (fraction of capacity).
+    pub load: f64,
+    /// Golden-bitstream size knob: configuration frames per beam FPGA.
+    /// 48 frames serialise to ~25 TFTP blocks — more than one clean
+    /// pass carries, so the re-upload *must* span passes.
+    pub golden_frames: usize,
+    /// Link-fade fault injection on the contact plane.
+    pub fades: gsp_ground::FadeConfig,
+    /// Background SEU rate multiplier (0 = only the forced fault).
+    pub background_rate: f64,
+    /// On-board resume-state lifetime, nanoseconds (0 = forever).
+    pub resume_expiry_ns: u64,
+    /// Contact-plan horizon per upload, nanoseconds.
+    pub horizon_ns: u64,
+    /// Beam the forced hard fault lands on at tick 0.
+    pub faulted_beam: usize,
+}
+
+impl GroundSoakConfig {
+    /// The standard soak: 256 frames at 0.75 load, a 48-frame golden
+    /// image, soak-grade fades, no background SEUs, 20 orbits of plan.
+    pub fn standard() -> Self {
+        GroundSoakConfig {
+            frames: 256,
+            load: 0.75,
+            golden_frames: 48,
+            fades: gsp_ground::FadeConfig::soak(),
+            background_rate: 0.0,
+            resume_expiry_ns: 0,
+            horizon_ns: 40_000_000_000,
+            faulted_beam: 0,
+        }
+    }
+}
+
+/// Everything the ground-contact soak produced.
+#[derive(Clone, Debug)]
+pub struct GroundSoakOutcome {
+    /// The FDIR soak report, upload records included.
+    pub report: gsp_fdir::SoakReport,
+    /// The pass scheduler's account of the routine ground work
+    /// (waveform descriptor + housekeeping dumps) over the same plan.
+    pub ground_work: gsp_ground::ScheduleReport,
+    /// Contact windows in the compiled plan.
+    pub plan_windows: usize,
+    /// Fraction of the horizon in contact with any station.
+    pub duty_cycle: f64,
+    /// Cross-pass resumes across all golden-bitstream uploads.
+    pub upload_resumes: u64,
+    /// Any upload that crossed at least two stations?
+    pub cross_station_resume: bool,
+    /// Ticks from the forced hard fault to the beam back in service
+    /// (None = never recovered).
+    pub recovery_ticks: Option<u64>,
+    /// Voice-class packets dropped during the soak.
+    pub voice_dropped: u64,
+}
+
+/// Runs the ground-segment contact plane end to end: a forced hard
+/// fault sends beam `faulted_beam` down the FDIR ladder to the
+/// Reconfigure rung, whose golden-bitstream re-upload now crosses a
+/// pass-windowed, Doppler-derated, fade-injected three-station network
+/// instead of an always-on GEO pipe. The image is sized not to fit one
+/// pass: the TFTP transfer suspends at the stalled block on loss of
+/// signal and resumes byte-exact on a later pass — at whichever station
+/// rises next — while the quarantined beam's voice traffic reroutes.
+/// The same plan also carries the routine ground work through the pass
+/// scheduler. Bitwise deterministic per `(config, seed)`.
+pub fn ground_contact_soak(cfg: &GroundSoakConfig, seed: u64) -> GroundSoakOutcome {
+    use gsp_netproto::BackoffPolicy;
+
+    let contact = gsp_ground::ContactLink::standard(cfg.fades, seed ^ 0x6E0F_17A5);
+    let plan = contact.schedule(cfg.horizon_ns);
+    let orbit_link = contact.orbit.base;
+
+    // The uplink: the orbit's zenith channel as the base, a backoff
+    // sized for the per-block ~11 ms lockstep, sessions bounded by each
+    // contact run's LOS, and enough of them to cross several passes.
+    let uplink = gsp_fdir::ReconfigUplink {
+        backoff: BackoffPolicy {
+            base_ns: 30_000_000,
+            max_ns: 120_000_000,
+            jitter: 0.25,
+            max_attempts: 4,
+        },
+        link: orbit_link,
+        max_sessions: 40,
+        session_deadline_ns: 400_000_000,
+        contacts: None,
+        resume_expiry_ns: 0,
+    }
+    .over_contacts(plan.clone(), cfg.resume_expiry_ns);
+
+    let harness_cfg = gsp_fdir::HarnessConfig {
+        frames: cfg.frames,
+        inject_until: cfg.frames.saturating_sub(96),
+        load: cfg.load,
+        golden_frames: cfg.golden_frames,
+        uplink,
+        injector: gsp_fdir::InjectorConfig {
+            rate_multiplier: cfg.background_rate,
+            ..gsp_fdir::InjectorConfig::baseline()
+        },
+        ..gsp_fdir::HarnessConfig::soak(1.0)
+    };
+    let mut harness = gsp_fdir::FdirHarness::new(harness_cfg, seed);
+    harness.force_hard_fault(cfg.faulted_beam);
+    let report = harness.run();
+
+    // The routine ground work over the same contact plane.
+    let jobs = [
+        gsp_ground::Job {
+            id: 0,
+            kind: gsp_ground::JobKind::WaveformDescriptor,
+            priority: 1,
+            bytes: 2 * 1024,
+        },
+        gsp_ground::Job {
+            id: 1,
+            kind: gsp_ground::JobKind::HousekeepingDownlink,
+            priority: 2,
+            bytes: 96 * 1024,
+        },
+        gsp_ground::Job {
+            id: 2,
+            kind: gsp_ground::JobKind::HousekeepingDownlink,
+            priority: 3,
+            bytes: 64 * 1024,
+        },
+    ];
+    let ground_work = gsp_ground::run_schedule(
+        &jobs,
+        &plan,
+        &gsp_ground::SchedulerConfig {
+            resume_expiry_ns: cfg.resume_expiry_ns,
+            ..gsp_ground::SchedulerConfig::default()
+        },
+    );
+
+    let upload_resumes = report
+        .uploads
+        .iter()
+        .map(|u| u.outcome.resumed_at_block.len() as u64)
+        .sum();
+    let cross_station_resume = report
+        .uploads
+        .iter()
+        .any(|u| u.outcome.stations_used.len() >= 2);
+    GroundSoakOutcome {
+        plan_windows: plan.windows().len(),
+        duty_cycle: plan.contact_ns() as f64 / cfg.horizon_ns as f64,
+        upload_resumes,
+        cross_station_resume,
+        recovery_ticks: report.mttr_ticks.first().copied(),
+        voice_dropped: report.voice_dropped,
+        ground_work,
+        report,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ground_soak_recovers_across_passes_without_dropping_voice() {
+        let out = ground_contact_soak(&GroundSoakConfig::standard(), 31);
+        assert!(
+            out.report.healthy_at_end,
+            "the forced hard fault must heal: {:?}",
+            out.report
+        );
+        assert!(
+            out.upload_resumes >= 1,
+            "a 48-frame image cannot fit one pass: {:?}",
+            out.report.uploads
+        );
+        assert_eq!(out.voice_dropped, 0, "reroute must be lossless");
+        assert!(out.recovery_ticks.is_some());
+        assert!(
+            out.ground_work.unfinished.is_empty(),
+            "{:?}",
+            out.ground_work
+        );
+    }
 
     #[test]
     fn nominal_switch_succeeds_and_verifies() {

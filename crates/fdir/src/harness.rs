@@ -39,7 +39,7 @@
 //! unavailability rather than dominating (or vanishing from) the soak.
 
 use crate::inject::{FaultInjector, FaultKind, InjectorConfig};
-use crate::recovery::ReconfigUplink;
+use crate::recovery::{ReconfigUplink, UplinkOutcome};
 use crate::supervisor::{
     DetectorReadout, Health, RecoveryAction, RecoveryMode, Supervisor, SupervisorConfig,
 };
@@ -53,12 +53,12 @@ use rand::SeedableRng;
 /// The per-beam digital processing FPGA: a small partially
 /// reconfigurable part whose 8192 configuration bits are the beam's
 /// radiation-sensitive cross-section.
-fn beam_device() -> FpgaDevice {
+fn beam_device(frames: usize) -> FpgaDevice {
     FpgaDevice {
         name: "BEAM-DPP",
         clb_rows: 4,
         clb_cols: 4,
-        frames: 4,
+        frames,
         frame_bytes: 256,
         gate_capacity: 10_000,
         partial_reconfig: true,
@@ -92,6 +92,10 @@ pub struct HarnessConfig {
     pub uplink_ns_per_tick: u64,
     /// Grant-table sensitive bits on the scheduler equipment.
     pub scheduler_bits: u64,
+    /// Configuration frames per beam FPGA (golden bitstream size knob:
+    /// the wire image is roughly `golden_frames × 256` bytes, which is
+    /// what must fit — or resume across — contact windows).
+    pub golden_frames: usize,
 }
 
 impl HarnessConfig {
@@ -109,6 +113,7 @@ impl HarnessConfig {
             uplink: ReconfigUplink::flight_default(),
             uplink_ns_per_tick: 1_000_000_000,
             scheduler_bits: 4096,
+            golden_frames: 4,
         }
     }
 
@@ -135,8 +140,8 @@ struct BeamEquipment {
 }
 
 impl BeamEquipment {
-    fn new(beam: usize) -> Self {
-        let device = beam_device();
+    fn new(beam: usize, frames: usize) -> Self {
+        let device = beam_device(frames);
         let golden = Bitstream::synthesise(100 + beam as u32, &device, device.frames);
         let mut fabric = FpgaFabric::new(device);
         fabric
@@ -234,6 +239,7 @@ pub struct FdirHarness {
     uplink_sessions: u64,
     uplink_retransmissions: u64,
     uplink_failures: u64,
+    uploads: Vec<UploadRecord>,
 }
 
 impl FdirHarness {
@@ -262,7 +268,9 @@ impl FdirHarness {
         FdirHarness {
             injector: FaultInjector::new(cfg.injector.clone()),
             supervisor: Supervisor::new(cfg.beams + 1, cfg.supervisor),
-            beams: (0..cfg.beams).map(BeamEquipment::new).collect(),
+            beams: (0..cfg.beams)
+                .map(|b| BeamEquipment::new(b, cfg.golden_frames))
+                .collect(),
             engine,
             tel: registry.map_or_else(Instruments::noop, Instruments::register),
             rng: StdRng::seed_from_u64(seed ^ 0xFD1E_5EED_5A17_0001),
@@ -275,6 +283,7 @@ impl FdirHarness {
             uplink_sessions: 0,
             uplink_retransmissions: 0,
             uplink_failures: 0,
+            uploads: Vec::new(),
         }
     }
 
@@ -291,6 +300,13 @@ impl FdirHarness {
     /// The traffic engine riding the soak.
     pub fn engine(&self) -> &TrafficEngine {
         &self.engine
+    }
+
+    /// Latches a hard fault on `beam`, as if a radiation hit had burned
+    /// a lane driver. Only a verified golden-bitstream re-upload clears
+    /// it — the deterministic trigger for the ground-contact scenarios.
+    pub fn force_hard_fault(&mut self, beam: usize) {
+        self.beams[beam].hard_fault = true;
     }
 
     fn inject(&mut self) {
@@ -391,6 +407,11 @@ impl FdirHarness {
                 self.uplink_retransmissions += out.retransmissions;
                 self.tel.uplink_sessions.add(out.sessions as u64);
                 self.tel.uplink_retransmissions.add(out.retransmissions);
+                self.uploads.push(UploadRecord {
+                    equipment,
+                    tick: self.tick,
+                    outcome: out.clone(),
+                });
                 if out.verified {
                     if equipment < n {
                         let b = &mut self.beams[equipment];
@@ -512,8 +533,22 @@ impl FdirHarness {
             voice_rerouted: voice.rerouted,
             delivered: stats.delivered(),
             backlog: stats.backlog,
+            uploads: self.uploads,
         }
     }
+}
+
+/// One golden-bitstream upload attempt the harness ran, with its full
+/// contact-plane outcome (which passes and stations it crossed, where
+/// it resumed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UploadRecord {
+    /// Equipment the upload targeted (beams `0..beams`, scheduler last).
+    pub equipment: usize,
+    /// Frame tick the Reconfigure rung fired on.
+    pub tick: u64,
+    /// The uplink's detailed outcome.
+    pub outcome: UplinkOutcome,
 }
 
 /// What a soak produced — a pure function of `(config, seed)`,
@@ -556,6 +591,8 @@ pub struct SoakReport {
     pub delivered: u64,
     /// Packets still awaiting a grant at the end.
     pub backlog: u64,
+    /// Every golden-bitstream upload the soak ran, in order.
+    pub uploads: Vec<UploadRecord>,
 }
 
 impl SoakReport {

@@ -35,7 +35,7 @@ pub mod inject;
 pub mod recovery;
 pub mod supervisor;
 
-pub use harness::{FdirHarness, HarnessConfig, SoakReport};
+pub use harness::{FdirHarness, HarnessConfig, SoakReport, UploadRecord};
 pub use inject::{Fault, FaultInjector, FaultKind, InjectorConfig};
 pub use recovery::{ReconfigUplink, UplinkOutcome};
 pub use supervisor::{

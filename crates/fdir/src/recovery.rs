@@ -15,7 +15,7 @@
 
 use gsp_netproto::ip::{ADDR_NCC, ADDR_OBPC};
 use gsp_netproto::tftp::{TftpServer, TftpWriter};
-use gsp_netproto::{BackoffPolicy, LinkConfig, Sim};
+use gsp_netproto::{BackoffPolicy, ContactSchedule, LinkConfig, Sim};
 
 /// The uplink a golden-bitstream re-upload crosses.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +28,16 @@ pub struct ReconfigUplink {
     pub max_sessions: u32,
     /// Simulated time budget per session, in nanoseconds.
     pub session_deadline_ns: u64,
+    /// Pass-windowed contact plan gating the channel. `None` is the
+    /// always-on GEO pipe; with a plan, each session waits for the next
+    /// acquisition of signal, is bounded by that contact's loss of
+    /// signal, and the transfer resumes at the stalled block on the
+    /// next pass — possibly through a different station.
+    pub contacts: Option<ContactSchedule>,
+    /// How long the on-board server keeps a suspended transfer's state
+    /// while waiting for contact, in nanoseconds (0 = forever). Past
+    /// this, the session expires and the upload restarts from block 0.
+    pub resume_expiry_ns: u64,
 }
 
 impl ReconfigUplink {
@@ -44,6 +54,8 @@ impl ReconfigUplink {
             link,
             max_sessions: 6,
             session_deadline_ns: 120_000_000_000,
+            contacts: None,
+            resume_expiry_ns: 0,
         }
     }
 
@@ -55,7 +67,18 @@ impl ReconfigUplink {
             link,
             max_sessions: 3,
             session_deadline_ns: 60_000_000_000,
+            contacts: None,
+            resume_expiry_ns: 0,
         }
+    }
+
+    /// The same uplink gated on a pass-windowed contact plan, with
+    /// server-side resume state expiring after `expiry_ns` out of
+    /// contact (0 = never expires).
+    pub fn over_contacts(mut self, plan: ContactSchedule, expiry_ns: u64) -> Self {
+        self.contacts = Some(plan);
+        self.resume_expiry_ns = expiry_ns;
+        self
     }
 
     /// Uploads `wire` (a serialised golden bitstream) to the on-board
@@ -67,10 +90,55 @@ impl ReconfigUplink {
         // time, link state and the server's transfer state (filename,
         // expected block) all persist, which is what makes resume work.
         let mut sim = Sim::new(self.link, seed);
+        if let Some(plan) = &self.contacts {
+            sim.set_contacts(plan.clone());
+        }
         let mut server = TftpServer::new(ADDR_OBPC);
         let mut now_ns = 0u64;
         let mut next_block: u16 = 0;
+        let mut suspended_at: Option<u64> = None;
+        let mut last_stats = None;
         for _ in 0..self.max_sessions {
+            // With a contact plan, align the session to the next pass:
+            // skip the silence to acquisition of signal and bound the
+            // session by the contact's loss of signal (a contact is a
+            // run of abutting windows — Doppler slices of one pass, or
+            // a seamless handover to the next station).
+            let mut deadline = now_ns.saturating_add(self.session_deadline_ns);
+            let mut via: Option<(u16, u32)> = None;
+            if let Some(plan) = &self.contacts {
+                let ws = plan.windows();
+                let i = ws.partition_point(|w| w.end_ns <= now_ns);
+                if i >= ws.len() {
+                    break; // Plan exhausted: give up, never wedge.
+                }
+                let aos = ws[i].start_ns.max(now_ns);
+                via = Some((ws[i].station, ws[i].pass_id));
+                let mut j = i;
+                let mut los = ws[j].end_ns;
+                while j + 1 < ws.len() && ws[j + 1].start_ns == los {
+                    j += 1;
+                    los = ws[j].end_ns;
+                }
+                if aos > now_ns {
+                    sim.advance_to(aos);
+                    now_ns = aos;
+                }
+                deadline = now_ns.saturating_add(self.session_deadline_ns).min(los);
+            }
+            // Session expiry: the on-board server only holds a
+            // suspended transfer's state for so long. Past the budget
+            // the prefix is discarded and the upload starts over.
+            if let Some(since) = suspended_at {
+                if self.resume_expiry_ns > 0
+                    && now_ns.saturating_sub(since) > self.resume_expiry_ns
+                    && !server.complete
+                {
+                    server = TftpServer::new(ADDR_OBPC);
+                    next_block = 0;
+                    out.expired_restarts += 1;
+                }
+            }
             let writer = if next_block == 0 {
                 // The WRQ never got through: start a fresh request.
                 TftpWriter::new(
@@ -82,6 +150,8 @@ impl ReconfigUplink {
                 )
             } else {
                 out.resumed_at_block.push(next_block);
+                out.resumed_via_station
+                    .push(via.map_or(u16::MAX, |(s, _)| s));
                 TftpWriter::resume(
                     ADDR_NCC,
                     ADDR_OBPC,
@@ -96,8 +166,17 @@ impl ReconfigUplink {
                 // rung cannot succeed, report failure upward.
                 break;
             };
+            if let Some((station, pass)) = via {
+                if out.passes_used.last() != Some(&pass) {
+                    out.passes_used.push(pass);
+                }
+                if !out.stations_used.contains(&station) {
+                    out.stations_used.push(station);
+                }
+            }
             out.sessions += 1;
-            let stats = sim.run(&mut writer, &mut server, now_ns + self.session_deadline_ns);
+            let stats = sim.run(&mut writer, &mut server, deadline);
+            last_stats = Some(stats);
             now_ns = stats.end_ns;
             out.retransmissions += writer.retransmissions;
             out.elapsed_ns = now_ns;
@@ -106,6 +185,10 @@ impl ReconfigUplink {
                 break;
             }
             next_block = writer.next_block();
+            suspended_at = Some(now_ns);
+        }
+        if let Some(stats) = last_stats {
+            out.frames_lost_contact = stats.frames_lost_contact[0] + stats.frames_lost_contact[1];
         }
         out.verified = out.delivered && server.received == wire;
         out
@@ -125,7 +208,22 @@ pub struct UplinkOutcome {
     pub retransmissions: u64,
     /// Block each resumed session restarted at, in order.
     pub resumed_at_block: Vec<u16>,
-    /// Simulated time the whole upload occupied, in nanoseconds.
+    /// Station hosting each resumed session, parallel to
+    /// `resumed_at_block` (`u16::MAX` on an always-on link).
+    pub resumed_via_station: Vec<u16>,
+    /// Distinct pass ids the upload crossed, in order (empty on an
+    /// always-on link).
+    pub passes_used: Vec<u32>,
+    /// Distinct stations the upload crossed, in first-use order (empty
+    /// on an always-on link).
+    pub stations_used: Vec<u16>,
+    /// Times the on-board resume state expired between passes and the
+    /// upload restarted from block 0.
+    pub expired_restarts: u32,
+    /// Frames the channel dropped to loss of signal (both directions).
+    pub frames_lost_contact: u64,
+    /// Simulated time the whole upload occupied, in nanoseconds —
+    /// including the silence between passes on a contact-gated link.
     pub elapsed_ns: u64,
 }
 
@@ -176,6 +274,8 @@ mod tests {
             link,
             max_sessions: 24,
             session_deadline_ns: 600_000_000_000,
+            contacts: None,
+            resume_expiry_ns: 0,
         };
         let wire = golden_wire(4 * 512 + 100);
         let mut saw_mid_file_resume = false;
@@ -203,10 +303,129 @@ mod tests {
             link,
             max_sessions: 4,
             session_deadline_ns: 60_000_000_000,
+            contacts: None,
+            resume_expiry_ns: 0,
         };
         let out = uplink.upload(&golden_wire(1054), 3);
         assert!(!out.delivered && !out.verified);
         assert_eq!(out.sessions, 4, "bounded retries: all sessions spent");
+    }
+
+    use gsp_netproto::ContactWindow;
+
+    /// A lab-grade link with a backoff fast enough to live inside
+    /// millisecond-scale contact windows.
+    fn windowed_uplink(plan: ContactSchedule, expiry_ns: u64) -> ReconfigUplink {
+        let link = LinkConfig::clean_fast();
+        ReconfigUplink {
+            backoff: BackoffPolicy {
+                base_ns: 5_000_000,
+                max_ns: 20_000_000,
+                jitter: 0.25,
+                max_attempts: 3,
+            },
+            link,
+            max_sessions: 12,
+            session_deadline_ns: 400_000_000,
+            contacts: None,
+            resume_expiry_ns: 0,
+        }
+        .over_contacts(plan, expiry_ns)
+    }
+
+    fn window(start_ns: u64, end_ns: u64, station: u16, pass_id: u32) -> ContactWindow {
+        ContactWindow {
+            start_ns,
+            end_ns,
+            station,
+            pass_id,
+            link: LinkConfig::clean_fast(),
+        }
+    }
+
+    #[test]
+    fn los_suspends_and_a_later_pass_resumes_via_another_station() {
+        // A ten-block file needs ~26 ms of clean 10 Mbps lockstep; the
+        // first pass offers 8 ms, so the transfer MUST suspend at loss
+        // of signal and finish through the second station's pass.
+        let plan = ContactSchedule::new(vec![
+            window(0, 8_000_000, 0, 1),
+            window(60_000_000, 600_000_000, 1, 2),
+        ]);
+        let uplink = windowed_uplink(plan, 0);
+        let wire = golden_wire(9 * 512 + 100);
+        let out = uplink.upload(&wire, 11);
+        assert!(out.delivered && out.verified, "{out:?}");
+        assert!(
+            !out.resumed_at_block.is_empty(),
+            "an 8 ms pass cannot carry 10 blocks: {out:?}"
+        );
+        assert!(
+            out.resumed_at_block.iter().all(|&b| b >= 1),
+            "resume must not restart from the WRQ: {out:?}"
+        );
+        assert_eq!(out.stations_used, vec![0, 1], "{out:?}");
+        assert_eq!(out.passes_used, vec![1, 2], "{out:?}");
+        assert!(
+            out.resumed_via_station.contains(&1),
+            "the resume must ride station 1's pass: {out:?}"
+        );
+        // Byte-exact across the gap, same as the single-pass case.
+        assert_eq!(
+            uplink.upload(&wire, 11),
+            out,
+            "contact uploads are deterministic"
+        );
+    }
+
+    #[test]
+    fn abutting_windows_are_one_contact_run() {
+        // A seamless handover (next window starts exactly at the
+        // previous LOS) must not interrupt the session at all.
+        let plan = ContactSchedule::new(vec![
+            window(0, 8_000_000, 0, 1),
+            window(8_000_000, 600_000_000, 1, 1),
+        ]);
+        let out = windowed_uplink(plan, 0).upload(&golden_wire(9 * 512 + 100), 11);
+        assert!(out.delivered && out.verified, "{out:?}");
+        assert_eq!(out.sessions, 1, "handover must not force a resume: {out:?}");
+        assert!(out.resumed_at_block.is_empty());
+    }
+
+    #[test]
+    fn resume_state_expires_between_distant_passes() {
+        // The gap to the second pass (192 ms) exceeds the 50 ms resume
+        // budget: the on-board server forgets the prefix and the upload
+        // restarts from block 0 — and still verifies.
+        let plan = ContactSchedule::new(vec![
+            window(0, 8_000_000, 0, 1),
+            window(200_000_000, 800_000_000, 1, 2),
+        ]);
+        let out = windowed_uplink(plan, 50_000_000).upload(&golden_wire(9 * 512 + 100), 11);
+        assert!(out.delivered && out.verified, "{out:?}");
+        assert_eq!(out.expired_restarts, 1, "{out:?}");
+        assert!(
+            out.resumed_at_block.is_empty(),
+            "an expired transfer restarts, it does not resume: {out:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_plan_gives_up_without_wedging() {
+        // One short pass, then silence forever: the upload must stop
+        // when the plan runs out, well before its session budget.
+        let plan = ContactSchedule::new(vec![window(0, 8_000_000, 0, 1)]);
+        let uplink = windowed_uplink(plan, 0);
+        let out = uplink.upload(&golden_wire(9 * 512 + 100), 11);
+        assert!(!out.delivered && !out.verified);
+        assert!(
+            out.sessions < uplink.max_sessions,
+            "plan exhaustion must cut the session loop short: {out:?}"
+        );
+        assert!(
+            out.elapsed_ns <= 8_000_000,
+            "no simulated time may pass outside the plan: {out:?}"
+        );
     }
 
     #[test]

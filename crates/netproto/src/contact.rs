@@ -1,0 +1,165 @@
+//! Pass-windowed contact plans for intermittent ground↔space links.
+//!
+//! A GEO payload sees its control centre continuously; anything lower
+//! only sees a ground station during *pass windows* a few minutes long,
+//! separated by most of an orbit of silence. A [`ContactSchedule`] is
+//! the link-layer view of such a plan: a sorted, non-overlapping list
+//! of [`ContactWindow`]s, each carrying the *effective* [`LinkConfig`]
+//! for that interval — rates and loss already derated for the pass's
+//! elevation/Doppler profile (low, fast-moving slices near AOS/LOS are
+//! slower and lossier than the overhead midpoint) and for any injected
+//! link fades.
+//!
+//! [`sim::Sim`](crate::sim::Sim) consults the schedule per transmitted
+//! frame: a frame whose transmission starts outside every window, or
+//! whose serialisation would still be in progress when the window
+//! closes, is lost — the hard loss-of-signal that interrupts a transfer
+//! mid-block. Windows are half-open `[start_ns, end_ns)`; contiguous
+//! slices of one pass share a `pass_id` and butt end-to-start.
+
+use crate::link::LinkConfig;
+
+/// One contact interval with its effective channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContactWindow {
+    /// Acquisition of signal for this slice, nanoseconds.
+    pub start_ns: u64,
+    /// Loss of signal for this slice (exclusive), nanoseconds.
+    pub end_ns: u64,
+    /// Ground-station index serving the slice.
+    pub station: u16,
+    /// Pass identifier — every slice of one pass shares it.
+    pub pass_id: u32,
+    /// The channel in force during the slice.
+    pub link: LinkConfig,
+}
+
+impl ContactWindow {
+    /// Slice length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether `t_ns` falls inside the half-open window.
+    pub fn contains(&self, t_ns: u64) -> bool {
+        self.start_ns <= t_ns && t_ns < self.end_ns
+    }
+}
+
+/// A sorted, non-overlapping sequence of contact windows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ContactSchedule {
+    windows: Vec<ContactWindow>,
+}
+
+impl ContactSchedule {
+    /// Builds a schedule, sorting by start time. Panics if two windows
+    /// overlap — a contact plan with a station handing over mid-frame
+    /// must be expressed as abutting windows, not overlapping ones.
+    pub fn new(mut windows: Vec<ContactWindow>) -> Self {
+        windows.sort_by_key(|w| (w.start_ns, w.end_ns));
+        for pair in windows.windows(2) {
+            assert!(
+                pair[0].end_ns <= pair[1].start_ns,
+                "overlapping contact windows: {:?} vs {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        ContactSchedule { windows }
+    }
+
+    /// The windows in start order.
+    pub fn windows(&self) -> &[ContactWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan holds no contact at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The window covering `t_ns`, if the link is up then.
+    pub fn window_at(&self, t_ns: u64) -> Option<&ContactWindow> {
+        // Last window starting at or before t.
+        let idx = self.windows.partition_point(|w| w.start_ns <= t_ns);
+        let w = self.windows[..idx].last()?;
+        w.contains(t_ns).then_some(w)
+    }
+
+    /// The first window still open at or after `t_ns` — the current one
+    /// if `t_ns` is inside a window, otherwise the next acquisition of
+    /// signal. `None` once the plan is exhausted.
+    pub fn next_contact(&self, t_ns: u64) -> Option<&ContactWindow> {
+        let idx = self.windows.partition_point(|w| w.end_ns <= t_ns);
+        self.windows.get(idx)
+    }
+
+    /// End of the last window — the plan's horizon.
+    pub fn horizon_ns(&self) -> u64 {
+        self.windows.last().map_or(0, |w| w.end_ns)
+    }
+
+    /// Total in-contact time across the plan, nanoseconds.
+    pub fn contact_ns(&self) -> u64 {
+        self.windows.iter().map(|w| w.duration_ns()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(start: u64, end: u64, station: u16, pass: u32) -> ContactWindow {
+        ContactWindow {
+            start_ns: start,
+            end_ns: end,
+            station,
+            pass_id: pass,
+            link: LinkConfig::clean_fast(),
+        }
+    }
+
+    #[test]
+    fn lookup_respects_half_open_windows() {
+        let s = ContactSchedule::new(vec![win(100, 200, 0, 0), win(300, 400, 1, 1)]);
+        assert!(s.window_at(99).is_none());
+        assert_eq!(s.window_at(100).unwrap().station, 0);
+        assert_eq!(s.window_at(199).unwrap().station, 0);
+        assert!(s.window_at(200).is_none(), "end is exclusive");
+        assert_eq!(s.window_at(300).unwrap().pass_id, 1);
+        assert!(s.window_at(400).is_none());
+    }
+
+    #[test]
+    fn abutting_slices_hand_over_without_a_gap() {
+        let s = ContactSchedule::new(vec![win(0, 50, 0, 0), win(50, 90, 0, 0)]);
+        assert_eq!(s.window_at(49).unwrap().end_ns, 50);
+        assert_eq!(s.window_at(50).unwrap().end_ns, 90);
+        assert_eq!(s.contact_ns(), 90);
+    }
+
+    #[test]
+    fn next_contact_finds_current_then_next_then_none() {
+        let s = ContactSchedule::new(vec![win(100, 200, 0, 0), win(300, 400, 1, 1)]);
+        assert_eq!(s.next_contact(0).unwrap().start_ns, 100);
+        assert_eq!(
+            s.next_contact(150).unwrap().start_ns,
+            100,
+            "inside = current"
+        );
+        assert_eq!(s.next_contact(200).unwrap().start_ns, 300);
+        assert!(s.next_contact(400).is_none());
+        assert_eq!(s.horizon_ns(), 400);
+    }
+
+    #[test]
+    fn construction_sorts_and_rejects_overlap() {
+        let s = ContactSchedule::new(vec![win(300, 400, 1, 1), win(100, 200, 0, 0)]);
+        assert_eq!(s.windows()[0].start_ns, 100);
+        let bad = std::panic::catch_unwind(|| {
+            ContactSchedule::new(vec![win(100, 250, 0, 0), win(200, 300, 1, 1)])
+        });
+        assert!(bad.is_err(), "overlap must be rejected");
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::ip::{udp_packet, IpAddr, IpPacket, IpProto, UdpDatagram};
 use crate::sim::{Agent, Io};
+use crate::wire;
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// COPS-like port.
@@ -43,10 +44,10 @@ impl PolicyDecision {
             return None;
         }
         Some(PolicyDecision {
-            policy_id: u32::from_be_bytes(raw[0..4].try_into().unwrap()),
-            equipment: u16::from_be_bytes(raw[4..6].try_into().unwrap()),
-            design_id: u32::from_be_bytes(raw[6..10].try_into().unwrap()),
-            scrub_period_s: u32::from_be_bytes(raw[10..14].try_into().unwrap()),
+            policy_id: wire::be_u32(raw, 0)?,
+            equipment: wire::be_u16(raw, 4)?,
+            design_id: wire::be_u32(raw, 6)?,
+            scrub_period_s: wire::be_u32(raw, 10)?,
         })
     }
 }
@@ -118,7 +119,9 @@ impl Agent for CopsPdp {
             return;
         };
         if udp.payload.len() >= 6 && udp.payload[0] == OP_REPORT {
-            let pid = u32::from_be_bytes(udp.payload[1..5].try_into().unwrap());
+            let Some(pid) = wire::be_u32(&udp.payload, 1) else {
+                return;
+            };
             if pid == self.decision.policy_id {
                 self.report = Some(udp.payload[5] == 1);
                 self.timer_gen += 1; // cancel retransmit

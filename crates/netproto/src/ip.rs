@@ -6,6 +6,7 @@
 //! is needed". Headers follow the real formats in spirit (version,
 //! protocol, ports, checksum) at reduced width.
 
+use crate::wire;
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Device addresses on the payload network.
@@ -93,10 +94,10 @@ impl IpPacket {
             return None;
         }
         Some(IpPacket {
-            src: u32::from_be_bytes(raw[4..8].try_into().unwrap()),
-            dst: u32::from_be_bytes(raw[8..12].try_into().unwrap()),
+            src: wire::be_u32(raw, 4)?,
+            dst: wire::be_u32(raw, 8)?,
             proto: IpProto::from_code(raw[1])?,
-            payload: Bytes::copy_from_slice(&raw[IP_HEADER..]),
+            payload: Bytes::copy_from_slice(raw.get(IP_HEADER..)?),
         })
     }
 }

@@ -24,7 +24,10 @@
 //! Everything runs over [`sim`]'s discrete-event engine and [`link`]'s
 //! GEO channel (serialisation + ~125 ms one-way propagation + BER-driven
 //! frame loss), so protocol timing comes out in real (simulated) seconds —
-//! the data behind experiment E4.
+//! the data behind experiment E4. For non-GEO variants, a [`contact`]
+//! schedule gates the engine on pass windows: outside a window (or when
+//! a window closes mid-serialisation) frames are lost outright, and each
+//! window carries its own Doppler/elevation-derated channel.
 //!
 //! ```
 //! use gsp_netproto::{simulate_transfer, LinkConfig, TransferProtocol};
@@ -41,6 +44,7 @@
 
 pub mod backoff;
 pub mod bulk;
+pub mod contact;
 pub mod cops;
 pub mod frames;
 pub mod ip;
@@ -51,8 +55,10 @@ pub mod scpsfp;
 pub mod sim;
 pub mod tcp;
 pub mod tftp;
+pub mod wire;
 
 pub use backoff::BackoffPolicy;
+pub use contact::{ContactSchedule, ContactWindow};
 pub use link::LinkConfig;
 pub use scenarios::{simulate_transfer, TransferProtocol, TransferStats};
 pub use sim::{Agent, Io, Side, Sim, SimStats};

@@ -11,11 +11,17 @@
 
 use crate::ip::{udp_packet, IpAddr, IpPacket, IpProto, UdpDatagram};
 use crate::sim::{Agent, Io};
+use crate::wire;
 use bytes::{BufMut, Bytes, BytesMut};
 use std::collections::BTreeSet;
 
 /// Segment payload size.
 pub const SEGMENT: usize = 1000;
+/// Upper bound on the segment index a receiver will buffer. A garbage
+/// DATA frame carries an arbitrary u32 index; without a cap it could
+/// command a multi-gigabyte `resize` before the EOF ever announces the
+/// real segment count.
+pub const MAX_SEGMENTS: usize = 1 << 20;
 /// SCPS-FP-like port.
 pub const SCPS_PORT: u16 = 7777;
 
@@ -81,6 +87,11 @@ impl ScpsFpSender {
     }
 
     fn send_segment(&self, io: &mut Io, idx: u32) {
+        if idx >= self.n_segments() {
+            // A corrupted NAK can name any index; there is nothing to
+            // serve beyond the file.
+            return;
+        }
         let start = idx as usize * SEGMENT;
         let end = (start + SEGMENT).min(self.data.len());
         io.send(udp_packet(
@@ -129,11 +140,16 @@ impl Agent for ScpsFpSender {
         }
         match udp.payload[0] {
             OP_NAK => {
-                let n = u16::from_be_bytes([udp.payload[1], udp.payload[2]]) as usize;
+                let Some(n) = wire::be_u16(&udp.payload, 1) else {
+                    return;
+                };
                 self.repair_rounds += 1;
-                for k in 0..n {
-                    let off = 3 + 4 * k;
-                    let idx = u32::from_be_bytes(udp.payload[off..off + 4].try_into().unwrap());
+                for k in 0..n as usize {
+                    // A truncated NAK stops at the last whole index: the
+                    // next EOF reprompt re-elicits whatever was cut off.
+                    let Some(idx) = wire::be_u32(&udp.payload, 3 + 4 * k) else {
+                        break;
+                    };
                     self.send_segment(io, idx);
                 }
                 self.send_eof(io);
@@ -246,23 +262,32 @@ impl Agent for ScpsFpReceiver {
         }
         match udp.payload[0] {
             OP_DATA => {
-                if udp.payload.len() < 5 {
+                // A successful u32 read at offset 1 guarantees the
+                // 5-byte header, so the slice below cannot be out of
+                // bounds.
+                let Some(idx) = wire::be_u32(&udp.payload, 1) else {
+                    return;
+                };
+                let idx = idx as usize;
+                if idx >= MAX_SEGMENTS {
                     return;
                 }
-                let idx = u32::from_be_bytes(udp.payload[1..5].try_into().unwrap()) as usize;
                 if idx >= self.segments.len() {
                     self.segments.resize(idx + 1, None);
                 }
                 self.segments[idx] = Some(udp.payload[5..].to_vec());
             }
             OP_EOF => {
-                if udp.payload.len() < 9 {
+                let (Some(n), Some(size)) =
+                    (wire::be_u32(&udp.payload, 1), wire::be_u32(&udp.payload, 5))
+                else {
+                    return;
+                };
+                if n as usize > MAX_SEGMENTS {
                     return;
                 }
-                let n = u32::from_be_bytes(udp.payload[1..5].try_into().unwrap());
                 self.expected_segments = Some(n);
-                self.expected_size =
-                    u32::from_be_bytes(udp.payload[5..9].try_into().unwrap()) as usize;
+                self.expected_size = size as usize;
                 if self.segments.len() < n as usize {
                     self.segments.resize(n as usize, None);
                 }

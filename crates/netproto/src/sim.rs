@@ -5,6 +5,7 @@
 //! [`Io`] handle. The engine owns simulated time, link occupancy
 //! (serialisation), propagation delay, and BER loss.
 
+use crate::contact::ContactSchedule;
 use crate::link::LinkConfig;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -94,6 +95,10 @@ pub struct SimStats {
     pub frames_delivered: [u64; 2],
     /// Frames lost to channel errors per receiving side.
     pub frames_lost: [u64; 2],
+    /// Subset of `frames_lost` dropped by loss of signal — transmission
+    /// attempted outside a contact window, or still serialising when the
+    /// window closed. Zero on always-on links.
+    pub frames_lost_contact: [u64; 2],
     /// Payload bytes handed to the link per side.
     pub bytes_sent: [u64; 2],
     /// `true` when both agents reported finished before the deadline.
@@ -110,6 +115,8 @@ enum Event {
 /// The two-endpoint simulator.
 pub struct Sim {
     link: LinkConfig,
+    /// Pass-windowed contact plan; `None` = always-on pipe.
+    contacts: Option<ContactSchedule>,
     rng: StdRng,
     now_ns: u64,
     seq: u64,
@@ -125,6 +132,7 @@ impl Sim {
     pub fn new(link: LinkConfig, seed: u64) -> Self {
         Sim {
             link,
+            contacts: None,
             rng: StdRng::seed_from_u64(seed),
             now_ns: 0,
             seq: 0,
@@ -133,6 +141,30 @@ impl Sim {
             busy_until: [0, 0],
             stats: SimStats::default(),
         }
+    }
+
+    /// Gates every transmission on a pass-windowed contact plan: frames
+    /// sent outside a window — or still serialising when their window
+    /// closes — are lost, and each window's own [`LinkConfig`] (rate,
+    /// BER, erasure) replaces the base link while it is open. `base`
+    /// stays in force for propagation delay outside any window.
+    pub fn set_contacts(&mut self, contacts: ContactSchedule) {
+        self.contacts = Some(contacts);
+    }
+
+    /// Current simulated time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Jumps simulated time forward to `t_ns` (never backward) — used
+    /// between bounded sessions to skip the silence to the next
+    /// acquisition of signal. Events already in flight keep their
+    /// original timestamps; the run loop clamps them so time stays
+    /// monotonic and they surface as late duplicates, which the
+    /// protocol layers must tolerate anyway.
+    pub fn advance_to(&mut self, t_ns: u64) {
+        self.now_ns = self.now_ns.max(t_ns);
     }
 
     fn push_event(&mut self, t: u64, ev: Event) {
@@ -148,16 +180,33 @@ impl Sim {
                 Action::Send(frame) => {
                     let uplink = side == Side::Ground;
                     let tx_start = self.now_ns.max(self.busy_until[side.index()]);
-                    let tx_end = tx_start + self.link.tx_time_ns(frame.len(), uplink);
+                    // Resolve the channel in force when serialisation
+                    // starts: the covering window's link during a pass,
+                    // the base link (with guaranteed loss) outside one.
+                    let (eff, window_end) = match &self.contacts {
+                        None => (self.link, None),
+                        Some(plan) => match plan.window_at(tx_start) {
+                            Some(w) => (w.link, Some(w.end_ns)),
+                            None => (self.link, Some(0)),
+                        },
+                    };
+                    let tx_end = tx_start + eff.tx_time_ns(frame.len(), uplink);
                     self.busy_until[side.index()] = tx_end;
-                    let arrival = tx_end + self.link.delay_ns;
+                    let arrival = tx_end + eff.delay_ns;
                     self.stats.frames_sent[side.index()] += 1;
                     self.stats.bytes_sent[side.index()] += frame.len() as u64;
-                    let survives = self.link.frame_survives(frame.len(), &mut self.rng);
                     let to = side.peer();
+                    // A window end of 0 means no contact at all; a
+                    // window closing before serialisation completes is
+                    // the hard mid-transfer loss of signal.
+                    let los = window_end.is_some_and(|end| tx_end > end);
+                    let survives = !los && eff.frame_survives(frame.len(), &mut self.rng);
                     if survives {
                         self.push_event(arrival, Event::Deliver { to, frame });
                     } else {
+                        if los {
+                            self.stats.frames_lost_contact[to.index()] += 1;
+                        }
                         self.push_event(arrival, Event::Lost { to });
                     }
                 }
@@ -193,10 +242,12 @@ impl Sim {
 
         while let Some(Reverse((t, key, _))) = self.heap.pop() {
             if t > deadline_ns {
-                self.now_ns = deadline_ns;
+                self.now_ns = deadline_ns.max(self.now_ns);
                 break;
             }
-            self.now_ns = t;
+            // Clamp, never rewind: after `advance_to` skips silence,
+            // events armed before the jump fire as late stragglers.
+            self.now_ns = t.max(self.now_ns);
             let ev = self.payloads.remove(&key).expect("event payload");
             let (side, deliver): (Side, Option<Bytes>) = match ev {
                 Event::Deliver { to, frame } => {
@@ -396,6 +447,148 @@ mod tests {
         let mut sim = Sim::new(LinkConfig::clean_fast(), 1);
         let stats = sim.run(&mut Never, &mut Never, 5_000);
         assert!(!stats.completed);
+    }
+
+    #[test]
+    fn contact_gating_loses_frames_outside_windows() {
+        use crate::contact::{ContactSchedule, ContactWindow};
+        struct Pinger {
+            at: Vec<u64>,
+        }
+        struct Sink {
+            arrivals: Vec<u64>,
+        }
+        impl Agent for Pinger {
+            fn start(&mut self, io: &mut Io) {
+                for (i, &t) in self.at.iter().enumerate() {
+                    io.set_timer(t, i as u64);
+                }
+            }
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, io: &mut Io, _id: u64) {
+                io.send(Bytes::from(vec![0u8; 100]));
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        impl Agent for Sink {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, io: &mut Io, _f: Bytes) {
+                self.arrivals.push(io.now_ns);
+            }
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+        let link = LinkConfig::clean_fast(); // 100 B = 80 µs serialisation
+        let window = ContactWindow {
+            start_ns: 0,
+            end_ns: 1_000_000,
+            station: 3,
+            pass_id: 0,
+            link,
+        };
+        let mut sim = Sim::new(link, 1);
+        sim.set_contacts(ContactSchedule::new(vec![window]));
+        // First send fits the window; second starts 50 µs before the
+        // window closes (mid-serialisation LOS); third is in the gap.
+        let mut tx = Pinger {
+            at: vec![0, 950_000, 2_000_000],
+        };
+        let mut rx = Sink { arrivals: vec![] };
+        let stats = sim.run(&mut tx, &mut rx, 10_000_000);
+        assert_eq!(rx.arrivals.len(), 1, "only the in-window frame lands");
+        assert_eq!(stats.frames_sent[0], 3);
+        assert_eq!(stats.frames_lost[Side::Space.index()], 2);
+        assert_eq!(stats.frames_lost_contact[Side::Space.index()], 2);
+    }
+
+    #[test]
+    fn advance_to_skips_silence_and_never_rewinds() {
+        let mut sim = Sim::new(LinkConfig::clean_fast(), 1);
+        assert_eq!(sim.now_ns(), 0);
+        sim.advance_to(5_000);
+        assert_eq!(sim.now_ns(), 5_000);
+        sim.advance_to(1_000);
+        assert_eq!(sim.now_ns(), 5_000, "time never goes backward");
+        // A run after the jump starts at the advanced clock.
+        struct One {
+            done: bool,
+        }
+        impl Agent for One {
+            fn start(&mut self, io: &mut Io) {
+                io.set_timer(10, 0);
+            }
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {
+                self.done = true;
+            }
+            fn finished(&self) -> bool {
+                self.done
+            }
+        }
+        struct Idle;
+        impl Agent for Idle {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                true
+            }
+        }
+        let stats = sim.run(&mut One { done: false }, &mut Idle, 1_000_000);
+        assert!(stats.completed);
+        assert_eq!(stats.end_ns, 5_010);
+    }
+
+    #[test]
+    fn per_window_link_overrides_the_base_rate() {
+        use crate::contact::{ContactSchedule, ContactWindow};
+        struct Burst;
+        struct Sink {
+            arrivals: Vec<u64>,
+        }
+        impl Agent for Burst {
+            fn start(&mut self, io: &mut Io) {
+                io.send(Bytes::from(vec![0u8; 1000]));
+                io.send(Bytes::from(vec![0u8; 1000]));
+            }
+            fn on_frame(&mut self, _io: &mut Io, _f: Bytes) {}
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                true
+            }
+        }
+        impl Agent for Sink {
+            fn start(&mut self, _io: &mut Io) {}
+            fn on_frame(&mut self, io: &mut Io, _f: Bytes) {
+                self.arrivals.push(io.now_ns);
+            }
+            fn on_timer(&mut self, _io: &mut Io, _id: u64) {}
+            fn finished(&self) -> bool {
+                self.arrivals.len() == 2
+            }
+        }
+        let base = LinkConfig::clean_fast();
+        let slow = LinkConfig {
+            up_rate_bps: base.up_rate_bps / 4,
+            ..base
+        };
+        let mut sim = Sim::new(base, 1);
+        sim.set_contacts(ContactSchedule::new(vec![ContactWindow {
+            start_ns: 0,
+            end_ns: u64::MAX / 4,
+            station: 0,
+            pass_id: 0,
+            link: slow,
+        }]));
+        let mut rx = Sink { arrivals: vec![] };
+        sim.run(&mut Burst, &mut rx, u64::MAX / 2);
+        assert_eq!(rx.arrivals.len(), 2);
+        // Spacing reflects the window's derated rate, not the base.
+        assert_eq!(rx.arrivals[1] - rx.arrivals[0], slow.tx_time_ns(1000, true));
     }
 
     #[test]

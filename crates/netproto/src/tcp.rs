@@ -10,6 +10,7 @@
 
 use crate::ip::{IpAddr, IpPacket, IpProto};
 use crate::sim::Io;
+use crate::wire;
 use bytes::{BufMut, Bytes, BytesMut};
 use gsp_telemetry::{Counter, Registry};
 use std::collections::VecDeque;
@@ -54,20 +55,17 @@ impl Segment {
 
     /// Decodes a segment.
     pub fn decode(raw: &[u8]) -> Option<Segment> {
-        if raw.len() < TCP_HEADER {
-            return None;
-        }
-        let len = u16::from_be_bytes([raw[13], raw[14]]) as usize;
+        let len = wire::be_u16(raw, 13)? as usize;
         if raw.len() != TCP_HEADER + len {
             return None;
         }
         Some(Segment {
-            src_port: u16::from_be_bytes([raw[0], raw[1]]),
-            dst_port: u16::from_be_bytes([raw[2], raw[3]]),
-            seq: u32::from_be_bytes(raw[4..8].try_into().unwrap()),
-            ack: u32::from_be_bytes(raw[8..12].try_into().unwrap()),
-            flags: raw[12],
-            payload: Bytes::copy_from_slice(&raw[TCP_HEADER..]),
+            src_port: wire::be_u16(raw, 0)?,
+            dst_port: wire::be_u16(raw, 2)?,
+            seq: wire::be_u32(raw, 4)?,
+            ack: wire::be_u32(raw, 8)?,
+            flags: wire::byte(raw, 12)?,
+            payload: Bytes::copy_from_slice(raw.get(TCP_HEADER..)?),
         })
     }
 }

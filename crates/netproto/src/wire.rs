@@ -1,0 +1,51 @@
+//! Length-checked big-endian field readers for wire decode paths.
+//!
+//! Every byte that crosses the simulated channel is attacker-shaped as
+//! far as the decoders are concerned: truncated, padded, or random
+//! garbage must come back as `None`, never as a panic that takes the
+//! whole simulation down. These helpers replace the
+//! `slice[a..b].try_into().unwrap()` idiom (which panics the moment a
+//! length precondition drifts from its read sites) with bounds-checked
+//! reads that make the failure mode a decode error by construction.
+
+/// The byte at `at`, if present.
+pub fn byte(raw: &[u8], at: usize) -> Option<u8> {
+    raw.get(at).copied()
+}
+
+/// Big-endian `u16` at `at`, if both bytes are present.
+pub fn be_u16(raw: &[u8], at: usize) -> Option<u16> {
+    let b: &[u8; 2] = raw.get(at..at.checked_add(2)?)?.try_into().ok()?;
+    Some(u16::from_be_bytes(*b))
+}
+
+/// Big-endian `u32` at `at`, if all four bytes are present.
+pub fn be_u32(raw: &[u8], at: usize) -> Option<u32> {
+    let b: &[u8; 4] = raw.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_be_bytes(*b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_bounds_reads_decode_big_endian() {
+        let raw = [0x01, 0x02, 0x03, 0x04, 0x05];
+        assert_eq!(byte(&raw, 4), Some(0x05));
+        assert_eq!(be_u16(&raw, 1), Some(0x0203));
+        assert_eq!(be_u32(&raw, 0), Some(0x0102_0304));
+        assert_eq!(be_u32(&raw, 1), Some(0x0203_0405));
+    }
+
+    #[test]
+    fn truncated_reads_are_none_not_panics() {
+        let raw = [0xAA, 0xBB, 0xCC];
+        assert_eq!(byte(&raw, 3), None);
+        assert_eq!(be_u16(&raw, 2), None);
+        assert_eq!(be_u32(&raw, 0), None);
+        assert_eq!(be_u16(&[], 0), None);
+        // Offsets near usize::MAX must not overflow the range arithmetic.
+        assert_eq!(be_u32(&raw, usize::MAX - 1), None);
+    }
+}

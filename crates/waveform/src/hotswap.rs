@@ -77,8 +77,9 @@ pub enum SwapPhase {
 /// Why a swap command was refused outright (the carrier is untouched).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SwapError {
-    /// The uplink never delivered a verified wire form.
-    Delivery(UplinkOutcome),
+    /// The uplink never delivered a verified wire form (boxed: the
+    /// outcome carries per-pass resume forensics and is large).
+    Delivery(Box<UplinkOutcome>),
     /// The wire form delivered but the registry refused it.
     Rejected(LoadError),
     /// A swap is already in flight.
@@ -227,7 +228,7 @@ impl HotSwapController {
         }
         let uplink = cmd.uplink.upload(&cmd.wire, seed);
         if !uplink.verified {
-            return Err(SwapError::Delivery(uplink));
+            return Err(SwapError::Delivery(Box::new(uplink)));
         }
         // Validate all the way to an instantiated component, then drop
         // it: the real instantiation happens at the armed boundary so a
@@ -492,6 +493,8 @@ mod tests {
             backoff: gsp_netproto::BackoffPolicy::for_link(&gsp_netproto::LinkConfig::clean_fast()),
             max_sessions: 2,
             session_deadline_ns: 1_000_000_000,
+            contacts: None,
+            resume_expiry_ns: 0,
         };
         let cmd = SwapCommand {
             uplink: black_hole,
